@@ -1,0 +1,450 @@
+//! BQS and FBQS — the Bounded Quadrant System of Liu et al. (ICDE 2015),
+//! described in §3.2 of the OPERB paper.
+//!
+//! Both are opening-window algorithms.  Instead of re-checking every
+//! buffered point when the window grows (as OPW does), they keep, per
+//! quadrant around the window anchor, a small *bounded quadrant* structure:
+//! a rectangular bounding box plus the two bounding lines through the
+//! points with the largest / smallest angle to the x axis.  At most eight
+//! significant points per quadrant are needed to derive
+//!
+//! * an **upper bound** on the distance from any buffered point to the
+//!   candidate line (the bounding-box corners — the box contains every
+//!   point, and point-to-line distance over a convex region is maximized at
+//!   a vertex), and
+//! * a **lower bound** (the tracked points are actual data points, so their
+//!   distances are realized).
+//!
+//! When the upper bound is within ζ the window can grow without looking at
+//! the buffer; when the lower bound exceeds ζ the window must close.  In
+//! the remaining *inconclusive* case, BQS falls back to a full check of the
+//! buffered points (hence `O(n²)` worst case), while FBQS simply closes the
+//! window — that single change makes FBQS linear time and constant space,
+//! and it is the fastest pre-existing line-simplification algorithm the
+//! paper compares OPERB against.
+
+use crate::window::{WindowDecision, WindowPolicy, WindowSimplifier};
+use traj_geo::bbox::Quadrant;
+use traj_geo::{BoundingBox, DirectedSegment, Point};
+use traj_model::{
+    traits::validate_epsilon, BatchSimplifier, SimplifiedTrajectory, StreamingSimplifier,
+    Trajectory, TrajectoryError,
+};
+
+/// Per-quadrant bound structure: bounding box plus the actual data points
+/// that realize its extremes and the extreme angles (at most eight
+/// significant points, as in the paper's Figure 4).
+#[derive(Debug, Clone)]
+struct QuadrantBound {
+    bbox: BoundingBox,
+    /// Actual points realizing min/max x and min/max y (lower-bound
+    /// witnesses).
+    extreme_points: [Option<Point>; 4],
+    /// Point with the largest angle `∠(P_s P, x-axis)` seen in the quadrant.
+    max_angle: Option<(f64, Point)>,
+    /// Point with the smallest angle seen in the quadrant.
+    min_angle: Option<(f64, Point)>,
+    count: usize,
+}
+
+impl QuadrantBound {
+    fn new() -> Self {
+        Self {
+            bbox: BoundingBox::empty(),
+            extreme_points: [None; 4],
+            max_angle: None,
+            min_angle: None,
+            count: 0,
+        }
+    }
+
+    fn add(&mut self, origin: &Point, p: Point) {
+        self.count += 1;
+        if self.bbox.is_empty() {
+            self.bbox = BoundingBox::from_point(p);
+            self.extreme_points = [Some(p); 4];
+        } else {
+            if p.x < self.bbox.min_x {
+                self.extreme_points[0] = Some(p);
+            }
+            if p.x > self.bbox.max_x {
+                self.extreme_points[1] = Some(p);
+            }
+            if p.y < self.bbox.min_y {
+                self.extreme_points[2] = Some(p);
+            }
+            if p.y > self.bbox.max_y {
+                self.extreme_points[3] = Some(p);
+            }
+            self.bbox.extend(&p);
+        }
+        let angle = origin.angle_to(&p);
+        match &mut self.max_angle {
+            Some((a, q)) if *a >= angle => {
+                let _ = q;
+            }
+            slot => *slot = Some((angle, p)),
+        }
+        match &mut self.min_angle {
+            Some((a, q)) if *a <= angle => {
+                let _ = q;
+            }
+            slot => *slot = Some((angle, p)),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Upper bound on the distance from any point of this quadrant to the
+    /// candidate line.
+    fn upper_bound(&self, line: &DirectedSegment) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.bbox
+            .corners()
+            .iter()
+            .map(|c| line.distance_to_line(c))
+            .fold(0.0, f64::max)
+    }
+
+    /// Lower bound: distances of the tracked *actual* data points.
+    fn lower_bound(&self, line: &DirectedSegment) -> f64 {
+        let mut lb: f64 = 0.0;
+        for p in self.extreme_points.iter().flatten() {
+            lb = lb.max(line.distance_to_line(p));
+        }
+        if let Some((_, p)) = self.max_angle {
+            lb = lb.max(line.distance_to_line(&p));
+        }
+        if let Some((_, p)) = self.min_angle {
+            lb = lb.max(line.distance_to_line(&p));
+        }
+        lb
+    }
+}
+
+/// Shared BQS / FBQS policy state.
+#[derive(Debug, Clone)]
+pub struct BqsPolicy<const FALLBACK: bool> {
+    origin: Point,
+    quadrants: [QuadrantBound; 4],
+    /// Diagnostic counters: how often the bounds were conclusive vs not.
+    conclusive_decisions: usize,
+    inconclusive_decisions: usize,
+}
+
+impl<const FALLBACK: bool> Default for BqsPolicy<FALLBACK> {
+    fn default() -> Self {
+        Self {
+            origin: Point::default(),
+            quadrants: [
+                QuadrantBound::new(),
+                QuadrantBound::new(),
+                QuadrantBound::new(),
+                QuadrantBound::new(),
+            ],
+            conclusive_decisions: 0,
+            inconclusive_decisions: 0,
+        }
+    }
+}
+
+impl<const FALLBACK: bool> BqsPolicy<FALLBACK> {
+    /// Fraction of decisions where the quadrant bounds alone were enough
+    /// (diagnostics; the paper's efficiency argument rests on this being
+    /// high).
+    pub fn conclusive_fraction(&self) -> f64 {
+        let total = self.conclusive_decisions + self.inconclusive_decisions;
+        if total == 0 {
+            1.0
+        } else {
+            self.conclusive_decisions as f64 / total as f64
+        }
+    }
+}
+
+impl<const FALLBACK: bool> WindowPolicy for BqsPolicy<FALLBACK> {
+    const NAME: &'static str = if FALLBACK { "BQS" } else { "FBQS" };
+    const NEEDS_BUFFER: bool = FALLBACK;
+
+    fn reset(&mut self, start: Point) {
+        self.origin = start;
+        self.quadrants = [
+            QuadrantBound::new(),
+            QuadrantBound::new(),
+            QuadrantBound::new(),
+            QuadrantBound::new(),
+        ];
+    }
+
+    fn add_point(&mut self, p: Point) {
+        let q = Quadrant::of(&self.origin, &p).index();
+        self.quadrants[q].add(&self.origin, p);
+    }
+
+    fn decide(
+        &mut self,
+        start: Point,
+        candidate: Point,
+        epsilon: f64,
+        buffer: &[Point],
+    ) -> WindowDecision {
+        let line = DirectedSegment::new(start, candidate);
+        let mut upper: f64 = 0.0;
+        let mut lower: f64 = 0.0;
+        for q in &self.quadrants {
+            if q.is_empty() {
+                continue;
+            }
+            upper = upper.max(q.upper_bound(&line));
+            lower = lower.max(q.lower_bound(&line));
+        }
+        if upper <= epsilon {
+            self.conclusive_decisions += 1;
+            return WindowDecision::Grow;
+        }
+        if lower > epsilon {
+            self.conclusive_decisions += 1;
+            return WindowDecision::Emit;
+        }
+        self.inconclusive_decisions += 1;
+        if FALLBACK {
+            // BQS: fall back to the full O(window) check, exactly like OPW.
+            for p in buffer {
+                if line.distance_to_line(p) > epsilon {
+                    return WindowDecision::Emit;
+                }
+            }
+            WindowDecision::Grow
+        } else {
+            // FBQS: never fall back — close the window.
+            WindowDecision::Emit
+        }
+    }
+}
+
+/// Streaming BQS simplifier (with fallback, `O(n²)` worst case).
+pub type BqsStream = WindowSimplifier<BqsPolicy<true>>;
+/// Streaming FBQS simplifier (no fallback, linear time).
+pub type FbqsStream = WindowSimplifier<BqsPolicy<false>>;
+
+/// Batch front end for BQS.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Bqs;
+
+/// Batch front end for FBQS.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fbqs;
+
+impl Bqs {
+    /// Creates the BQS simplifier.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Creates a streaming instance with the given error bound.
+    pub fn stream(epsilon: f64) -> BqsStream {
+        WindowSimplifier::new(BqsPolicy::<true>::default(), epsilon)
+    }
+}
+
+impl Fbqs {
+    /// Creates the FBQS simplifier.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Creates a streaming instance with the given error bound.
+    pub fn stream(epsilon: f64) -> FbqsStream {
+        WindowSimplifier::new(BqsPolicy::<false>::default(), epsilon)
+    }
+}
+
+fn run_batch<P: WindowPolicy>(
+    mut stream: WindowSimplifier<P>,
+    trajectory: &Trajectory,
+    epsilon: f64,
+) -> Result<SimplifiedTrajectory, TrajectoryError> {
+    validate_epsilon(epsilon)?;
+    let mut segments = Vec::new();
+    for &p in trajectory.points() {
+        stream.push(p, &mut segments);
+    }
+    stream.finish(&mut segments);
+    Ok(SimplifiedTrajectory::new(segments, trajectory.len()))
+}
+
+impl BatchSimplifier for Bqs {
+    fn name(&self) -> &'static str {
+        "BQS"
+    }
+
+    fn simplify(
+        &self,
+        trajectory: &Trajectory,
+        epsilon: f64,
+    ) -> Result<SimplifiedTrajectory, TrajectoryError> {
+        run_batch(Self::stream(epsilon), trajectory, epsilon)
+    }
+}
+
+impl BatchSimplifier for Fbqs {
+    fn name(&self) -> &'static str {
+        "FBQS"
+    }
+
+    fn simplify(
+        &self,
+        trajectory: &Trajectory,
+        epsilon: f64,
+    ) -> Result<SimplifiedTrajectory, TrajectoryError> {
+        run_batch(Self::stream(epsilon), trajectory, epsilon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opw::OpeningWindow;
+
+    fn max_line_error(traj: &Trajectory, out: &SimplifiedTrajectory) -> f64 {
+        traj.points()
+            .iter()
+            .map(|p| {
+                out.segments()
+                    .iter()
+                    .map(|s| s.distance_to_line(p))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .fold(0.0, f64::max)
+    }
+
+    fn wavy(n: usize) -> Trajectory {
+        Trajectory::from_xy(
+            &(0..n)
+                .map(|i| {
+                    let t = i as f64 * 0.15;
+                    (t * 20.0, (t).sin() * 30.0 + (t * 1.7).cos() * 8.0)
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn straight_line_is_one_segment() {
+        let traj = Trajectory::from_xy(&(0..60).map(|i| (i as f64 * 5.0, 0.0)).collect::<Vec<_>>());
+        for out in [
+            Bqs::new().simplify(&traj, 2.0).unwrap(),
+            Fbqs::new().simplify(&traj, 2.0).unwrap(),
+        ] {
+            assert_eq!(out.num_segments(), 1);
+            assert_eq!(out.validate(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn error_bound_holds_for_both_variants() {
+        let traj = wavy(400);
+        for zeta in [3.0, 8.0, 20.0] {
+            for (name, out) in [
+                ("BQS", Bqs::new().simplify(&traj, zeta).unwrap()),
+                ("FBQS", Fbqs::new().simplify(&traj, zeta).unwrap()),
+            ] {
+                assert!(
+                    max_line_error(&traj, &out) <= zeta + 1e-9,
+                    "{name} violates ζ = {zeta}"
+                );
+                assert_eq!(out.validate(), Ok(()));
+            }
+        }
+    }
+
+    #[test]
+    fn bqs_matches_opw_segment_count() {
+        // With the fallback, BQS makes exactly the same grow/emit decisions
+        // as OPW (the bounds only short-circuit the check).
+        let traj = wavy(500);
+        for zeta in [4.0, 10.0, 25.0] {
+            let opw = OpeningWindow::new().simplify(&traj, zeta).unwrap();
+            let bqs = Bqs::new().simplify(&traj, zeta).unwrap();
+            assert_eq!(
+                opw.num_segments(),
+                bqs.num_segments(),
+                "BQS must agree with OPW at ζ = {zeta}"
+            );
+        }
+    }
+
+    #[test]
+    fn fbqs_never_produces_fewer_segments_than_bqs() {
+        // FBQS closes the window early on inconclusive bounds, so its output
+        // can only be the same or more fragmented.
+        let traj = wavy(500);
+        for zeta in [4.0, 10.0, 25.0] {
+            let bqs = Bqs::new().simplify(&traj, zeta).unwrap();
+            let fbqs = Fbqs::new().simplify(&traj, zeta).unwrap();
+            assert!(
+                fbqs.num_segments() >= bqs.num_segments(),
+                "ζ = {zeta}: FBQS {} < BQS {}",
+                fbqs.num_segments(),
+                bqs.num_segments()
+            );
+        }
+    }
+
+    #[test]
+    fn quadrant_bound_brackets_true_maximum() {
+        // The upper/lower bounds must always bracket the true maximum
+        // distance of the covered points.
+        let origin = Point::xy(0.0, 0.0);
+        let pts: Vec<Point> = (1..40)
+            .map(|i| {
+                let x = (i as f64 * 7.3) % 50.0 + 1.0;
+                let y = (i as f64 * 3.1) % 35.0 + 0.5;
+                Point::xy(x, y)
+            })
+            .collect();
+        let mut qb = QuadrantBound::new();
+        for p in &pts {
+            qb.add(&origin, *p);
+        }
+        let line = DirectedSegment::new(origin, Point::xy(60.0, 20.0));
+        let true_max = pts
+            .iter()
+            .map(|p| line.distance_to_line(p))
+            .fold(0.0, f64::max);
+        assert!(qb.upper_bound(&line) + 1e-9 >= true_max);
+        assert!(qb.lower_bound(&line) <= true_max + 1e-9);
+    }
+
+    #[test]
+    fn conclusive_fraction_is_tracked() {
+        let traj = wavy(300);
+        let mut stream = Fbqs::stream(10.0);
+        let mut out = Vec::new();
+        for &p in traj.points() {
+            stream.push(p, &mut out);
+        }
+        stream.finish(&mut out);
+        let frac = stream.policy().conclusive_fraction();
+        assert!((0.0..=1.0).contains(&frac));
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Bqs::new().name(), "BQS");
+        assert_eq!(Fbqs::new().name(), "FBQS");
+        assert_eq!(Bqs::stream(1.0).name(), "BQS");
+        assert_eq!(Fbqs::stream(1.0).name(), "FBQS");
+    }
+
+    #[test]
+    fn rejects_invalid_epsilon() {
+        let traj = wavy(10);
+        assert!(Bqs::new().simplify(&traj, 0.0).is_err());
+        assert!(Fbqs::new().simplify(&traj, -2.0).is_err());
+    }
+}

@@ -1,0 +1,336 @@
+//! The Douglas-Peucker family of batch algorithms.
+//!
+//! `DP` (paper §3.2, Figure 3) picks the point with the maximum distance to
+//! the segment between the first and last point; if that distance exceeds ζ
+//! the trajectory is split there and both halves are compressed recursively,
+//! otherwise the single segment is emitted.  `TD-TR` (related work [15]) is
+//! the same algorithm with the *synchronous Euclidean distance*.
+//!
+//! The implementation uses an explicit work stack (no recursion) so that
+//! adversarial trajectories cannot overflow the call stack, and emits the
+//! classical "mark the kept points, then connect consecutive kept points"
+//! output, which is equivalent to the recursive formulation.
+
+use traj_geo::{DirectedSegment, Point};
+use traj_model::{
+    traits::validate_epsilon, BatchSimplifier, SimplifiedSegment, SimplifiedTrajectory,
+    Trajectory, TrajectoryError,
+};
+
+/// Which point-to-segment distance the splitting criterion uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DistanceKind {
+    /// Perpendicular distance to the line through the segment — the
+    /// distance used by DP and by all algorithms of the OPERB paper.
+    #[default]
+    Perpendicular,
+    /// Synchronous Euclidean distance (time-interpolated position), used by
+    /// TD-TR.
+    Synchronous,
+}
+
+impl DistanceKind {
+    #[inline]
+    fn distance(&self, seg: &DirectedSegment, p: &Point) -> f64 {
+        match self {
+            DistanceKind::Perpendicular => seg.distance_to_line(p),
+            DistanceKind::Synchronous => seg.synchronous_distance(p),
+        }
+    }
+}
+
+/// The classic batch Douglas-Peucker algorithm (`DP` in the paper).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DouglasPeucker {
+    distance: DistanceKind,
+}
+
+impl DouglasPeucker {
+    /// DP with the perpendicular (line) distance — the paper's baseline.
+    pub fn new() -> Self {
+        Self {
+            distance: DistanceKind::Perpendicular,
+        }
+    }
+
+    /// DP with an explicit distance kind.
+    pub fn with_distance(distance: DistanceKind) -> Self {
+        Self { distance }
+    }
+
+    /// The distance kind in use.
+    pub fn distance_kind(&self) -> DistanceKind {
+        self.distance
+    }
+}
+
+/// TD-TR: Douglas-Peucker driven by the synchronous Euclidean distance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TdTr;
+
+impl TdTr {
+    /// Creates the TD-TR simplifier.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+/// Runs Douglas-Peucker over `points`, returning the sorted indices of the
+/// retained points (always includes the first and last index).
+pub fn douglas_peucker_indices(points: &[Point], epsilon: f64, distance: DistanceKind) -> Vec<usize> {
+    let n = points.len();
+    if n <= 2 {
+        return (0..n).collect();
+    }
+    let mut keep = vec![false; n];
+    keep[0] = true;
+    keep[n - 1] = true;
+
+    // Explicit stack of half-open index ranges [lo, hi] with hi > lo + 1.
+    let mut stack: Vec<(usize, usize)> = vec![(0, n - 1)];
+    while let Some((lo, hi)) = stack.pop() {
+        if hi <= lo + 1 {
+            continue;
+        }
+        let seg = DirectedSegment::new(points[lo], points[hi]);
+        let mut max_d = -1.0;
+        let mut max_i = lo;
+        for (offset, p) in points[lo + 1..hi].iter().enumerate() {
+            let d = distance.distance(&seg, p);
+            if d > max_d {
+                max_d = d;
+                max_i = lo + 1 + offset;
+            }
+        }
+        if max_d > epsilon {
+            keep[max_i] = true;
+            stack.push((lo, max_i));
+            stack.push((max_i, hi));
+        }
+    }
+
+    keep.iter()
+        .enumerate()
+        .filter_map(|(i, &k)| k.then_some(i))
+        .collect()
+}
+
+/// Builds the piecewise representation connecting consecutive retained
+/// indices.
+pub fn segments_from_indices(points: &[Point], kept: &[usize]) -> Vec<SimplifiedSegment> {
+    kept.windows(2)
+        .map(|w| {
+            SimplifiedSegment::new(
+                DirectedSegment::new(points[w[0]], points[w[1]]),
+                w[0],
+                w[1],
+            )
+        })
+        .collect()
+}
+
+fn simplify_dp(
+    trajectory: &Trajectory,
+    epsilon: f64,
+    distance: DistanceKind,
+) -> Result<SimplifiedTrajectory, TrajectoryError> {
+    validate_epsilon(epsilon)?;
+    let points = trajectory.points();
+    let kept = douglas_peucker_indices(points, epsilon, distance);
+    Ok(SimplifiedTrajectory::new(
+        segments_from_indices(points, &kept),
+        points.len(),
+    ))
+}
+
+impl BatchSimplifier for DouglasPeucker {
+    fn name(&self) -> &'static str {
+        match self.distance {
+            DistanceKind::Perpendicular => "DP",
+            DistanceKind::Synchronous => "DP-SED",
+        }
+    }
+
+    fn simplify(
+        &self,
+        trajectory: &Trajectory,
+        epsilon: f64,
+    ) -> Result<SimplifiedTrajectory, TrajectoryError> {
+        simplify_dp(trajectory, epsilon, self.distance)
+    }
+}
+
+impl BatchSimplifier for TdTr {
+    fn name(&self) -> &'static str {
+        "TD-TR"
+    }
+
+    fn simplify(
+        &self,
+        trajectory: &Trajectory,
+        epsilon: f64,
+    ) -> Result<SimplifiedTrajectory, TrajectoryError> {
+        simplify_dp(trajectory, epsilon, DistanceKind::Synchronous)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn max_line_error(traj: &Trajectory, out: &SimplifiedTrajectory) -> f64 {
+        traj.points()
+            .iter()
+            .map(|p| {
+                out.segments()
+                    .iter()
+                    .map(|s| s.distance_to_line(p))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn straight_line_collapses_to_one_segment() {
+        let traj = Trajectory::from_xy(&(0..100).map(|i| (i as f64, 0.0)).collect::<Vec<_>>());
+        let out = DouglasPeucker::new().simplify(&traj, 0.5).unwrap();
+        assert_eq!(out.num_segments(), 1);
+        assert_eq!(out.segments()[0].first_index, 0);
+        assert_eq!(out.segments()[0].last_index, 99);
+        assert_eq!(out.validate(), Ok(()));
+    }
+
+    #[test]
+    fn figure1_like_trajectory_produces_four_segments() {
+        // The Figure 1 / Example 2 scenario: DP splits at P10, then P5, then
+        // P8 producing four segments.  Reconstructed coordinates with the
+        // same qualitative shape.
+        let traj = Trajectory::from_xy(&[
+            (0.0, 0.0),
+            (10.0, 1.0),
+            (20.0, -1.0),
+            (30.0, 1.0),
+            (40.0, -1.0),
+            (50.0, 0.0),
+            (57.0, 8.0),
+            (64.0, 16.0),
+            (70.0, 25.0),
+            (80.0, 26.5),
+            (90.0, 28.0),
+            (95.0, 20.0),
+            (100.0, 13.0),
+            (105.0, 5.0),
+            (110.0, -3.0),
+        ]);
+        let out = DouglasPeucker::new().simplify(&traj, 5.0).unwrap();
+        assert_eq!(out.num_segments(), 4, "{:#?}", out.segments());
+        // The split points are the crest (P10), the end of the flat run (P5)
+        // and the top of the climb (P8).
+        let kept: Vec<usize> = out.segments().iter().map(|s| s.last_index).collect();
+        assert_eq!(kept, vec![5, 8, 10, 14]);
+        assert!(max_line_error(&traj, &out) <= 5.0 + 1e-9);
+    }
+
+    #[test]
+    fn error_bound_holds_for_random_walk() {
+        let mut x = 0.0;
+        let mut y = 0.0;
+        let mut pts = Vec::new();
+        // Deterministic pseudo-random walk (no rand dependency needed).
+        let mut state = 0x12345678u64;
+        for i in 0..500 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let dx = ((state >> 33) % 100) as f64 / 10.0 - 5.0;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let dy = ((state >> 33) % 100) as f64 / 10.0 - 5.0;
+            x += dx;
+            y += dy;
+            pts.push((x, y, i as f64));
+        }
+        let traj = Trajectory::from_xyt(&pts).unwrap();
+        for zeta in [2.0, 5.0, 10.0, 25.0] {
+            let out = DouglasPeucker::new().simplify(&traj, zeta).unwrap();
+            assert!(max_line_error(&traj, &out) <= zeta + 1e-9);
+            assert_eq!(out.validate(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn smaller_epsilon_keeps_more_segments() {
+        let traj = Trajectory::from_xy(
+            &(0..200)
+                .map(|i| {
+                    let t = i as f64 * 0.1;
+                    (t * 10.0, (t).sin() * 20.0)
+                })
+                .collect::<Vec<_>>(),
+        );
+        let tight = DouglasPeucker::new().simplify(&traj, 1.0).unwrap();
+        let loose = DouglasPeucker::new().simplify(&traj, 10.0).unwrap();
+        assert!(tight.num_segments() > loose.num_segments());
+    }
+
+    #[test]
+    fn tiny_trajectories() {
+        let one = Trajectory::from_xy(&[(0.0, 0.0)]);
+        assert_eq!(
+            DouglasPeucker::new()
+                .simplify(&one, 1.0)
+                .unwrap()
+                .num_segments(),
+            0
+        );
+        let two = Trajectory::from_xy(&[(0.0, 0.0), (5.0, 5.0)]);
+        let out = DouglasPeucker::new().simplify(&two, 1.0).unwrap();
+        assert_eq!(out.num_segments(), 1);
+        assert_eq!(out.validate(), Ok(()));
+    }
+
+    #[test]
+    fn dp_indices_always_keep_endpoints() {
+        let pts: Vec<Point> = (0..50)
+            .map(|i| Point::new(i as f64, ((i * 7) % 13) as f64, i as f64))
+            .collect();
+        let kept = douglas_peucker_indices(&pts, 3.0, DistanceKind::Perpendicular);
+        assert_eq!(*kept.first().unwrap(), 0);
+        assert_eq!(*kept.last().unwrap(), 49);
+        assert!(kept.windows(2).all(|w| w[0] < w[1]), "indices sorted");
+    }
+
+    #[test]
+    fn tdtr_bounds_synchronous_distance() {
+        // A point that is spatially on the line but temporally "early":
+        // perpendicular DP ignores it, TD-TR must keep it.
+        let traj = Trajectory::from_xyt(&[
+            (0.0, 0.0, 0.0),
+            (90.0, 0.0, 1.0), // almost at the end spatially, but at t = 1 of 10
+            (100.0, 0.0, 10.0),
+        ])
+        .unwrap();
+        let dp = DouglasPeucker::new().simplify(&traj, 5.0).unwrap();
+        let tdtr = TdTr::new().simplify(&traj, 5.0).unwrap();
+        assert_eq!(dp.num_segments(), 1);
+        assert_eq!(tdtr.num_segments(), 2, "TD-TR must split at the early point");
+        assert_eq!(TdTr::new().name(), "TD-TR");
+    }
+
+    #[test]
+    fn invalid_epsilon_rejected() {
+        let traj = Trajectory::from_xy(&[(0.0, 0.0), (1.0, 1.0)]);
+        assert!(DouglasPeucker::new().simplify(&traj, 0.0).is_err());
+        assert!(TdTr::new().simplify(&traj, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(DouglasPeucker::new().name(), "DP");
+        assert_eq!(
+            DouglasPeucker::with_distance(DistanceKind::Synchronous).name(),
+            "DP-SED"
+        );
+        assert_eq!(
+            DouglasPeucker::new().distance_kind(),
+            DistanceKind::Perpendicular
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! # traj-baselines
+//!
+//! The baseline trajectory simplification algorithms the OPERB paper
+//! (Lin et al., VLDB 2017) compares against, plus a few extra context
+//! baselines:
+//!
+//! * [`DouglasPeucker`] — the classic batch top-down algorithm DP
+//!   (Douglas & Peucker 1973; paper §3.2, Figure 3), `O(n²)` time.
+//! * [`TdTr`] — DP with the *synchronous Euclidean distance* instead of the
+//!   perpendicular distance (Meratnia & de By, related work [15]).
+//! * [`OpeningWindow`] — the online opening-window algorithm OPW
+//!   (paper §3.2), `O(n²)` time.
+//! * [`Bqs`] — the Bounded Quadrant System (Liu et al., ICDE 2015): an
+//!   opening-window algorithm that bounds the in-window distances with at
+//!   most eight significant points per quadrant and falls back to a full
+//!   check when the bounds are inconclusive; `O(n²)` worst case.
+//! * [`Fbqs`] — Fast BQS: the linear-time variant that starts a new window
+//!   whenever the bounds are inconclusive; the fastest pre-existing LS
+//!   algorithm and the main efficiency baseline of the paper.
+//! * [`UniformSampling`], [`DeadReckoning`] — simple non-error-bounded /
+//!   prediction-based baselines used in examples.
+//! * [`delta`] — a lossless delta encoding of trajectories (related work
+//!   [19]) to contrast lossy and lossless compression ratios.
+//!
+//! All lossy algorithms implement [`traj_model::BatchSimplifier`]; the
+//! online ones also implement [`traj_model::StreamingSimplifier`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bqs;
+pub mod delta;
+pub mod dp;
+pub mod opw;
+pub mod sampling;
+pub mod window;
+
+pub use bqs::{Bqs, BqsStream, Fbqs, FbqsStream};
+pub use dp::{DistanceKind, DouglasPeucker, TdTr};
+pub use opw::{OpeningWindow, OpeningWindowStream};
+pub use sampling::{DeadReckoning, UniformSampling};

@@ -1,0 +1,171 @@
+//! OPW — the opening-window online algorithm (paper §3.2, attributed to
+//! Meratnia & de By / Keogh et al.).
+//!
+//! The window `[P_s, …, P_k]` grows while every buffered point stays within
+//! ζ of the line `P_s P_k`; each growth step re-checks the whole window, so
+//! the algorithm is `O(n²)` in the worst case and is *not* one-pass.
+
+use crate::window::{WindowDecision, WindowPolicy, WindowSimplifier};
+use traj_geo::{DirectedSegment, Point};
+use traj_model::{
+    traits::validate_epsilon, BatchSimplifier, SimplifiedTrajectory, StreamingSimplifier,
+    Trajectory, TrajectoryError,
+};
+
+/// Window policy that checks every buffered point (the defining behaviour of
+/// OPW).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OpwPolicy;
+
+impl WindowPolicy for OpwPolicy {
+    const NAME: &'static str = "OPW";
+    const NEEDS_BUFFER: bool = true;
+
+    fn reset(&mut self, _start: Point) {}
+
+    fn add_point(&mut self, _p: Point) {}
+
+    fn decide(
+        &mut self,
+        start: Point,
+        candidate: Point,
+        epsilon: f64,
+        buffer: &[Point],
+    ) -> WindowDecision {
+        let seg = DirectedSegment::new(start, candidate);
+        for p in buffer {
+            if seg.distance_to_line(p) > epsilon {
+                return WindowDecision::Emit;
+            }
+        }
+        WindowDecision::Grow
+    }
+}
+
+/// Streaming OPW simplifier.
+pub type OpeningWindowStream = WindowSimplifier<OpwPolicy>;
+
+/// Batch front end for OPW.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OpeningWindow;
+
+impl OpeningWindow {
+    /// Creates the OPW simplifier.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Creates a streaming instance with the given error bound.
+    pub fn stream(epsilon: f64) -> OpeningWindowStream {
+        WindowSimplifier::new(OpwPolicy, epsilon)
+    }
+}
+
+impl BatchSimplifier for OpeningWindow {
+    fn name(&self) -> &'static str {
+        "OPW"
+    }
+
+    fn simplify(
+        &self,
+        trajectory: &Trajectory,
+        epsilon: f64,
+    ) -> Result<SimplifiedTrajectory, TrajectoryError> {
+        validate_epsilon(epsilon)?;
+        let mut stream = Self::stream(epsilon);
+        let mut segments = Vec::new();
+        for &p in trajectory.points() {
+            stream.push(p, &mut segments);
+        }
+        stream.finish(&mut segments);
+        Ok(SimplifiedTrajectory::new(segments, trajectory.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn max_line_error(traj: &Trajectory, out: &SimplifiedTrajectory) -> f64 {
+        traj.points()
+            .iter()
+            .map(|p| {
+                out.segments()
+                    .iter()
+                    .map(|s| s.distance_to_line(p))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .fold(0.0, f64::max)
+    }
+
+    fn wavy(n: usize) -> Trajectory {
+        Trajectory::from_xy(
+            &(0..n)
+                .map(|i| {
+                    let t = i as f64 * 0.15;
+                    (t * 20.0, (t).sin() * 30.0 + (t * 2.3).cos() * 5.0)
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn straight_line_is_one_segment() {
+        let traj = Trajectory::from_xy(&(0..50).map(|i| (i as f64 * 3.0, 0.0)).collect::<Vec<_>>());
+        let out = OpeningWindow::new().simplify(&traj, 1.0).unwrap();
+        assert_eq!(out.num_segments(), 1);
+        assert_eq!(out.validate(), Ok(()));
+    }
+
+    #[test]
+    fn error_bound_holds() {
+        let traj = wavy(400);
+        for zeta in [2.0, 5.0, 12.0, 30.0] {
+            let out = OpeningWindow::new().simplify(&traj, zeta).unwrap();
+            assert!(
+                max_line_error(&traj, &out) <= zeta + 1e-9,
+                "OPW violates ζ = {zeta}"
+            );
+            assert_eq!(out.validate(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn compression_improves_with_larger_epsilon() {
+        let traj = wavy(500);
+        let tight = OpeningWindow::new().simplify(&traj, 2.0).unwrap();
+        let loose = OpeningWindow::new().simplify(&traj, 25.0).unwrap();
+        assert!(loose.num_segments() < tight.num_segments());
+    }
+
+    #[test]
+    fn opw_is_not_single_pass_conceptually() {
+        // The policy revisits buffered points: with k points in the window
+        // the decision is O(k).  Verify the buffer actually participates by
+        // constructing a case where only an *old* point violates the new
+        // line (the candidate itself is close to the anchor line).
+        let traj = Trajectory::from_xyt(&[
+            (0.0, 0.0, 0.0),
+            (10.0, 6.0, 1.0),  // bulges upward
+            (20.0, 0.0, 2.0),  // back on the axis
+            (30.0, -6.0, 3.0), // bulges downward → old bulge now violates
+            (40.0, 0.0, 4.0),
+        ])
+        .unwrap();
+        let out = OpeningWindow::new().simplify(&traj, 5.0).unwrap();
+        assert!(out.num_segments() >= 2);
+        assert!(max_line_error(&traj, &out) <= 5.0 + 1e-9);
+    }
+
+    #[test]
+    fn rejects_invalid_epsilon() {
+        let traj = wavy(10);
+        assert!(OpeningWindow::new().simplify(&traj, -1.0).is_err());
+    }
+
+    #[test]
+    fn name() {
+        assert_eq!(OpeningWindow::new().name(), "OPW");
+        assert_eq!(OpeningWindow::stream(1.0).name(), "OPW");
+    }
+}

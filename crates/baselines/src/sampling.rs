@@ -1,0 +1,245 @@
+//! Simple non-LS baselines used for context in examples and benchmarks:
+//! uniform (every k-th point) sampling and dead-reckoning.
+//!
+//! Neither appears in the paper's evaluation plots, but both are common
+//! practical baselines and make the trade-off of the error-bounded LS
+//! algorithms visible: uniform sampling has no error bound at all, and
+//! dead-reckoning bounds the *synchronous* prediction error rather than the
+//! perpendicular distance.
+
+use traj_geo::{DirectedSegment, Point};
+use traj_model::{
+    traits::validate_epsilon, BatchSimplifier, SimplifiedSegment, SimplifiedTrajectory,
+    Trajectory, TrajectoryError,
+};
+
+/// Keeps every `k`-th data point (always keeping the first and last one).
+#[derive(Debug, Clone, Copy)]
+pub struct UniformSampling {
+    /// Sampling stride: `1` keeps everything, `10` keeps every tenth point.
+    pub stride: usize,
+}
+
+impl UniformSampling {
+    /// Creates a uniform sampler with the given stride (≥ 1).
+    pub fn new(stride: usize) -> Self {
+        Self {
+            stride: stride.max(1),
+        }
+    }
+}
+
+impl Default for UniformSampling {
+    fn default() -> Self {
+        Self { stride: 10 }
+    }
+}
+
+impl BatchSimplifier for UniformSampling {
+    fn name(&self) -> &'static str {
+        "Uniform"
+    }
+
+    fn simplify(
+        &self,
+        trajectory: &Trajectory,
+        _epsilon: f64,
+    ) -> Result<SimplifiedTrajectory, TrajectoryError> {
+        let points = trajectory.points();
+        let n = points.len();
+        if n < 2 {
+            return Ok(SimplifiedTrajectory::new(Vec::new(), n));
+        }
+        let mut kept: Vec<usize> = (0..n).step_by(self.stride).collect();
+        if *kept.last().unwrap() != n - 1 {
+            kept.push(n - 1);
+        }
+        let segments = kept
+            .windows(2)
+            .map(|w| {
+                SimplifiedSegment::new(
+                    DirectedSegment::new(points[w[0]], points[w[1]]),
+                    w[0],
+                    w[1],
+                )
+            })
+            .collect();
+        Ok(SimplifiedTrajectory::new(segments, n))
+    }
+}
+
+/// Dead-reckoning: a point is retained when the position predicted by
+/// constant-velocity extrapolation from the last retained point deviates
+/// from the observed position by more than ζ.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeadReckoning;
+
+impl DeadReckoning {
+    /// Creates the dead-reckoning simplifier.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl BatchSimplifier for DeadReckoning {
+    fn name(&self) -> &'static str {
+        "DeadReckoning"
+    }
+
+    fn simplify(
+        &self,
+        trajectory: &Trajectory,
+        epsilon: f64,
+    ) -> Result<SimplifiedTrajectory, TrajectoryError> {
+        validate_epsilon(epsilon)?;
+        let points = trajectory.points();
+        let n = points.len();
+        if n < 2 {
+            return Ok(SimplifiedTrajectory::new(Vec::new(), n));
+        }
+        let mut kept = vec![0usize];
+        // Velocity estimated from the last retained point and its successor.
+        let mut anchor = 0usize;
+        let mut vx = 0.0;
+        let mut vy = 0.0;
+        let mut have_velocity = false;
+        for i in 1..n {
+            let p = points[i];
+            let a = points[anchor];
+            if !have_velocity {
+                let dt = p.t - a.t;
+                if dt > 0.0 {
+                    vx = (p.x - a.x) / dt;
+                    vy = (p.y - a.y) / dt;
+                    have_velocity = true;
+                }
+                continue;
+            }
+            let dt = p.t - a.t;
+            let predicted = Point::new(a.x + vx * dt, a.y + vy * dt, p.t);
+            if predicted.distance(&p) > epsilon {
+                // Keep the previous point as the new anchor and restart the
+                // velocity estimate from it.
+                let new_anchor = i - 1;
+                if *kept.last().unwrap() != new_anchor {
+                    kept.push(new_anchor);
+                }
+                anchor = new_anchor;
+                let a = points[anchor];
+                let dt = p.t - a.t;
+                if dt > 0.0 {
+                    vx = (p.x - a.x) / dt;
+                    vy = (p.y - a.y) / dt;
+                } else {
+                    have_velocity = false;
+                }
+            }
+        }
+        if *kept.last().unwrap() != n - 1 {
+            kept.push(n - 1);
+        }
+        let segments = kept
+            .windows(2)
+            .map(|w| {
+                SimplifiedSegment::new(
+                    DirectedSegment::new(points[w[0]], points[w[1]]),
+                    w[0],
+                    w[1],
+                )
+            })
+            .collect();
+        Ok(SimplifiedTrajectory::new(segments, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize) -> Trajectory {
+        Trajectory::from_xy(&(0..n).map(|i| (i as f64 * 10.0, 0.0)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn uniform_sampling_stride() {
+        let traj = line(100);
+        let out = UniformSampling::new(10).simplify(&traj, 1.0).unwrap();
+        assert_eq!(out.num_segments(), 10);
+        assert_eq!(out.validate(), Ok(()));
+        // Stride 1 keeps every point → n−1 segments.
+        let all = UniformSampling::new(1).simplify(&traj, 1.0).unwrap();
+        assert_eq!(all.num_segments(), 99);
+    }
+
+    #[test]
+    fn uniform_sampling_keeps_last_point() {
+        let traj = line(23);
+        let out = UniformSampling::new(5).simplify(&traj, 1.0).unwrap();
+        assert_eq!(out.segments().last().unwrap().last_index, 22);
+        assert_eq!(out.validate(), Ok(()));
+    }
+
+    #[test]
+    fn uniform_sampling_zero_stride_is_clamped() {
+        assert_eq!(UniformSampling::new(0).stride, 1);
+    }
+
+    #[test]
+    fn dead_reckoning_straight_motion_is_one_segment() {
+        let traj = line(50);
+        let out = DeadReckoning::new().simplify(&traj, 1.0).unwrap();
+        assert_eq!(out.num_segments(), 1);
+        assert_eq!(out.validate(), Ok(()));
+    }
+
+    #[test]
+    fn dead_reckoning_detects_turns() {
+        let mut pts: Vec<(f64, f64)> = (0..20).map(|i| (i as f64 * 10.0, 0.0)).collect();
+        pts.extend((1..20).map(|i| (190.0, i as f64 * 10.0)));
+        let traj = Trajectory::from_xy(&pts);
+        let out = DeadReckoning::new().simplify(&traj, 5.0).unwrap();
+        assert!(out.num_segments() >= 2);
+        assert_eq!(out.validate(), Ok(()));
+    }
+
+    #[test]
+    fn dead_reckoning_speed_change_is_detected() {
+        // Constant direction but a sudden halving of speed: perpendicular
+        // methods see a straight line, dead-reckoning must split.
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            pts.push((i as f64 * 20.0, 0.0, i as f64));
+        }
+        for i in 1..20 {
+            pts.push((380.0 + i as f64 * 2.0, 0.0, 19.0 + i as f64));
+        }
+        let traj = Trajectory::from_xyt(&pts).unwrap();
+        let out = DeadReckoning::new().simplify(&traj, 5.0).unwrap();
+        assert!(out.num_segments() >= 2);
+    }
+
+    #[test]
+    fn tiny_trajectories() {
+        let single = Trajectory::from_xy(&[(0.0, 0.0)]);
+        assert_eq!(
+            UniformSampling::default()
+                .simplify(&single, 1.0)
+                .unwrap()
+                .num_segments(),
+            0
+        );
+        assert_eq!(
+            DeadReckoning::new()
+                .simplify(&single, 1.0)
+                .unwrap()
+                .num_segments(),
+            0
+        );
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(UniformSampling::default().name(), "Uniform");
+        assert_eq!(DeadReckoning::new().name(), "DeadReckoning");
+    }
+}

@@ -1,0 +1,295 @@
+//! Shared skeleton of the opening-window online algorithms (OPW, BQS,
+//! FBQS).
+//!
+//! All three algorithms grow a window `W[P_s, …, P_k]`: when the new point
+//! `P_k` arrives they decide whether *every* buffered point stays within ζ
+//! of the line `P_s P_k`.  If yes the window grows; if no the segment
+//! `P_s → P_{k−1}` is emitted and a new window starts at `P_{k−1}`.  They
+//! only differ in *how* the decision is made:
+//!
+//! * OPW checks every buffered point (`O(window)` per point);
+//! * BQS checks at most eight significant points per quadrant and falls
+//!   back to the full check when its bounds are inconclusive;
+//! * FBQS emits a segment whenever the bounds are inconclusive (never falls
+//!   back), which makes it linear time and constant space.
+//!
+//! The [`WindowPolicy`] trait captures exactly that decision, and
+//! [`WindowSimplifier`] provides the common streaming machinery.
+
+use traj_geo::{DirectedSegment, Point};
+use traj_model::{SimplifiedSegment, StreamingSimplifier};
+
+/// Outcome of a window-policy check for a candidate point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowDecision {
+    /// Every point of the window stays within ζ of `P_s → P_k`: grow the
+    /// window.
+    Grow,
+    /// Some point (certainly or presumedly) violates ζ: emit `P_s → P_{k−1}`
+    /// and start a new window.
+    Emit,
+}
+
+/// The pluggable decision procedure of an opening-window algorithm.
+pub trait WindowPolicy {
+    /// Human readable algorithm name.
+    const NAME: &'static str;
+
+    /// Whether the policy needs the full point buffer (OPW and BQS do; FBQS
+    /// does not, which is what makes it O(1) space).
+    const NEEDS_BUFFER: bool;
+
+    /// Resets the per-window state for a window anchored at `start`.
+    fn reset(&mut self, start: Point);
+
+    /// Registers a point that became part of the window (called for every
+    /// point after the anchor, *after* the decision to grow).
+    fn add_point(&mut self, p: Point);
+
+    /// Decides whether the window `[start, …, buffer…, candidate]` can keep
+    /// growing.  `buffer` contains the points strictly between the anchor
+    /// and the candidate; it is empty when `NEEDS_BUFFER` is `false`.
+    fn decide(
+        &mut self,
+        start: Point,
+        candidate: Point,
+        epsilon: f64,
+        buffer: &[Point],
+    ) -> WindowDecision;
+}
+
+/// Streaming opening-window simplifier parameterized by a [`WindowPolicy`].
+#[derive(Debug, Clone)]
+pub struct WindowSimplifier<P: WindowPolicy> {
+    policy: P,
+    epsilon: f64,
+    /// Window anchor `P_s` and its original index.
+    start: Option<(Point, usize)>,
+    /// The most recent accepted point `P_{k−1}` and its index.
+    prev: Option<(Point, usize)>,
+    /// Buffered points strictly between the anchor and the newest point
+    /// (only maintained when the policy needs them).
+    buffer: Vec<Point>,
+    seen: usize,
+}
+
+impl<P: WindowPolicy> WindowSimplifier<P> {
+    /// Creates a window simplifier with the given policy and error bound.
+    pub fn new(policy: P, epsilon: f64) -> Self {
+        Self {
+            policy,
+            epsilon,
+            start: None,
+            prev: None,
+            buffer: Vec::new(),
+            seen: 0,
+        }
+    }
+
+    /// Read access to the policy (used by tests).
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    fn start_window(&mut self, anchor: Point, anchor_idx: usize) {
+        self.start = Some((anchor, anchor_idx));
+        self.prev = None;
+        self.buffer.clear();
+        self.policy.reset(anchor);
+    }
+}
+
+impl<P: WindowPolicy> StreamingSimplifier for WindowSimplifier<P> {
+    fn name(&self) -> &'static str {
+        P::NAME
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn push(&mut self, point: Point, out: &mut Vec<SimplifiedSegment>) {
+        let idx = self.seen;
+        self.seen += 1;
+
+        let Some((anchor, anchor_idx)) = self.start else {
+            self.start_window(point, idx);
+            return;
+        };
+
+        if self.prev.is_none() {
+            // The window holds only its anchor: the two-point window is
+            // always representable by its own segment.
+            self.prev = Some((point, idx));
+            self.policy.add_point(point);
+            if P::NEEDS_BUFFER {
+                self.buffer.push(point);
+            }
+            return;
+        }
+
+        match self
+            .policy
+            .decide(anchor, point, self.epsilon, &self.buffer)
+        {
+            WindowDecision::Grow => {
+                self.prev = Some((point, idx));
+                self.policy.add_point(point);
+                if P::NEEDS_BUFFER {
+                    self.buffer.push(point);
+                }
+            }
+            WindowDecision::Emit => {
+                let (prev, prev_idx) = self.prev.expect("window has at least two points");
+                out.push(SimplifiedSegment::new(
+                    DirectedSegment::new(anchor, prev),
+                    anchor_idx,
+                    idx - 1,
+                ));
+                // New window anchored at the previous point, immediately
+                // containing the candidate.
+                self.start_window(prev, prev_idx);
+                self.prev = Some((point, idx));
+                self.policy.add_point(point);
+                if P::NEEDS_BUFFER {
+                    self.buffer.push(point);
+                }
+            }
+        }
+    }
+
+    fn finish(&mut self, out: &mut Vec<SimplifiedSegment>) {
+        if let (Some((anchor, anchor_idx)), Some((prev, _))) = (self.start, self.prev) {
+            out.push(SimplifiedSegment::new(
+                DirectedSegment::new(anchor, prev),
+                anchor_idx,
+                self.seen - 1,
+            ));
+        }
+        self.start = None;
+        self.prev = None;
+        self.buffer.clear();
+        self.seen = 0;
+    }
+
+    fn points_seen(&self) -> usize {
+        self.seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial policy that always grows — the whole trajectory becomes one
+    /// segment.  Exercises the window plumbing.
+    #[derive(Debug, Clone, Default)]
+    struct AlwaysGrow;
+
+    impl WindowPolicy for AlwaysGrow {
+        const NAME: &'static str = "always-grow";
+        const NEEDS_BUFFER: bool = false;
+        fn reset(&mut self, _start: Point) {}
+        fn add_point(&mut self, _p: Point) {}
+        fn decide(
+            &mut self,
+            _start: Point,
+            _candidate: Point,
+            _epsilon: f64,
+            _buffer: &[Point],
+        ) -> WindowDecision {
+            WindowDecision::Grow
+        }
+    }
+
+    /// A policy that emits every `k` points.
+    #[derive(Debug, Clone)]
+    struct EmitEvery {
+        k: usize,
+        count: usize,
+    }
+
+    impl WindowPolicy for EmitEvery {
+        const NAME: &'static str = "emit-every";
+        const NEEDS_BUFFER: bool = true;
+        fn reset(&mut self, _start: Point) {
+            self.count = 0;
+        }
+        fn add_point(&mut self, _p: Point) {
+            self.count += 1;
+        }
+        fn decide(
+            &mut self,
+            _start: Point,
+            _candidate: Point,
+            _epsilon: f64,
+            buffer: &[Point],
+        ) -> WindowDecision {
+            assert_eq!(buffer.len(), self.count, "buffer mirrors added points");
+            if self.count >= self.k {
+                WindowDecision::Emit
+            } else {
+                WindowDecision::Grow
+            }
+        }
+    }
+
+    fn run<P: WindowPolicy>(policy: P, n: usize) -> Vec<SimplifiedSegment> {
+        let mut s = WindowSimplifier::new(policy, 1.0);
+        let mut out = Vec::new();
+        for i in 0..n {
+            s.push(Point::new(i as f64, 0.0, i as f64), &mut out);
+        }
+        s.finish(&mut out);
+        out
+    }
+
+    #[test]
+    fn always_grow_yields_single_segment() {
+        let out = run(AlwaysGrow, 10);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].first_index, 0);
+        assert_eq!(out[0].last_index, 9);
+    }
+
+    #[test]
+    fn emit_every_produces_multiple_segments() {
+        let out = run(EmitEvery { k: 3, count: 0 }, 10);
+        assert!(out.len() > 1);
+        // Responsibility tiles the trajectory without gaps.
+        assert_eq!(out[0].first_index, 0);
+        assert_eq!(out.last().unwrap().last_index, 9);
+        for w in out.windows(2) {
+            assert!(w[1].first_index <= w[0].last_index + 1);
+            assert!(w[0].segment.end.approx_eq(&w[1].segment.start, 1e-12));
+        }
+    }
+
+    #[test]
+    fn empty_and_single_point() {
+        let out = run(AlwaysGrow, 0);
+        assert!(out.is_empty());
+        let out = run(AlwaysGrow, 1);
+        assert!(out.is_empty());
+        let out = run(AlwaysGrow, 2);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn simplifier_resets_after_finish() {
+        let mut s = WindowSimplifier::new(AlwaysGrow, 1.0);
+        let mut out = Vec::new();
+        for i in 0..5 {
+            s.push(Point::new(i as f64, 0.0, i as f64), &mut out);
+        }
+        s.finish(&mut out);
+        assert_eq!(s.points_seen(), 0);
+        let mut out2 = Vec::new();
+        for i in 0..5 {
+            s.push(Point::new(i as f64, 1.0, i as f64), &mut out2);
+        }
+        s.finish(&mut out2);
+        assert_eq!(out2.len(), 1);
+        assert_eq!(out2[0].first_index, 0);
+    }
+}

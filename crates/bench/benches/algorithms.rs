@@ -1,0 +1,33 @@
+//! Criterion benchmark: compression throughput of every implemented
+//! algorithm on each synthetic dataset profile (the micro-benchmark behind
+//! the efficiency claims of Figures 12/13).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use traj_bench::algorithms::standard_algorithms;
+use traj_bench::datasets::DatasetRepository;
+use traj_data::DatasetKind;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let repo = DatasetRepository::new();
+    let mut group = c.benchmark_group("compress");
+    group.sample_size(10);
+    for kind in DatasetKind::ALL {
+        // One representative trajectory per dataset profile.
+        let data = repo.sized_dataset(kind, 1, 5_000);
+        let traj = &data[0];
+        group.throughput(Throughput::Elements(traj.len() as u64));
+        for algo in standard_algorithms() {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), kind.name()),
+                traj,
+                |b, traj| {
+                    b.iter(|| algo.simplify(traj, 40.0).expect("valid input"));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

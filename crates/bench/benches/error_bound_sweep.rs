@@ -1,0 +1,43 @@
+//! Criterion benchmark: running time as a function of the error bound ζ
+//! (the micro-benchmark counterpart of Figures 13/14), including the
+//! Raw-OPERB ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use traj_bench::algorithms::{ablation_algorithms, standard_algorithms};
+use traj_bench::datasets::DatasetRepository;
+use traj_data::DatasetKind;
+
+fn bench_zeta_sweep(c: &mut Criterion) {
+    let repo = DatasetRepository::new();
+    let data = repo.sized_dataset(DatasetKind::SerCar, 1, 5_000);
+    let traj = &data[0];
+
+    let mut group = c.benchmark_group("zeta_sweep_sercar");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(traj.len() as u64));
+    for zeta in [10.0f64, 40.0, 100.0] {
+        for algo in standard_algorithms() {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), format!("zeta{zeta}")),
+                traj,
+                |b, traj| {
+                    b.iter(|| algo.simplify(traj, zeta).expect("valid input"));
+                },
+            );
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_sercar_zeta40");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(traj.len() as u64));
+    for algo in ablation_algorithms() {
+        group.bench_with_input(BenchmarkId::new(algo.name(), "zeta40"), traj, |b, traj| {
+            b.iter(|| algo.simplify(traj, 40.0).expect("valid input"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_zeta_sweep);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion benchmark: the inner loop of OPERB — the fitting function and
+//! the per-point push of the streaming engine — versus the per-point cost
+//! of the opening-window baselines.  This isolates the constant factor
+//! behind Proposition 1 ("the directed line segment L_i can be computed in
+//! O(1) time").
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use operb::{OperbStream, OperbAStream};
+use traj_baselines::{Fbqs, OpeningWindow};
+use traj_bench::datasets::DatasetRepository;
+use traj_data::DatasetKind;
+use traj_model::StreamingSimplifier;
+
+fn bench_streaming_push(c: &mut Criterion) {
+    let repo = DatasetRepository::new();
+    let data = repo.sized_dataset(DatasetKind::GeoLife, 1, 10_000);
+    let points = data[0].points().to_vec();
+
+    let mut group = c.benchmark_group("streaming_push_10k_points");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(points.len() as u64));
+
+    group.bench_function("OPERB", |b| {
+        b.iter(|| {
+            let mut stream = OperbStream::new(40.0);
+            let mut out = Vec::new();
+            for &p in &points {
+                stream.push(p, &mut out);
+            }
+            stream.finish(&mut out);
+            out
+        });
+    });
+
+    group.bench_function("OPERB-A", |b| {
+        b.iter(|| {
+            let mut stream = OperbAStream::new(40.0);
+            let mut out = Vec::new();
+            for &p in &points {
+                stream.push(p, &mut out);
+            }
+            stream.finish(&mut out);
+            out
+        });
+    });
+
+    group.bench_function("FBQS", |b| {
+        b.iter(|| {
+            let mut stream = Fbqs::stream(40.0);
+            let mut out = Vec::new();
+            for &p in &points {
+                stream.push(p, &mut out);
+            }
+            stream.finish(&mut out);
+            out
+        });
+    });
+
+    group.bench_function("OPW", |b| {
+        b.iter(|| {
+            let mut stream = OpeningWindow::stream(40.0);
+            let mut out = Vec::new();
+            for &p in &points {
+                stream.push(p, &mut out);
+            }
+            stream.finish(&mut out);
+            out
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming_push);
+criterion_main!(benches);

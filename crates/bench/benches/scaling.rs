@@ -1,0 +1,32 @@
+//! Criterion benchmark: running time as a function of the trajectory size
+//! (the micro-benchmark counterpart of Figure 12), demonstrating the linear
+//! scaling of OPERB / OPERB-A / FBQS versus the super-linear DP.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use traj_bench::algorithms::standard_algorithms;
+use traj_bench::datasets::DatasetRepository;
+use traj_data::DatasetKind;
+
+fn bench_scaling(c: &mut Criterion) {
+    let repo = DatasetRepository::new();
+    let mut group = c.benchmark_group("scaling_taxi_zeta40");
+    group.sample_size(10);
+    for size in [2_000usize, 4_000, 6_000, 8_000, 10_000] {
+        let data = repo.sized_dataset(DatasetKind::Taxi, 1, size);
+        let traj = &data[0];
+        group.throughput(Throughput::Elements(size as u64));
+        for algo in standard_algorithms() {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), size),
+                traj,
+                |b, traj| {
+                    b.iter(|| algo.simplify(traj, 40.0).expect("valid input"));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

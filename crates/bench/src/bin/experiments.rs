@@ -1,0 +1,144 @@
+//! Command-line experiment runner.
+//!
+//! ```text
+//! cargo run --release -p traj-bench --bin experiments -- all
+//! cargo run --release -p traj-bench --bin experiments -- fig15 --scale full
+//! cargo run --release -p traj-bench --bin experiments -- table1 --json results/
+//! ```
+//!
+//! Each experiment regenerates one table or figure of the paper's
+//! evaluation (§6); `all` runs the whole suite in order.  With `--json DIR`
+//! the structured results are additionally written as JSON files.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use traj_bench::datasets::{DatasetRepository, Scale};
+use traj_bench::experiments::{
+    effectiveness, efficiency, errors, patching, table1, ExperimentReport,
+};
+
+const USAGE: &str = "usage: experiments <all|table1|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19a|fig19b> \
+                     [--scale quick|full] [--json DIR] [--seed N]";
+
+struct Options {
+    experiment: String,
+    scale: Scale,
+    json_dir: Option<PathBuf>,
+    seed: u64,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut experiment = None;
+    let mut scale = Scale::Quick;
+    let mut json_dir = None;
+    let mut seed = 20170401u64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = it.next().ok_or("--scale needs a value")?;
+                scale = Scale::parse(v).ok_or_else(|| format!("unknown scale '{v}'"))?;
+            }
+            "--json" => {
+                let v = it.next().ok_or("--json needs a directory")?;
+                json_dir = Some(PathBuf::from(v));
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|_| format!("invalid seed '{v}'"))?;
+            }
+            other if experiment.is_none() && !other.starts_with('-') => {
+                experiment = Some(other.to_string());
+            }
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    Ok(Options {
+        experiment: experiment.ok_or_else(|| USAGE.to_string())?,
+        scale,
+        json_dir,
+        seed,
+    })
+}
+
+fn write_json(dir: &PathBuf, name: &str, contents: &str) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    if let Err(e) = std::fs::write(&path, contents) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    } else {
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+fn emit(report: &ExperimentReport, json_dir: &Option<PathBuf>) {
+    println!("{}", report.render());
+    if let Some(dir) = json_dir {
+        write_json(dir, &report.id, &report.to_json());
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let repo = DatasetRepository::with_seed(options.seed);
+    let scale = options.scale;
+    let run_table1 = |json_dir: &Option<PathBuf>| {
+        let stats = table1::run(&repo, scale);
+        println!("{}", table1::render(&stats));
+        if let Some(dir) = json_dir {
+            write_json(
+                dir,
+                "table1",
+                &serde_json::to_string_pretty(&stats).expect("stats serialize"),
+            );
+        }
+    };
+
+    type Runner = fn(&DatasetRepository, Scale) -> ExperimentReport;
+    let figure_runners: &[(&str, Runner)] = &[
+        ("fig12", efficiency::fig12),
+        ("fig13", efficiency::fig13),
+        ("fig14", efficiency::fig14),
+        ("fig15", effectiveness::fig15),
+        ("fig16", effectiveness::fig16),
+        ("fig17", effectiveness::fig17),
+        ("fig18", errors::fig18),
+        ("fig19a", patching::fig19a),
+        ("fig19b", patching::fig19b),
+    ];
+
+    match options.experiment.as_str() {
+        "all" => {
+            eprintln!("generating datasets …");
+            repo.prewarm(scale);
+            run_table1(&options.json_dir);
+            for (name, runner) in figure_runners {
+                eprintln!("running {name} …");
+                emit(&runner(&repo, scale), &options.json_dir);
+            }
+        }
+        "table1" => run_table1(&options.json_dir),
+        other => {
+            let Some((_, runner)) = figure_runners.iter().find(|(name, _)| *name == other) else {
+                eprintln!("unknown experiment '{other}'");
+                eprintln!("{USAGE}");
+                return ExitCode::FAILURE;
+            };
+            emit(&runner(&repo, scale), &options.json_dir);
+        }
+    }
+    ExitCode::SUCCESS
+}

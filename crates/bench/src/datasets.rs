@@ -1,0 +1,159 @@
+//! Cached synthetic datasets for the experiment harness.
+//!
+//! Generating a dataset is deterministic but not free; several experiments
+//! share the same workload, so the repository memoizes generated datasets
+//! per (kind, scale) behind a mutex.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use traj_data::{DatasetGenerator, DatasetKind, DatasetProfile};
+use traj_model::Trajectory;
+
+/// Workload scale of an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Small workloads: the full experiment suite finishes in a couple of
+    /// minutes.  Dataset sizes are roughly 100× smaller than the paper's.
+    Quick,
+    /// Larger workloads for more stable timing numbers (tens of minutes).
+    Full,
+}
+
+impl Scale {
+    /// Parses `"quick"` / `"full"` (case insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "quick" | "small" => Some(Scale::Quick),
+            "full" | "large" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
+    /// The dataset profile for a kind at this scale.
+    pub fn profile(&self, kind: DatasetKind) -> DatasetProfile {
+        let base = kind.profile();
+        match self {
+            Scale::Quick => base
+                .with_num_trajectories(6)
+                .with_points_per_trajectory(2_000),
+            Scale::Full => base
+                .with_num_trajectories(20)
+                .with_points_per_trajectory(10_000),
+        }
+    }
+}
+
+/// Memoizing dataset repository.
+#[derive(Clone, Default)]
+pub struct DatasetRepository {
+    cache: Arc<Mutex<HashMap<(DatasetKind, Scale), Arc<Vec<Trajectory>>>>>,
+    seed: u64,
+}
+
+impl DatasetRepository {
+    /// Creates a repository with the default seed.
+    pub fn new() -> Self {
+        Self::with_seed(20170401)
+    }
+
+    /// Creates a repository with an explicit seed (all datasets derive from
+    /// it deterministically).
+    pub fn with_seed(seed: u64) -> Self {
+        Self {
+            cache: Arc::new(Mutex::new(HashMap::new())),
+            seed,
+        }
+    }
+
+    /// The dataset for `kind` at `scale`, generated on first use and cached.
+    pub fn dataset(&self, kind: DatasetKind, scale: Scale) -> Arc<Vec<Trajectory>> {
+        let mut cache = self.cache.lock();
+        cache
+            .entry((kind, scale))
+            .or_insert_with(|| {
+                let profile = scale.profile(kind);
+                Arc::new(DatasetGenerator::new(profile, self.seed).generate())
+            })
+            .clone()
+    }
+
+    /// Generates (and caches) all four datasets at `scale`, one per worker
+    /// thread.  Useful before the `all` experiment run so that dataset
+    /// construction does not pollute the first experiment's wall-clock.
+    pub fn prewarm(&self, scale: Scale) {
+        crossbeam::thread::scope(|s| {
+            for kind in DatasetKind::ALL {
+                let repo = self.clone();
+                s.spawn(move |_| {
+                    let _ = repo.dataset(kind, scale);
+                });
+            }
+        })
+        .expect("dataset generation threads do not panic");
+    }
+
+    /// Trajectories of a given size for the scaling experiment (Figure 12):
+    /// `count` trajectories of exactly `num_points` points each.
+    pub fn sized_dataset(
+        &self,
+        kind: DatasetKind,
+        count: usize,
+        num_points: usize,
+    ) -> Vec<Trajectory> {
+        DatasetGenerator::new(kind.profile(), self.seed).generate_sized(count, num_points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("FULL"), Some(Scale::Full));
+        assert_eq!(Scale::parse("small"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("bogus"), None);
+    }
+
+    #[test]
+    fn repository_caches_datasets() {
+        let repo = DatasetRepository::with_seed(1);
+        let a = repo.dataset(DatasetKind::Taxi, Scale::Quick);
+        let b = repo.dataset(DatasetKind::Taxi, Scale::Quick);
+        assert!(Arc::ptr_eq(&a, &b), "second access must hit the cache");
+        assert_eq!(a.len(), 6);
+        assert!(a.iter().all(|t| t.len() == 2_000));
+    }
+
+    #[test]
+    fn sized_dataset_has_requested_shape() {
+        let repo = DatasetRepository::with_seed(2);
+        let data = repo.sized_dataset(DatasetKind::SerCar, 3, 500);
+        assert_eq!(data.len(), 3);
+        assert!(data.iter().all(|t| t.len() == 500));
+    }
+
+    #[test]
+    fn prewarm_fills_the_cache_in_parallel() {
+        let repo = DatasetRepository::with_seed(3);
+        repo.prewarm(Scale::Quick);
+        // All four datasets must now be served from the cache (pointer
+        // equality across two accesses).
+        for kind in DatasetKind::ALL {
+            let a = repo.dataset(kind, Scale::Quick);
+            let b = repo.dataset(kind, Scale::Quick);
+            assert!(Arc::ptr_eq(&a, &b));
+        }
+    }
+
+    #[test]
+    fn different_kinds_produce_different_data() {
+        let repo = DatasetRepository::new();
+        let taxi = repo.dataset(DatasetKind::Taxi, Scale::Quick);
+        let truck = repo.dataset(DatasetKind::Truck, Scale::Quick);
+        assert_ne!(taxi[0], truck[0]);
+    }
+}

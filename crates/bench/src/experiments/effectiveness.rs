@@ -1,0 +1,118 @@
+//! Effectiveness experiments: Figures 15, 16 and 17 of the paper
+//! (compression ratios and the distribution of line segments).
+
+use crate::algorithms::{ablation_algorithms, standard_algorithms};
+use crate::datasets::{DatasetRepository, Scale};
+use crate::experiments::ExperimentReport;
+use traj_data::DatasetKind;
+use traj_metrics::evaluate_batch;
+use traj_model::BatchSimplifier;
+
+fn compression_sweep(
+    id: &str,
+    title: &str,
+    repo: &DatasetRepository,
+    scale: Scale,
+    algorithms: &[Box<dyn BatchSimplifier>],
+) -> ExperimentReport {
+    let mut report = ExperimentReport::new(id, title, "ζ (m)", "compression ratio");
+    let zetas: Vec<f64> = match scale {
+        Scale::Quick => vec![5.0, 10.0, 20.0, 40.0, 70.0, 100.0],
+        Scale::Full => vec![5.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0],
+    };
+    for kind in DatasetKind::ALL {
+        let data = repo.dataset(kind, scale);
+        for &zeta in &zetas {
+            for algo in algorithms {
+                let result = evaluate_batch(algo.as_ref(), &data, zeta, 1);
+                report.push(kind.name(), algo.name(), zeta, result.compression_ratio);
+            }
+        }
+    }
+    report
+}
+
+/// Figure 15 — compression ratio vs ζ for DP, FBQS, OPERB and OPERB-A
+/// (lower is better).
+pub fn fig15(repo: &DatasetRepository, scale: Scale) -> ExperimentReport {
+    compression_sweep(
+        "fig15",
+        "Compression ratio vs error bound ζ",
+        repo,
+        scale,
+        &standard_algorithms(),
+    )
+}
+
+/// Figure 16 — compression ratio of the optimization ablation (OPERB vs
+/// Raw-OPERB, OPERB-A vs Raw-OPERB-A).
+pub fn fig16(repo: &DatasetRepository, scale: Scale) -> ExperimentReport {
+    compression_sweep(
+        "fig16",
+        "Compression ratio of the optimization techniques vs ζ",
+        repo,
+        scale,
+        &ablation_algorithms(),
+    )
+}
+
+/// Figure 17 — distribution of line segments: `Z(k)` = number of output
+/// segments containing exactly `k` original points, at ζ = 40 m.
+///
+/// The histogram is bucketed the way the paper plots it (per point count
+/// `k`); `parameter` is `k`, `value` is `Z(k)`.
+pub fn fig17(repo: &DatasetRepository, scale: Scale) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "fig17",
+        "Distribution of line segments (ζ = 40 m)",
+        "k (points per segment)",
+        "Z(k)",
+    );
+    let algorithms = standard_algorithms();
+    for kind in DatasetKind::ALL {
+        let data = repo.dataset(kind, scale);
+        for algo in &algorithms {
+            let result = evaluate_batch(algo.as_ref(), &data, 40.0, 1);
+            for (k, z) in result.distribution.iter() {
+                report.push(kind.name(), algo.name(), k as f64, z as f64);
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compression_sweep_smoke() {
+        // One small dataset, two ζ values, headline algorithms: the ratios
+        // must be in (0, 1] and must not increase when ζ grows.
+        let repo = DatasetRepository::with_seed(5);
+        let data = repo.sized_dataset(DatasetKind::Truck, 2, 400);
+        let algorithms = standard_algorithms();
+        for algo in &algorithms {
+            let tight = evaluate_batch(algo.as_ref(), &data, 10.0, 1).compression_ratio;
+            let loose = evaluate_batch(algo.as_ref(), &data, 80.0, 1).compression_ratio;
+            assert!(tight > 0.0 && tight <= 1.0, "{}: {tight}", algo.name());
+            assert!(loose > 0.0 && loose <= 1.0);
+            assert!(
+                loose <= tight + 1e-9,
+                "{}: ratio must not grow with ζ ({tight} → {loose})",
+                algo.name()
+            );
+        }
+    }
+
+    #[test]
+    fn distribution_smoke() {
+        let repo = DatasetRepository::with_seed(6);
+        let data = repo.sized_dataset(DatasetKind::SerCar, 1, 300);
+        let algo = standard_algorithms().remove(2); // OPERB
+        let result = evaluate_batch(algo.as_ref(), &data, 40.0, 1);
+        let total: usize = result.distribution.iter().map(|(_, z)| z).sum();
+        assert_eq!(total, result.total_segments);
+        assert!(result.distribution.max_k() >= 2);
+    }
+}

@@ -1,0 +1,66 @@
+//! Figure 18 — average error as a function of the error bound ζ
+//! (paper §6.2.3).
+
+use crate::algorithms::standard_algorithms;
+use crate::datasets::{DatasetRepository, Scale};
+use crate::experiments::ExperimentReport;
+use traj_data::DatasetKind;
+use traj_metrics::evaluate_batch;
+
+/// Figure 18 — average error (meters) vs ζ for DP, FBQS, OPERB and OPERB-A.
+pub fn fig18(repo: &DatasetRepository, scale: Scale) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "fig18",
+        "Average error vs error bound ζ",
+        "ζ (m)",
+        "average error (m)",
+    );
+    let zetas: Vec<f64> = match scale {
+        Scale::Quick => vec![5.0, 10.0, 20.0, 40.0, 70.0, 100.0],
+        Scale::Full => vec![5.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0],
+    };
+    let algorithms = standard_algorithms();
+    for kind in DatasetKind::ALL {
+        let data = repo.dataset(kind, scale);
+        for &zeta in &zetas {
+            for algo in &algorithms {
+                let result = evaluate_batch(algo.as_ref(), &data, zeta, 1);
+                debug_assert!(
+                    result.error_bounded(),
+                    "{} exceeded ζ = {zeta}: max error {}",
+                    algo.name(),
+                    result.max_error
+                );
+                report.push(kind.name(), algo.name(), zeta, result.average_error);
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_error_grows_with_zeta_and_stays_bounded() {
+        let repo = DatasetRepository::with_seed(7);
+        let data = repo.sized_dataset(DatasetKind::Taxi, 2, 400);
+        let algorithms = standard_algorithms();
+        for algo in &algorithms {
+            let small = evaluate_batch(algo.as_ref(), &data, 10.0, 1);
+            let large = evaluate_batch(algo.as_ref(), &data, 80.0, 1);
+            assert!(small.error_bounded());
+            assert!(large.error_bounded());
+            assert!(small.average_error <= 10.0 + 1e-9);
+            assert!(large.average_error <= 80.0 + 1e-9);
+            assert!(
+                large.average_error + 1e-9 >= small.average_error,
+                "{}: avg error should not shrink when ζ grows ({} → {})",
+                algo.name(),
+                small.average_error,
+                large.average_error
+            );
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! The experiments of the paper's evaluation (§6), one function per table /
+//! figure.  Each experiment returns an [`ExperimentReport`] that can be
+//! rendered as a plain-text table (for the console) or serialized to JSON
+//! (for further analysis / plotting).
+//!
+//! | function | paper artifact |
+//! |---|---|
+//! | [`table1::run`] | Table 1 — dataset inventory |
+//! | [`efficiency::fig12`] | Figure 12 — running time vs trajectory size |
+//! | [`efficiency::fig13`] | Figure 13 — running time vs ζ |
+//! | [`efficiency::fig14`] | Figure 14 — running time of the optimization ablation |
+//! | [`effectiveness::fig15`] | Figure 15 — compression ratio vs ζ |
+//! | [`effectiveness::fig16`] | Figure 16 — compression ratio of the ablation |
+//! | [`effectiveness::fig17`] | Figure 17 — Z(k) segment distribution |
+//! | [`errors::fig18`] | Figure 18 — average error vs ζ |
+//! | [`patching::fig19a`] | Figure 19(1) — patching ratio vs ζ |
+//! | [`patching::fig19b`] | Figure 19(2) — patching ratio vs γm |
+
+pub mod effectiveness;
+pub mod efficiency;
+pub mod errors;
+pub mod patching;
+pub mod table1;
+
+use crate::table::TextTable;
+use serde::{Deserialize, Serialize};
+
+/// One data point of a sweep experiment: a (dataset, algorithm, parameter)
+/// triple and the measured value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepRecord {
+    /// Dataset name (Taxi, Truck, SerCar, GeoLife).
+    pub dataset: String,
+    /// Algorithm name (DP, FBQS, OPERB, …).
+    pub algorithm: String,
+    /// The swept parameter value (trajectory size, ζ in meters, γm in
+    /// degrees, or k for distribution experiments).
+    pub parameter: f64,
+    /// The measured value (milliseconds, ratio, meters, or count).
+    pub value: f64,
+}
+
+/// A complete experiment result: metadata plus all sweep records.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Short identifier, e.g. `"fig12"`.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Name of the swept parameter (for the table header).
+    pub parameter_name: String,
+    /// Name/unit of the measured value (for the table header).
+    pub value_name: String,
+    /// All measurements.
+    pub records: Vec<SweepRecord>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        parameter_name: impl Into<String>,
+        value_name: impl Into<String>,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            parameter_name: parameter_name.into(),
+            value_name: value_name.into(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Appends one measurement.
+    pub fn push(&mut self, dataset: &str, algorithm: &str, parameter: f64, value: f64) {
+        self.records.push(SweepRecord {
+            dataset: dataset.to_string(),
+            algorithm: algorithm.to_string(),
+            parameter,
+            value,
+        });
+    }
+
+    /// All distinct parameter values, in insertion order.
+    pub fn parameters(&self) -> Vec<f64> {
+        let mut out: Vec<f64> = Vec::new();
+        for r in &self.records {
+            if !out.iter().any(|&p| p == r.parameter) {
+                out.push(r.parameter);
+            }
+        }
+        out
+    }
+
+    /// All distinct (dataset, algorithm) series, in insertion order.
+    pub fn series(&self) -> Vec<(String, String)> {
+        let mut out: Vec<(String, String)> = Vec::new();
+        for r in &self.records {
+            let key = (r.dataset.clone(), r.algorithm.clone());
+            if !out.contains(&key) {
+                out.push(key);
+            }
+        }
+        out
+    }
+
+    /// The value of a given series at a given parameter, if measured.
+    pub fn value(&self, dataset: &str, algorithm: &str, parameter: f64) -> Option<f64> {
+        self.records
+            .iter()
+            .find(|r| r.dataset == dataset && r.algorithm == algorithm && r.parameter == parameter)
+            .map(|r| r.value)
+    }
+
+    /// Mean value of a series across all parameters (used for the paper's
+    /// "on average X times faster" style summaries).
+    pub fn series_mean(&self, dataset: &str, algorithm: &str) -> Option<f64> {
+        let values: Vec<f64> = self
+            .records
+            .iter()
+            .filter(|r| r.dataset == dataset && r.algorithm == algorithm)
+            .map(|r| r.value)
+            .collect();
+        if values.is_empty() {
+            None
+        } else {
+            Some(values.iter().sum::<f64>() / values.len() as f64)
+        }
+    }
+
+    /// Mean ratio `numerator / denominator` of two algorithms' values over
+    /// the parameters where both were measured (e.g. "OPERB is 4.1× faster
+    /// than FBQS" = mean of FBQS-time / OPERB-time).
+    pub fn mean_ratio(&self, dataset: &str, numerator: &str, denominator: &str) -> Option<f64> {
+        let mut ratios = Vec::new();
+        for p in self.parameters() {
+            if let (Some(a), Some(b)) = (
+                self.value(dataset, numerator, p),
+                self.value(dataset, denominator, p),
+            ) {
+                if b != 0.0 {
+                    ratios.push(a / b);
+                }
+            }
+        }
+        if ratios.is_empty() {
+            None
+        } else {
+            Some(ratios.iter().sum::<f64>() / ratios.len() as f64)
+        }
+    }
+
+    /// Renders the report as one table per dataset: rows are parameter
+    /// values, columns are algorithms.
+    pub fn render(&self) -> String {
+        let mut out = format!("== {} ({}) ==\n", self.title, self.id);
+        let series = self.series();
+        let mut datasets: Vec<String> = Vec::new();
+        for (d, _) in &series {
+            if !datasets.contains(d) {
+                datasets.push(d.clone());
+            }
+        }
+        for dataset in &datasets {
+            let algos: Vec<String> = series
+                .iter()
+                .filter(|(d, _)| d == dataset)
+                .map(|(_, a)| a.clone())
+                .collect();
+            let mut header = vec![format!("{} / {}", dataset, self.parameter_name)];
+            header.extend(algos.iter().map(|a| format!("{a} ({})", self.value_name)));
+            let mut table = TextTable::new(header);
+            for p in self.parameters() {
+                let mut row = vec![format!("{p}")];
+                let mut any = false;
+                for a in &algos {
+                    match self.value(dataset, a, p) {
+                        Some(v) => {
+                            any = true;
+                            row.push(format_value(v));
+                        }
+                        None => row.push(String::from("-")),
+                    }
+                }
+                if any {
+                    table.row(row);
+                }
+            }
+            out.push_str(&table.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serializes the report to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+fn format_value(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> ExperimentReport {
+        let mut r = ExperimentReport::new("figX", "Sample", "zeta", "ms");
+        r.push("Taxi", "DP", 10.0, 100.0);
+        r.push("Taxi", "OPERB", 10.0, 10.0);
+        r.push("Taxi", "DP", 20.0, 80.0);
+        r.push("Taxi", "OPERB", 20.0, 8.0);
+        r.push("Truck", "DP", 10.0, 50.0);
+        r
+    }
+
+    #[test]
+    fn parameters_and_series() {
+        let r = sample_report();
+        assert_eq!(r.parameters(), vec![10.0, 20.0]);
+        assert_eq!(r.series().len(), 3);
+        assert_eq!(r.value("Taxi", "DP", 10.0), Some(100.0));
+        assert_eq!(r.value("Taxi", "DP", 30.0), None);
+    }
+
+    #[test]
+    fn means_and_ratios() {
+        let r = sample_report();
+        assert_eq!(r.series_mean("Taxi", "DP"), Some(90.0));
+        assert_eq!(r.series_mean("Nowhere", "DP"), None);
+        // DP / OPERB speed ratio: (100/10 + 80/8) / 2 = 10.
+        assert_eq!(r.mean_ratio("Taxi", "DP", "OPERB"), Some(10.0));
+        assert_eq!(r.mean_ratio("Truck", "DP", "OPERB"), None);
+    }
+
+    #[test]
+    fn render_contains_all_sections() {
+        let r = sample_report();
+        let s = r.render();
+        assert!(s.contains("Sample"));
+        assert!(s.contains("Taxi"));
+        assert!(s.contains("Truck"));
+        assert!(s.contains("OPERB"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = sample_report();
+        let json = r.to_json();
+        let back: ExperimentReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn value_formatting() {
+        assert_eq!(format_value(0.0), "0");
+        assert_eq!(format_value(1234.6), "1235");
+        assert_eq!(format_value(12.345), "12.35");
+        assert_eq!(format_value(0.1234), "0.1234");
+    }
+}

@@ -1,0 +1,97 @@
+//! Figure 19 — evaluation of the trajectory interpolation (patching) of
+//! OPERB-A: patching ratios vs ζ and vs the angle restriction γm.
+
+use crate::datasets::{DatasetRepository, Scale};
+use crate::experiments::ExperimentReport;
+use operb::{OperbA, OperbAConfig, PatchStats};
+use traj_data::DatasetKind;
+use traj_model::Trajectory;
+
+/// Runs OPERB-A over a dataset and aggregates the patch statistics.
+fn dataset_patch_stats(data: &[Trajectory], config: OperbAConfig, zeta: f64) -> PatchStats {
+    let algo = OperbA::with_config(config);
+    let mut total = PatchStats::default();
+    for traj in data {
+        let (_, stats) = algo
+            .simplify_with_stats(traj, zeta)
+            .expect("valid epsilon and trajectory");
+        total.merge(&stats);
+    }
+    total
+}
+
+/// Figure 19(1) — patching ratio `Np / Na` vs ζ, with the default
+/// `γm = π/3`.
+pub fn fig19a(repo: &DatasetRepository, scale: Scale) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "fig19a",
+        "Patching ratio of OPERB-A vs error bound ζ (γm = 60°)",
+        "ζ (m)",
+        "patching ratio",
+    );
+    let zetas: Vec<f64> = match scale {
+        Scale::Quick => vec![10.0, 20.0, 40.0, 60.0, 80.0, 100.0],
+        Scale::Full => (1..=10).map(|i| i as f64 * 10.0).collect(),
+    };
+    for kind in DatasetKind::ALL {
+        let data = repo.dataset(kind, scale);
+        for &zeta in &zetas {
+            let stats = dataset_patch_stats(&data, OperbAConfig::optimized(), zeta);
+            report.push(kind.name(), "OPERB-A", zeta, stats.patching_ratio());
+        }
+    }
+    report
+}
+
+/// Figure 19(2) — patching ratio vs the included-angle restriction γm
+/// (degrees), with ζ = 40 m.
+pub fn fig19b(repo: &DatasetRepository, scale: Scale) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "fig19b",
+        "Patching ratio of OPERB-A vs γm (ζ = 40 m)",
+        "γm (degrees)",
+        "patching ratio",
+    );
+    let gammas_deg: Vec<f64> = match scale {
+        Scale::Quick => vec![0.0, 30.0, 60.0, 90.0, 120.0, 150.0, 180.0],
+        Scale::Full => (0..=12).map(|i| i as f64 * 15.0).collect(),
+    };
+    // The paper uses Taxi, Truck and SerCar for this experiment.
+    for kind in [DatasetKind::Taxi, DatasetKind::Truck, DatasetKind::SerCar] {
+        let data = repo.dataset(kind, scale);
+        for &gamma_deg in &gammas_deg {
+            let config = OperbAConfig::optimized().with_gamma_m(gamma_deg.to_radians());
+            let stats = dataset_patch_stats(&data, config, 40.0);
+            report.push(kind.name(), "OPERB-A", gamma_deg, stats.patching_ratio());
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patching_ratio_is_a_ratio_and_decreases_with_gamma() {
+        let repo = DatasetRepository::with_seed(8);
+        let data = repo.sized_dataset(DatasetKind::SerCar, 2, 600);
+        let relaxed = dataset_patch_stats(
+            &data,
+            OperbAConfig::optimized().with_gamma_m(0.0),
+            40.0,
+        );
+        let strict = dataset_patch_stats(
+            &data,
+            OperbAConfig::optimized().with_gamma_m(std::f64::consts::PI),
+            40.0,
+        );
+        assert!(relaxed.patching_ratio() >= 0.0 && relaxed.patching_ratio() <= 1.0);
+        assert!(strict.patching_ratio() >= 0.0 && strict.patching_ratio() <= 1.0);
+        // γm = 0 allows every direction change, γm = π almost none.
+        assert!(strict.patch_points_added <= relaxed.patch_points_added);
+        // The number of anomalous segments produced by the engine does not
+        // depend on γm.
+        assert_eq!(strict.anomalous_segments, relaxed.anomalous_segments);
+    }
+}

@@ -1,0 +1,28 @@
+//! # traj-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! OPERB paper's evaluation (§6) on the synthetic workloads of
+//! [`traj_data`], plus Criterion micro-benchmarks (in `benches/`).
+//!
+//! Run everything:
+//!
+//! ```text
+//! cargo run --release -p traj-bench --bin experiments -- all
+//! ```
+//!
+//! or a single experiment (`table1`, `fig12`, …, `fig19b`); add
+//! `--scale full` for larger workloads (the default `quick` scale finishes
+//! in a couple of minutes on a laptop).  See `EXPERIMENTS.md` at the
+//! repository root for the paper-vs-measured comparison produced by this
+//! harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod datasets;
+pub mod experiments;
+pub mod table;
+
+pub use algorithms::{algorithm_by_name, standard_algorithms, AlgorithmSet};
+pub use datasets::{DatasetRepository, Scale};

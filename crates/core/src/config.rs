@@ -1,0 +1,176 @@
+//! Configuration of the OPERB family of algorithms.
+//!
+//! The paper evaluates four variants:
+//!
+//! * `Raw-OPERB` — the basic one-pass algorithm of Figure 7 (no
+//!   optimizations);
+//! * `OPERB` — Raw-OPERB plus the five optimization techniques of §4.4;
+//! * `Raw-OPERB-A` / `OPERB-A` — the corresponding aggressive variants with
+//!   patch-point interpolation (§5).
+//!
+//! [`OperbConfig`] switches each of the five optimizations independently so
+//! that any ablation in between can be constructed; [`OperbAConfig`] adds
+//! the interpolation parameter `γm`.
+
+use std::f64::consts::PI;
+
+/// Per-segment cap on the number of data points represented by a single
+/// directed line segment, `k ≤ 4×10⁵` (paper, Theorem 2 and the remark in
+/// §4.2): the local-distance-checking guarantee `d ≤ ζ` is proven under this
+/// cap, which "suffices for the need of trajectory simplification in
+/// practice".
+pub const MAX_POINTS_PER_SEGMENT: usize = 400_000;
+
+/// Tunable options of the OPERB algorithm (paper §4.3 and §4.4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperbConfig {
+    /// Optimization 1 — *Choosing the first active point after Ps*: require
+    /// `|PsPb| > ζ` (instead of `ζ/4`) before fixing the initial angle of
+    /// the fitted line.
+    pub opt_first_active: bool,
+    /// Optimization 2 — *Adjusting the distance condition*: accept a point
+    /// when `d⁺max + d⁻max ≤ ζ` instead of requiring `d ≤ ζ/2` for every
+    /// point individually.
+    pub opt_adjusted_distance: bool,
+    /// Optimization 3 — *Making L closer to the active points*: rotate the
+    /// fitted line using `dx ∈ [d, d_side_max]` instead of `d`, capped so
+    /// the step never exceeds `arcsin(d / (jζ/2))`.
+    pub opt_pull_towards_active: bool,
+    /// Optimization 4 — *Incorporating missing active points*: multiply the
+    /// rotation step by `Δj` when zones were skipped between consecutive
+    /// active points.
+    pub opt_missing_active: bool,
+    /// Optimization 5 — *Absorbing data points after Ps+k*: after a segment
+    /// is finalized, keep attaching subsequent points to it while they stay
+    /// within `ζ` of its supporting line.
+    pub opt_absorb_trailing: bool,
+    /// Per-segment point cap (see [`MAX_POINTS_PER_SEGMENT`]).
+    pub max_points_per_segment: usize,
+}
+
+impl OperbConfig {
+    /// The fully optimized configuration — the paper's `OPERB`.
+    pub const fn optimized() -> Self {
+        Self {
+            opt_first_active: true,
+            opt_adjusted_distance: true,
+            opt_pull_towards_active: true,
+            opt_missing_active: true,
+            opt_absorb_trailing: true,
+            max_points_per_segment: MAX_POINTS_PER_SEGMENT,
+        }
+    }
+
+    /// The unoptimized configuration — the paper's `Raw-OPERB`
+    /// (the plain algorithm of Figure 7).
+    pub const fn raw() -> Self {
+        Self {
+            opt_first_active: false,
+            opt_adjusted_distance: false,
+            opt_pull_towards_active: false,
+            opt_missing_active: false,
+            opt_absorb_trailing: false,
+            max_points_per_segment: MAX_POINTS_PER_SEGMENT,
+        }
+    }
+
+    /// Number of enabled optimizations, useful for ablation reports.
+    pub fn enabled_optimizations(&self) -> usize {
+        [
+            self.opt_first_active,
+            self.opt_adjusted_distance,
+            self.opt_pull_towards_active,
+            self.opt_missing_active,
+            self.opt_absorb_trailing,
+        ]
+        .iter()
+        .filter(|&&b| b)
+        .count()
+    }
+}
+
+impl Default for OperbConfig {
+    /// Defaults to the fully optimized algorithm, which is what the paper
+    /// calls `OPERB`.
+    fn default() -> Self {
+        Self::optimized()
+    }
+}
+
+/// Configuration of the aggressive variant OPERB-A (paper §5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperbAConfig {
+    /// The underlying OPERB configuration (`OPERB-A` uses the optimized one,
+    /// `Raw-OPERB-A` the raw one).
+    pub operb: OperbConfig,
+    /// The included-angle restriction `γm ∈ [0, π]` of the patching method
+    /// (§5.1, condition (3)).  A *smaller* `γm` allows a larger direction
+    /// change to be patched.  Default `π/3`, the paper's default.
+    pub gamma_m: f64,
+}
+
+impl OperbAConfig {
+    /// The paper's `OPERB-A`: optimized OPERB plus patching with `γm = π/3`.
+    pub const fn optimized() -> Self {
+        Self {
+            operb: OperbConfig::optimized(),
+            gamma_m: PI / 3.0,
+        }
+    }
+
+    /// The paper's `Raw-OPERB-A`: raw OPERB plus patching with `γm = π/3`.
+    pub const fn raw() -> Self {
+        Self {
+            operb: OperbConfig::raw(),
+            gamma_m: PI / 3.0,
+        }
+    }
+
+    /// Overrides `γm` (clamped into `[0, π]`).
+    pub fn with_gamma_m(mut self, gamma_m: f64) -> Self {
+        self.gamma_m = gamma_m.clamp(0.0, PI);
+        self
+    }
+}
+
+impl Default for OperbAConfig {
+    fn default() -> Self {
+        Self::optimized()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimized_enables_all() {
+        let c = OperbConfig::optimized();
+        assert_eq!(c.enabled_optimizations(), 5);
+        assert_eq!(c.max_points_per_segment, MAX_POINTS_PER_SEGMENT);
+        assert_eq!(OperbConfig::default(), c);
+    }
+
+    #[test]
+    fn raw_enables_none() {
+        let c = OperbConfig::raw();
+        assert_eq!(c.enabled_optimizations(), 0);
+    }
+
+    #[test]
+    fn operb_a_defaults() {
+        let c = OperbAConfig::default();
+        assert_eq!(c.operb, OperbConfig::optimized());
+        assert!((c.gamma_m - PI / 3.0).abs() < 1e-12);
+        let raw = OperbAConfig::raw();
+        assert_eq!(raw.operb, OperbConfig::raw());
+    }
+
+    #[test]
+    fn gamma_m_is_clamped() {
+        let c = OperbAConfig::default().with_gamma_m(10.0);
+        assert_eq!(c.gamma_m, PI);
+        let c = OperbAConfig::default().with_gamma_m(-1.0);
+        assert_eq!(c.gamma_m, 0.0);
+    }
+}

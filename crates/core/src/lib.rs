@@ -1,0 +1,193 @@
+//! # operb — One-Pass Error Bounded Trajectory Simplification
+//!
+//! A faithful Rust implementation of the algorithms of
+//! *"One-Pass Error Bounded Trajectory Simplification"*
+//! (Xuelian Lin, Shuai Ma, Han Zhang, Tianyu Wo, Jinpeng Huai — VLDB 2017):
+//!
+//! * [`Operb`] / [`OperbStream`] — the one-pass error-bounded algorithm
+//!   OPERB (§4), built on a local distance checking method (the *fitting
+//!   function* of [`fitting`]) and the five optimization techniques of §4.4
+//!   ([`OperbConfig`]).  `O(n)` time, `O(1)` space, each data point is read
+//!   once and only once.
+//! * [`OperbA`] / [`OperbAStream`] — the aggressive variant OPERB-A (§5)
+//!   which additionally interpolates *patch points* at sudden track changes
+//!   to eliminate anomalous line segments, improving the compression ratio
+//!   beyond Douglas-Peucker while keeping the same ζ error bound.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use operb::{simplify_operb, simplify_operb_a};
+//! use traj_model::Trajectory;
+//!
+//! // A coarse GPS track (coordinates in meters, one fix per second).
+//! let trajectory = Trajectory::from_xy(&[
+//!     (0.0, 0.0), (10.0, 0.5), (20.0, 0.2), (30.0, 0.7), (40.0, 0.1),
+//!     (50.0, 12.0), (60.0, 24.0), (70.0, 36.0), (80.0, 48.0),
+//! ]);
+//!
+//! let zeta = 5.0; // error bound in meters
+//! let operb = simplify_operb(&trajectory, zeta).unwrap();
+//! let operb_a = simplify_operb_a(&trajectory, zeta).unwrap();
+//!
+//! assert!(operb.num_segments() <= trajectory.len());
+//! assert!(operb_a.num_segments() <= operb.num_segments());
+//!
+//! // Every original point stays within ζ of the simplified representation.
+//! for p in trajectory.points() {
+//!     let d = operb
+//!         .segments()
+//!         .iter()
+//!         .map(|s| s.distance_to_line(p))
+//!         .fold(f64::INFINITY, f64::min);
+//!     assert!(d <= zeta);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod fitting;
+pub mod operb;
+pub mod operb_a;
+
+pub use config::{OperbAConfig, OperbConfig, MAX_POINTS_PER_SEGMENT};
+pub use operb::{simplify_operb, simplify_raw_operb, Operb, OperbStream};
+pub use operb_a::{simplify_operb_a, OperbA, OperbAStream, PatchStats};
+
+#[cfg(test)]
+mod paper_examples {
+    //! Golden tests built around the worked examples of the paper
+    //! (Figures 1, 8, 9 and 11).  The paper does not publish exact
+    //! coordinates, so the geometric *shape* of each scenario is
+    //! reconstructed and the qualitative claims are asserted.
+
+    use crate::{Operb, OperbA};
+    use traj_geo::Point;
+    use traj_model::{BatchSimplifier, SimplifiedTrajectory, Trajectory};
+
+    /// A fifteen-point trajectory shaped like Figure 1: a gentle drift, a
+    /// bump, a sharp climb and a final descent, which Douglas-Peucker
+    /// compresses into four continuous line segments.
+    fn figure1_like_trajectory() -> Trajectory {
+        Trajectory::from_xy(&[
+            (0.0, 0.0),    // P0
+            (10.0, 1.5),   // P1
+            (20.0, -1.0),  // P2
+            (30.0, 1.0),   // P3
+            (40.0, -0.5),  // P4
+            (50.0, 0.0),   // P5  — end of the flat run
+            (57.0, 8.0),   // P6
+            (64.0, 16.0),  // P7
+            (70.0, 25.0),  // P8  — end of the climb
+            (80.0, 26.0),  // P9
+            (90.0, 28.0),  // P10 — crest
+            (95.0, 20.0),  // P11
+            (100.0, 12.0), // P12
+            (105.0, 5.0),  // P13
+            (110.0, -3.0), // P14
+        ])
+    }
+
+    fn max_error(traj: &Trajectory, simplified: &SimplifiedTrajectory) -> f64 {
+        traj.points()
+            .iter()
+            .map(|p| {
+                simplified
+                    .segments()
+                    .iter()
+                    .map(|s| s.distance_to_line(p))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn operb_compresses_the_figure1_trajectory() {
+        let traj = figure1_like_trajectory();
+        let zeta = 5.0;
+        let out = Operb::new().simplify(&traj, zeta).unwrap();
+        // Strong compression: far fewer segments than points, and the error
+        // bound holds (Example 5 produces five segments for this shape; the
+        // exact count depends on the reconstructed coordinates).
+        assert!(out.num_segments() >= 2 && out.num_segments() <= 6);
+        assert!(max_error(&traj, &out) <= zeta + 1e-9);
+        assert_eq!(out.validate(), Ok(()));
+        // The representation starts at P0 and ends at P14.
+        assert!(out.segments()[0]
+            .segment
+            .start
+            .approx_eq(&traj.first(), 1e-9));
+        assert!(out
+            .segments()
+            .last()
+            .unwrap()
+            .segment
+            .end
+            .approx_eq(&traj.last(), 1e-9));
+    }
+
+    #[test]
+    fn operb_a_is_at_least_as_compact_as_operb_on_figure1() {
+        // Example 8: on the Figure 1 trajectory OPERB produces five segments
+        // and OPERB-A eliminates one of them through patching.
+        let traj = figure1_like_trajectory();
+        let zeta = 5.0;
+        let operb = Operb::new().simplify(&traj, zeta).unwrap();
+        let operb_a = OperbA::new().simplify(&traj, zeta).unwrap();
+        assert!(operb_a.num_segments() <= operb.num_segments());
+        assert!(max_error(&traj, &operb_a) <= zeta + 1e-9);
+    }
+
+    /// The urban-road scenario of Figure 9: two 90° crossroad turns with a
+    /// single sample on each corner, which creates anomalous segments.
+    fn figure9_like_trajectory() -> Trajectory {
+        let mut pts = Vec::new();
+        let mut t = 0.0_f64;
+        let mut push = |x: f64, y: f64, t: &mut f64| {
+            pts.push(Point::new(x, y, *t));
+            *t += 1.0;
+        };
+        // Leg 1: eastbound.
+        for i in 0..4 {
+            push(i as f64 * 30.0, 0.0, &mut t);
+        }
+        // Corner sample just after the first crossroad.
+        push(100.0, 10.0, &mut t);
+        // Leg 2: northbound.
+        for i in 1..4 {
+            push(100.0, 10.0 + i as f64 * 30.0, &mut t);
+        }
+        // Corner sample just after the second crossroad.
+        push(110.0, 110.0, &mut t);
+        // Leg 3: eastbound again.
+        for i in 1..3 {
+            push(110.0 + i as f64 * 30.0, 110.0, &mut t);
+        }
+        Trajectory::new_unchecked(pts)
+    }
+
+    #[test]
+    fn operb_a_reduces_anomalous_segments_in_the_crossroad_scenario() {
+        let traj = figure9_like_trajectory();
+        let zeta = 8.0;
+        let operb = Operb::new().simplify(&traj, zeta).unwrap();
+        let (operb_a, stats) = OperbA::new().simplify_with_stats(&traj, zeta).unwrap();
+
+        assert!(max_error(&traj, &operb) <= zeta + 1e-9);
+        assert!(max_error(&traj, &operb_a) <= zeta + 1e-9);
+        assert!(operb_a.num_segments() <= operb.num_segments());
+        // The crossroad turns are sharp 90° changes, admissible under the
+        // default γm = π/3; if anomalous segments appeared, at least one
+        // patch must have been applied.
+        if stats.anomalous_segments > 0 {
+            assert!(stats.patch_points_added >= 1, "stats: {stats:?}");
+        }
+        assert!(
+            operb_a.num_anomalous_segments() <= operb.num_anomalous_segments(),
+            "patching should not increase the number of anomalous segments"
+        );
+    }
+}

@@ -1,0 +1,298 @@
+//! The OPERB algorithm (paper §4): public streaming and batch interfaces.
+
+use crate::config::OperbConfig;
+use crate::engine::SegmentEngine;
+use traj_geo::Point;
+use traj_model::{
+    traits::validate_epsilon, BatchSimplifier, SimplifiedSegment, SimplifiedTrajectory,
+    StreamingSimplifier, Trajectory, TrajectoryError,
+};
+
+/// Streaming (push-based) OPERB simplifier.
+///
+/// Each call to [`StreamingSimplifier::push`] hands the next trajectory
+/// point to the algorithm; finished directed line segments are appended to
+/// the output vector as soon as they are determined.  The simplifier keeps
+/// O(1) state and looks at every point O(1) times — the one-pass property
+/// of Theorem 5.
+#[derive(Debug, Clone)]
+pub struct OperbStream {
+    engine: SegmentEngine,
+    last_point: Option<Point>,
+    name: &'static str,
+}
+
+impl OperbStream {
+    /// Creates a streaming OPERB instance with the given error bound and the
+    /// fully optimized configuration.
+    pub fn new(epsilon: f64) -> Self {
+        Self::with_config(epsilon, OperbConfig::optimized())
+    }
+
+    /// Creates a streaming OPERB instance with an explicit configuration.
+    pub fn with_config(epsilon: f64, config: OperbConfig) -> Self {
+        let name = if config.enabled_optimizations() == 0 {
+            "Raw-OPERB"
+        } else {
+            "OPERB"
+        };
+        Self {
+            engine: SegmentEngine::new(epsilon, config),
+            last_point: None,
+            name,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &OperbConfig {
+        self.engine.config()
+    }
+}
+
+impl StreamingSimplifier for OperbStream {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.engine.zeta()
+    }
+
+    fn push(&mut self, point: Point, out: &mut Vec<SimplifiedSegment>) {
+        self.last_point = Some(point);
+        self.engine.push(point, out);
+    }
+
+    fn finish(&mut self, out: &mut Vec<SimplifiedSegment>) {
+        self.engine.finish_with_last(self.last_point.take(), out);
+    }
+
+    fn points_seen(&self) -> usize {
+        self.engine.points_seen()
+    }
+}
+
+/// Batch front end for OPERB: runs the streaming algorithm over a whole
+/// [`Trajectory`].
+///
+/// `Operb::default()` is the paper's `OPERB` (all five optimizations);
+/// [`Operb::raw`] is `Raw-OPERB`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Operb {
+    config: OperbConfig,
+}
+
+impl Operb {
+    /// The fully optimized OPERB.
+    pub fn new() -> Self {
+        Self {
+            config: OperbConfig::optimized(),
+        }
+    }
+
+    /// The unoptimized Raw-OPERB of Figure 7.
+    pub fn raw() -> Self {
+        Self {
+            config: OperbConfig::raw(),
+        }
+    }
+
+    /// OPERB with an explicit configuration (for ablations).
+    pub fn with_config(config: OperbConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &OperbConfig {
+        &self.config
+    }
+}
+
+impl BatchSimplifier for Operb {
+    fn name(&self) -> &'static str {
+        if self.config.enabled_optimizations() == 0 {
+            "Raw-OPERB"
+        } else {
+            "OPERB"
+        }
+    }
+
+    fn simplify(
+        &self,
+        trajectory: &Trajectory,
+        epsilon: f64,
+    ) -> Result<SimplifiedTrajectory, TrajectoryError> {
+        validate_epsilon(epsilon)?;
+        let mut stream = OperbStream::with_config(epsilon, self.config);
+        let mut segments = Vec::new();
+        for &p in trajectory.points() {
+            stream.push(p, &mut segments);
+        }
+        stream.finish(&mut segments);
+        Ok(SimplifiedTrajectory::new(segments, trajectory.len()))
+    }
+}
+
+/// Convenience function: simplify `trajectory` with OPERB (all
+/// optimizations) under error bound `epsilon`.
+pub fn simplify_operb(
+    trajectory: &Trajectory,
+    epsilon: f64,
+) -> Result<SimplifiedTrajectory, TrajectoryError> {
+    Operb::new().simplify(trajectory, epsilon)
+}
+
+/// Convenience function: simplify `trajectory` with Raw-OPERB (no
+/// optimizations) under error bound `epsilon`.
+pub fn simplify_raw_operb(
+    trajectory: &Trajectory,
+    epsilon: f64,
+) -> Result<SimplifiedTrajectory, TrajectoryError> {
+    Operb::raw().simplify(trajectory, epsilon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zigzag(n: usize, amplitude: f64) -> Trajectory {
+        Trajectory::new_unchecked(
+            (0..n)
+                .map(|i| {
+                    Point::new(
+                        i as f64 * 5.0,
+                        if i % 2 == 0 { 0.0 } else { amplitude },
+                        i as f64,
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    fn max_error(traj: &Trajectory, simplified: &SimplifiedTrajectory) -> f64 {
+        traj.points()
+            .iter()
+            .map(|p| {
+                simplified
+                    .segments()
+                    .iter()
+                    .map(|s| s.distance_to_line(p))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn batch_and_streaming_agree() {
+        let traj = zigzag(500, 3.0);
+        let batch = simplify_operb(&traj, 10.0).unwrap();
+
+        let mut stream = OperbStream::new(10.0);
+        let mut segs = Vec::new();
+        for &p in traj.points() {
+            stream.push(p, &mut segs);
+        }
+        stream.finish(&mut segs);
+        let streamed = SimplifiedTrajectory::new(segs, traj.len());
+
+        assert_eq!(batch, streamed);
+    }
+
+    #[test]
+    fn error_bound_holds_raw_and_optimized() {
+        let traj = zigzag(400, 4.0);
+        for zeta in [5.0, 10.0, 20.0, 40.0] {
+            for simp in [Operb::raw(), Operb::new()] {
+                let out = simp.simplify(&traj, zeta).unwrap();
+                let err = max_error(&traj, &out);
+                assert!(
+                    err <= zeta + 1e-9,
+                    "{} violates ζ = {zeta}: max error {err}",
+                    simp.name()
+                );
+                assert_eq!(out.validate(), Ok(()));
+            }
+        }
+    }
+
+    #[test]
+    fn optimizations_do_not_hurt_compression_much() {
+        // On a smooth curve the optimized OPERB should produce at most as
+        // many segments as Raw-OPERB (that is their purpose).
+        let traj = Trajectory::new_unchecked(
+            (0..2000)
+                .map(|i| {
+                    let t = i as f64 * 0.05;
+                    Point::new(t * 40.0, (t * 0.7).sin() * 120.0, i as f64)
+                })
+                .collect(),
+        );
+        let raw = simplify_raw_operb(&traj, 15.0).unwrap();
+        let opt = simplify_operb(&traj, 15.0).unwrap();
+        assert!(
+            opt.num_segments() <= raw.num_segments(),
+            "optimized {} vs raw {}",
+            opt.num_segments(),
+            raw.num_segments()
+        );
+    }
+
+    #[test]
+    fn larger_epsilon_never_increases_segments_dramatically() {
+        let traj = zigzag(1000, 6.0);
+        let tight = simplify_operb(&traj, 8.0).unwrap();
+        let loose = simplify_operb(&traj, 80.0).unwrap();
+        assert!(loose.num_segments() <= tight.num_segments());
+    }
+
+    #[test]
+    fn rejects_invalid_epsilon() {
+        let traj = zigzag(10, 1.0);
+        assert!(simplify_operb(&traj, 0.0).is_err());
+        assert!(simplify_operb(&traj, -5.0).is_err());
+        assert!(simplify_operb(&traj, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn names_reflect_configuration() {
+        assert_eq!(Operb::new().name(), "OPERB");
+        assert_eq!(Operb::raw().name(), "Raw-OPERB");
+        assert_eq!(OperbStream::new(1.0).name(), "OPERB");
+        assert_eq!(
+            OperbStream::with_config(1.0, OperbConfig::raw()).name(),
+            "Raw-OPERB"
+        );
+    }
+
+    #[test]
+    fn streaming_reusable_after_finish() {
+        let traj = zigzag(100, 2.0);
+        let mut stream = OperbStream::new(10.0);
+        let mut a = Vec::new();
+        for &p in traj.points() {
+            stream.push(p, &mut a);
+        }
+        stream.finish(&mut a);
+        assert_eq!(stream.points_seen(), 0);
+
+        let mut b = Vec::new();
+        for &p in traj.points() {
+            stream.push(p, &mut b);
+        }
+        stream.finish(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_and_two_point_trajectories() {
+        let single = Trajectory::from_xy(&[(1.0, 1.0)]);
+        let out = simplify_operb(&single, 5.0).unwrap();
+        assert_eq!(out.num_segments(), 0);
+        assert_eq!(out.validate(), Ok(()));
+
+        let two = Trajectory::from_xy(&[(0.0, 0.0), (3.0, 0.0)]);
+        let out = simplify_operb(&two, 5.0).unwrap();
+        assert_eq!(out.num_segments(), 1);
+        assert_eq!(out.validate(), Ok(()));
+    }
+}

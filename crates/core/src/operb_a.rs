@@ -1,0 +1,548 @@
+//! The aggressive algorithm OPERB-A (paper §5): OPERB plus patch-point
+//! interpolation under a lazy output policy.
+//!
+//! OPERB-A receives the finalized segments of the underlying OPERB engine
+//! but holds up to two of them back:
+//!
+//! * the most recent non-anomalous segment (`R_{i−1}`), and
+//! * an *anomalous* segment following it (`R_i`, a segment that represents
+//!   only its own two endpoints).
+//!
+//! When the next segment `R_{i+1}` is finalized, OPERB-A tries to replace
+//! the anomalous segment by interpolating a *patch point* `G` at the
+//! intersection of the supporting lines of `R_{i−1}` and `R_{i+1}`
+//! (paper §5.1).  Patching never changes the supporting line of any output
+//! segment, so the ζ error bound of OPERB carries over unchanged.
+
+use crate::config::OperbAConfig;
+use crate::engine::SegmentEngine;
+use traj_geo::angle::{included_angle, patch_angle_admissible};
+use traj_geo::line::{Line, LineIntersection};
+use traj_geo::{DirectedSegment, Point};
+use traj_model::{
+    traits::validate_epsilon, BatchSimplifier, SimplifiedSegment, SimplifiedTrajectory,
+    StreamingSimplifier, Trajectory, TrajectoryError,
+};
+
+/// Patching statistics collected by OPERB-A (used by Figure 19 of the
+/// paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PatchStats {
+    /// `Na`: number of anomalous line segments produced by the underlying
+    /// OPERB engine before interpolation.
+    pub anomalous_segments: usize,
+    /// `Np`: number of patch points successfully interpolated.
+    pub patch_points_added: usize,
+}
+
+impl PatchStats {
+    /// The patching ratio `Np / Na` (0 when no anomalous segment appeared).
+    pub fn patching_ratio(&self) -> f64 {
+        if self.anomalous_segments == 0 {
+            0.0
+        } else {
+            self.patch_points_added as f64 / self.anomalous_segments as f64
+        }
+    }
+
+    /// Accumulates another statistics record (used when aggregating over a
+    /// whole dataset).
+    pub fn merge(&mut self, other: &PatchStats) {
+        self.anomalous_segments += other.anomalous_segments;
+        self.patch_points_added += other.patch_points_added;
+    }
+}
+
+/// Attempts to interpolate a patch point `G` that replaces the anomalous
+/// segment `anom` between `prev` and `next` (paper §5.1).
+///
+/// Returns the rewritten `(prev', next')` pair on success.
+fn try_patch(
+    prev: &SimplifiedSegment,
+    anom: &SimplifiedSegment,
+    next: &SimplifiedSegment,
+    gamma_m: f64,
+    zeta: f64,
+) -> Option<(SimplifiedSegment, SimplifiedSegment)> {
+    if prev.segment.is_degenerate() || next.segment.is_degenerate() {
+        return None;
+    }
+    // Condition (3): the included angle from R_{i−1} to R_{i+1} must avoid
+    // near-U-turns by at least γm.
+    let delta = included_angle(prev.segment.theta(), next.segment.theta());
+    if !patch_angle_admissible(delta, gamma_m) {
+        return None;
+    }
+    let l1 = Line::through_segment(&prev.segment);
+    let l2 = Line::through_segment(&next.segment);
+    let (g, along_first, along_second) = match l1.intersect(&l2) {
+        LineIntersection::Point {
+            point,
+            along_first,
+            along_second,
+        } => (point, along_first, along_second),
+        _ => return None,
+    };
+    // Condition (2): |P_s G| ≥ |P_s P_{s+i−1}| − ζ/2, measured along the
+    // direction of R_{i−1} so that G cannot fall behind the start point.
+    if along_first < prev.segment.length() - zeta / 2.0 {
+        return None;
+    }
+    // Condition (1): the vector G → P_{s+i} must point in the direction of
+    /* R_{i+1}; equivalently the intersection lies at or behind the start of
+    `next` along its own direction. */
+    if along_second > 0.0 {
+        return None;
+    }
+
+    // Give the patch point a sensible timestamp: the moment the object was
+    // at the anomalous segment's start (the original corner observation).
+    let g = Point {
+        x: g.x,
+        y: g.y,
+        t: anom.segment.start.t,
+    };
+
+    let mut prev2 = *prev;
+    prev2.segment = DirectedSegment::new(prev.segment.start, g);
+    prev2.interpolated_end = true;
+
+    let mut next2 = *next;
+    next2.segment = DirectedSegment::new(g, next.segment.end);
+    next2.interpolated_start = true;
+    // The anomalous segment's responsibility is split between its
+    // neighbours: its start stays with `prev`, its end moves to `next`.
+    next2.first_index = next2.first_index.min(anom.first_index + 1).min(anom.last_index);
+
+    Some((prev2, next2))
+}
+
+/// Streaming (push-based) OPERB-A simplifier.
+#[derive(Debug, Clone)]
+pub struct OperbAStream {
+    engine: SegmentEngine,
+    config: OperbAConfig,
+    last_point: Option<Point>,
+    /// Segments held back by the lazy output policy (at most two: the
+    /// previous segment and a following anomalous one).
+    held: Vec<SimplifiedSegment>,
+    /// Scratch buffer for segments finalized by the engine during one push.
+    scratch: Vec<SimplifiedSegment>,
+    stats: PatchStats,
+    name: &'static str,
+}
+
+impl OperbAStream {
+    /// Creates a streaming OPERB-A instance with the given error bound and
+    /// the fully optimized configuration (`γm = π/3`).
+    pub fn new(epsilon: f64) -> Self {
+        Self::with_config(epsilon, OperbAConfig::optimized())
+    }
+
+    /// Creates a streaming OPERB-A instance with an explicit configuration.
+    pub fn with_config(epsilon: f64, config: OperbAConfig) -> Self {
+        let name = if config.operb.enabled_optimizations() == 0 {
+            "Raw-OPERB-A"
+        } else {
+            "OPERB-A"
+        };
+        Self {
+            engine: SegmentEngine::new(epsilon, config.operb),
+            config,
+            last_point: None,
+            held: Vec::with_capacity(2),
+            scratch: Vec::with_capacity(2),
+            stats: PatchStats::default(),
+            name,
+        }
+    }
+
+    /// Patch statistics accumulated since construction or the last
+    /// [`StreamingSimplifier::finish`].
+    pub fn stats(&self) -> PatchStats {
+        self.stats
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &OperbAConfig {
+        &self.config
+    }
+
+    /// Lazy output policy: decide what to do with a segment finalized by the
+    /// underlying engine.
+    fn handle_finalized(&mut self, seg: SimplifiedSegment, out: &mut Vec<SimplifiedSegment>) {
+        if seg.is_anomalous() {
+            self.stats.anomalous_segments += 1;
+        }
+        match self.held.len() {
+            0 => self.held.push(seg),
+            1 => {
+                if seg.is_anomalous() {
+                    // Hold [prev, anomalous] until the next segment decides
+                    // whether a patch point can be interpolated.
+                    self.held.push(seg);
+                } else {
+                    let prev = self.held.remove(0);
+                    out.push(prev);
+                    self.held.push(seg);
+                }
+            }
+            _ => {
+                let prev = self.held[0];
+                let anom = self.held[1];
+                match try_patch(&prev, &anom, &seg, self.config.gamma_m, self.engine.zeta()) {
+                    Some((prev2, next2)) => {
+                        self.stats.patch_points_added += 1;
+                        out.push(prev2);
+                        self.held.clear();
+                        self.held.push(next2);
+                    }
+                    None => {
+                        out.push(prev);
+                        out.push(anom);
+                        self.held.clear();
+                        self.held.push(seg);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl StreamingSimplifier for OperbAStream {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.engine.zeta()
+    }
+
+    fn push(&mut self, point: Point, out: &mut Vec<SimplifiedSegment>) {
+        self.last_point = Some(point);
+        self.scratch.clear();
+        self.engine.push(point, &mut self.scratch);
+        let finalized = std::mem::take(&mut self.scratch);
+        for seg in &finalized {
+            self.handle_finalized(*seg, out);
+        }
+        self.scratch = finalized;
+    }
+
+    fn finish(&mut self, out: &mut Vec<SimplifiedSegment>) {
+        self.scratch.clear();
+        self.engine
+            .finish_with_last(self.last_point.take(), &mut self.scratch);
+        let finalized = std::mem::take(&mut self.scratch);
+        for seg in &finalized {
+            self.handle_finalized(*seg, out);
+        }
+        self.scratch = finalized;
+        // Flush whatever the lazy policy still holds.  The patch statistics
+        // are deliberately *not* reset so that a reused stream accumulates
+        // dataset-level `Na` / `Np` counts across trajectories.
+        out.append(&mut self.held);
+    }
+
+    fn points_seen(&self) -> usize {
+        self.engine.points_seen()
+    }
+}
+
+/// Batch front end for OPERB-A.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OperbA {
+    config: OperbAConfig,
+}
+
+impl OperbA {
+    /// The paper's `OPERB-A` (optimized OPERB + patching, `γm = π/3`).
+    pub fn new() -> Self {
+        Self {
+            config: OperbAConfig::optimized(),
+        }
+    }
+
+    /// The paper's `Raw-OPERB-A` (raw OPERB + patching).
+    pub fn raw() -> Self {
+        Self {
+            config: OperbAConfig::raw(),
+        }
+    }
+
+    /// OPERB-A with an explicit configuration.
+    pub fn with_config(config: OperbAConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &OperbAConfig {
+        &self.config
+    }
+
+    /// Simplifies and also returns the patching statistics (`Na`, `Np`)
+    /// needed for the Figure 19 experiments.
+    pub fn simplify_with_stats(
+        &self,
+        trajectory: &Trajectory,
+        epsilon: f64,
+    ) -> Result<(SimplifiedTrajectory, PatchStats), TrajectoryError> {
+        validate_epsilon(epsilon)?;
+        let mut stream = OperbAStream::with_config(epsilon, self.config);
+        let mut segments = Vec::new();
+        for &p in trajectory.points() {
+            stream.push(p, &mut segments);
+        }
+        stream.finish(&mut segments);
+        let stats = stream.stats();
+        Ok((
+            SimplifiedTrajectory::new(segments, trajectory.len()),
+            stats,
+        ))
+    }
+}
+
+impl BatchSimplifier for OperbA {
+    fn name(&self) -> &'static str {
+        if self.config.operb.enabled_optimizations() == 0 {
+            "Raw-OPERB-A"
+        } else {
+            "OPERB-A"
+        }
+    }
+
+    fn simplify(
+        &self,
+        trajectory: &Trajectory,
+        epsilon: f64,
+    ) -> Result<SimplifiedTrajectory, TrajectoryError> {
+        self.simplify_with_stats(trajectory, epsilon).map(|(s, _)| s)
+    }
+}
+
+/// Convenience function: simplify with the paper's OPERB-A configuration.
+pub fn simplify_operb_a(
+    trajectory: &Trajectory,
+    epsilon: f64,
+) -> Result<SimplifiedTrajectory, TrajectoryError> {
+    OperbA::new().simplify(trajectory, epsilon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trajectory that drives along an L-shaped road with a sharp corner —
+    /// the scenario of Figure 9 where OPERB produces an anomalous segment
+    /// that OPERB-A can patch away.
+    fn l_shaped() -> Trajectory {
+        let mut pts = Vec::new();
+        let mut t = 0.0;
+        for i in 0..40 {
+            pts.push(Point::new(i as f64 * 10.0, (i % 2) as f64 * 0.5, t));
+            t += 1.0;
+        }
+        for i in 1..40 {
+            pts.push(Point::new(390.0 + (i % 2) as f64 * 0.5, i as f64 * 10.0, t));
+            t += 1.0;
+        }
+        Trajectory::new_unchecked(pts)
+    }
+
+    fn max_error(traj: &Trajectory, simplified: &SimplifiedTrajectory) -> f64 {
+        traj.points()
+            .iter()
+            .map(|p| {
+                simplified
+                    .segments()
+                    .iter()
+                    .map(|s| s.distance_to_line(p))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn error_bound_holds_after_patching() {
+        let traj = l_shaped();
+        for zeta in [5.0, 10.0, 20.0] {
+            let (out, _stats) = OperbA::new().simplify_with_stats(&traj, zeta).unwrap();
+            let err = max_error(&traj, &out);
+            assert!(err <= zeta + 1e-9, "ζ = {zeta}, max error {err}");
+            assert_eq!(out.validate(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn operb_a_never_produces_more_segments_than_operb() {
+        let traj = l_shaped();
+        for zeta in [5.0, 10.0, 20.0, 40.0] {
+            let operb = crate::operb::simplify_operb(&traj, zeta).unwrap();
+            let operb_a = simplify_operb_a(&traj, zeta).unwrap();
+            assert!(
+                operb_a.num_segments() <= operb.num_segments(),
+                "ζ = {zeta}: OPERB-A {} vs OPERB {}",
+                operb_a.num_segments(),
+                operb.num_segments()
+            );
+        }
+    }
+
+    #[test]
+    fn patch_point_is_interpolated_at_a_corner() {
+        // A corner sampled so coarsely that the corner point itself is
+        // missing entirely: the two legs meet at (200, 0) but the closest
+        // samples are (190, 0) and (200, 10).
+        let mut pts = Vec::new();
+        let mut t = 0.0;
+        for i in 0..20 {
+            pts.push(Point::new(i as f64 * 10.0, 0.0, t));
+            t += 1.0;
+        }
+        for i in 1..20 {
+            pts.push(Point::new(200.0, i as f64 * 10.0, t));
+            t += 1.0;
+        }
+        let traj = Trajectory::new_unchecked(pts);
+        let (out, stats) = OperbA::new().simplify_with_stats(&traj, 8.0).unwrap();
+        // The representation stays valid and bounded.
+        assert_eq!(out.validate(), Ok(()));
+        assert!(max_error(&traj, &out) <= 8.0 + 1e-9);
+        // If an anomalous segment appeared at the corner it should have been
+        // patched (the 90° turn is well within the γm = π/3 restriction).
+        if stats.anomalous_segments > 0 {
+            assert!(
+                stats.patch_points_added > 0,
+                "expected at least one patch point, stats {stats:?}"
+            );
+            let has_interpolated = out
+                .segments()
+                .iter()
+                .any(|s| s.interpolated_start || s.interpolated_end);
+            assert!(has_interpolated);
+        }
+    }
+
+    #[test]
+    fn patch_stats_ratio() {
+        let mut s = PatchStats::default();
+        assert_eq!(s.patching_ratio(), 0.0);
+        s.anomalous_segments = 4;
+        s.patch_points_added = 3;
+        assert!((s.patching_ratio() - 0.75).abs() < 1e-12);
+        let mut t = PatchStats {
+            anomalous_segments: 1,
+            patch_points_added: 1,
+        };
+        t.merge(&s);
+        assert_eq!(t.anomalous_segments, 5);
+        assert_eq!(t.patch_points_added, 4);
+    }
+
+    #[test]
+    fn gamma_m_pi_disables_most_patching() {
+        let traj = l_shaped();
+        let strict = OperbA::with_config(OperbAConfig::optimized().with_gamma_m(std::f64::consts::PI));
+        let (_, stats_strict) = strict.simplify_with_stats(&traj, 10.0).unwrap();
+        let relaxed = OperbA::new();
+        let (_, stats_relaxed) = relaxed.simplify_with_stats(&traj, 10.0).unwrap();
+        assert!(stats_strict.patch_points_added <= stats_relaxed.patch_points_added);
+    }
+
+    #[test]
+    fn try_patch_rejects_u_turns() {
+        // prev heads east, next heads back west: a U-turn, never patched.
+        let prev = SimplifiedSegment::new(
+            DirectedSegment::new(Point::xy(0.0, 0.0), Point::xy(100.0, 0.0)),
+            0,
+            10,
+        );
+        let anom = SimplifiedSegment::new(
+            DirectedSegment::new(Point::xy(100.0, 0.0), Point::xy(100.0, 5.0)),
+            10,
+            11,
+        );
+        let next = SimplifiedSegment::new(
+            DirectedSegment::new(Point::xy(100.0, 5.0), Point::xy(0.0, 5.0)),
+            11,
+            20,
+        );
+        assert!(try_patch(&prev, &anom, &next, std::f64::consts::PI / 3.0, 5.0).is_none());
+    }
+
+    #[test]
+    fn try_patch_right_angle_succeeds() {
+        let prev = SimplifiedSegment::new(
+            DirectedSegment::new(Point::xy(0.0, 0.0), Point::xy(100.0, 0.0)),
+            0,
+            10,
+        );
+        let anom = SimplifiedSegment::new(
+            DirectedSegment::new(Point::xy(100.0, 0.0), Point::xy(110.0, 10.0)),
+            10,
+            11,
+        );
+        let next = SimplifiedSegment::new(
+            DirectedSegment::new(Point::xy(110.0, 10.0), Point::xy(110.0, 100.0)),
+            11,
+            20,
+        );
+        let (prev2, next2) =
+            try_patch(&prev, &anom, &next, std::f64::consts::PI / 3.0, 5.0).expect("patchable");
+        // G is the corner (110, 0).
+        assert!(prev2.segment.end.approx_eq(&Point::xy(110.0, 0.0), 1e-9));
+        assert!(next2.segment.start.approx_eq(&Point::xy(110.0, 0.0), 1e-9));
+        assert!(prev2.interpolated_end);
+        assert!(next2.interpolated_start);
+        // Responsibility: no gap between prev2 and next2.
+        assert!(next2.first_index <= prev2.last_index + 1);
+        // Supporting lines unchanged: original endpoints are still on them.
+        assert!(prev2.distance_to_line(&Point::xy(100.0, 0.0)) < 1e-9);
+        assert!(next2.distance_to_line(&Point::xy(110.0, 10.0)) < 1e-9);
+    }
+
+    #[test]
+    fn try_patch_rejects_backwards_intersection() {
+        // The intersection would fall far behind the previous segment's end
+        // (condition 2 violated).
+        let prev = SimplifiedSegment::new(
+            DirectedSegment::new(Point::xy(0.0, 0.0), Point::xy(100.0, 0.0)),
+            0,
+            10,
+        );
+        let anom = SimplifiedSegment::new(
+            DirectedSegment::new(Point::xy(100.0, 0.0), Point::xy(101.0, 5.0)),
+            10,
+            11,
+        );
+        // `next` heads slightly north of east; extending its line backwards
+        // crosses the x axis near x = 50, i.e. more than ζ/2 behind the end
+        // of `prev`.
+        let next = SimplifiedSegment::new(
+            DirectedSegment::new(Point::xy(101.0, 5.0), Point::xy(611.0, 55.0)),
+            11,
+            20,
+        );
+        assert!(try_patch(&prev, &anom, &next, std::f64::consts::PI / 3.0, 5.0).is_none());
+    }
+
+    #[test]
+    fn streaming_and_batch_agree() {
+        let traj = l_shaped();
+        let batch = simplify_operb_a(&traj, 10.0).unwrap();
+        let mut stream = OperbAStream::new(10.0);
+        let mut segs = Vec::new();
+        for &p in traj.points() {
+            stream.push(p, &mut segs);
+        }
+        stream.finish(&mut segs);
+        let streamed = SimplifiedTrajectory::new(segs, traj.len());
+        assert_eq!(batch, streamed);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(OperbA::new().name(), "OPERB-A");
+        assert_eq!(OperbA::raw().name(), "Raw-OPERB-A");
+    }
+}

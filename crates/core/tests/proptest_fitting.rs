@@ -1,0 +1,126 @@
+//! Property-based tests of the fitting function and the OPERB engine on
+//! randomly generated inputs.
+
+use proptest::prelude::*;
+use operb::config::OperbConfig;
+use operb::fitting::{zone_index, FittedLine, PointClass};
+use operb::{Operb, OperbA};
+use traj_geo::Point;
+use traj_model::{BatchSimplifier, Trajectory};
+
+proptest! {
+    #[test]
+    fn zone_index_matches_its_definition(r in 0.0f64..1.0e5, zeta in 0.5f64..200.0) {
+        // Zone Z_j covers (j·ζ/2 − ζ/4, j·ζ/2 + ζ/4]; check membership.
+        let j = zone_index(r, zeta);
+        let center = j as f64 * zeta / 2.0;
+        prop_assert!(r <= center + zeta / 4.0 + 1e-9);
+        if j > 0 {
+            prop_assert!(r > center - zeta / 4.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn incorporating_an_active_point_never_increases_its_distance(
+        first_angle in 0.0f64..std::f64::consts::TAU,
+        offsets in prop::collection::vec((-0.45f64..0.45, 1.1f64..3.0), 1..30),
+        zeta in 1.0f64..50.0,
+    ) {
+        // Build a chain of active points, each in a further zone, each within
+        // the acceptable deviation of the current line; the fitting function
+        // must always rotate towards (or keep the distance of) the point.
+        let cfg = OperbConfig::raw();
+        let anchor = Point::xy(0.0, 0.0);
+        let mut line = FittedLine::new(anchor, zeta);
+        let mut radius = zeta; // start in zone ≥ 1
+        let first = Point::xy(radius * first_angle.cos(), radius * first_angle.sin());
+        line.incorporate_active(&first, &cfg);
+        for (angle_frac, zone_step) in offsets {
+            radius += zone_step * zeta / 2.0;
+            // Place the point at a bounded angular offset from the current
+            // fitted direction so that d ≤ ζ/2 is plausible.
+            let max_offset = (zeta / 2.0 / radius).min(1.0).asin();
+            let theta = line.theta() + angle_frac * 2.0 * max_offset;
+            let p = Point::xy(radius * theta.cos(), radius * theta.sin());
+            let d_before = line.distance_to_line(&p);
+            if !line.distance_acceptable(line.sign_for(&p), d_before, &cfg)
+                || line.classify(&p, &cfg) != PointClass::Active
+            {
+                continue;
+            }
+            line.incorporate_active(&p, &cfg);
+            let d_after = line.distance_to_line(&p);
+            prop_assert!(
+                d_after <= d_before + 1e-9,
+                "distance grew from {d_before} to {d_after}"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_output_is_bounded_on_random_polylines(
+        seed in any::<u64>(),
+        n in 10usize..300,
+        zeta in 2.0f64..80.0,
+    ) {
+        // Deterministic pseudo-random walk from the seed.
+        let mut state = seed | 1;
+        let mut rnd = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut x = 0.0;
+        let mut y = 0.0;
+        let mut pts = Vec::with_capacity(n);
+        for i in 0..n {
+            pts.push((x, y, i as f64));
+            x += (rnd() - 0.5) * 60.0;
+            y += (rnd() - 0.5) * 60.0;
+        }
+        let traj = Trajectory::from_xyt(&pts).expect("valid trajectory");
+        for out in [
+            Operb::raw().simplify(&traj, zeta).expect("raw operb"),
+            Operb::new().simplify(&traj, zeta).expect("operb"),
+            OperbA::new().simplify(&traj, zeta).expect("operb-a"),
+        ] {
+            prop_assert_eq!(out.validate(), Ok(()));
+            for p in traj.points() {
+                let min_d = out
+                    .segments()
+                    .iter()
+                    .map(|s| s.distance_to_line(p))
+                    .fold(f64::INFINITY, f64::min);
+                prop_assert!(min_d <= zeta + 1e-6, "point {p} at distance {min_d} > ζ = {zeta}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_sign_agrees_with_angle_interval_definition(
+        l_theta in 0.0f64..std::f64::consts::TAU,
+        r_theta in 0.0f64..std::f64::consts::TAU,
+        radius in 1.0f64..1000.0,
+    ) {
+        // The engine computes f from dot/cross products; the reference
+        // definition uses the angle intervals of the paper.  They must agree
+        // away from the interval boundaries.
+        let delta = traj_geo::angle::included_angle(l_theta, r_theta);
+        let m = delta.rem_euclid(std::f64::consts::PI);
+        prop_assume!((m - std::f64::consts::FRAC_PI_2).abs() > 1e-6 && m > 1e-6
+            && (std::f64::consts::PI - m) > 1e-6);
+
+        let mut line = FittedLine::new(Point::xy(0.0, 0.0), 10.0);
+        // Fix the fitted direction exactly at l_theta by incorporating a
+        // first active point straight along it.
+        line.incorporate_active(
+            &Point::xy(20.0 * l_theta.cos(), 20.0 * l_theta.sin()),
+            &OperbConfig::raw(),
+        );
+        let p = Point::xy(radius * r_theta.cos(), radius * r_theta.sin());
+        let fast = line.sign_for(&p);
+        let reference = traj_geo::angle::fitting_sign(r_theta, l_theta);
+        prop_assert_eq!(fast, reference, "Δ = {}", delta);
+    }
+}

@@ -1,0 +1,200 @@
+//! Trajectory file IO: a simple CSV format and the GeoLife `.plt` format.
+//!
+//! These readers let the real corpora of the paper (or any GPS log) be used
+//! in place of the synthetic workloads.  Both parsers are line oriented,
+//! skip malformed records instead of failing the whole file, and project
+//! geodetic fixes to the local planar frame expected by the algorithms.
+
+use std::io::{self, BufRead, Write};
+
+use traj_geo::{GeoPoint, LocalProjection, Point};
+use traj_model::{Trajectory, TrajectoryError};
+
+/// Errors raised by the readers.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying IO failure.
+    Io(io::Error),
+    /// The file contained fewer than two usable data points.
+    NotEnoughPoints,
+    /// The resulting point sequence was not a valid trajectory.
+    Trajectory(TrajectoryError),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::NotEnoughPoints => write!(f, "fewer than two usable data points"),
+            IoError::Trajectory(e) => write!(f, "invalid trajectory: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Reads a planar CSV trajectory: one `x,y,t` record per line (header lines
+/// and malformed lines are skipped).  Records are sorted by time and
+/// duplicate timestamps are dropped, mirroring the clean-up the paper's
+/// pipeline needs for out-of-order / duplicate points.
+pub fn read_csv<R: BufRead>(reader: R) -> Result<Trajectory, IoError> {
+    let mut points: Vec<Point> = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        let mut fields = line.split(',').map(str::trim);
+        let (Some(x), Some(y), Some(t)) = (fields.next(), fields.next(), fields.next()) else {
+            continue;
+        };
+        let (Ok(x), Ok(y), Ok(t)) = (x.parse::<f64>(), y.parse::<f64>(), t.parse::<f64>()) else {
+            continue;
+        };
+        let p = Point::new(x, y, t);
+        if p.is_finite() {
+            points.push(p);
+        }
+    }
+    finalize(points)
+}
+
+/// Writes a planar CSV trajectory (the inverse of [`read_csv`]).
+pub fn write_csv<W: Write>(writer: &mut W, trajectory: &Trajectory) -> io::Result<()> {
+    for p in trajectory.points() {
+        writeln!(writer, "{},{},{}", p.x, p.y, p.t)?;
+    }
+    Ok(())
+}
+
+/// Reads a GeoLife `.plt` file.
+///
+/// The format is: six header lines, then records
+/// `lat,lon,0,altitude,days,date,time`.  The timestamp is taken from the
+/// fractional-day field (column 5) converted to seconds; fixes are projected
+/// to a local planar frame centred on the first fix.
+pub fn read_plt<R: BufRead>(reader: R) -> Result<Trajectory, IoError> {
+    let mut fixes: Vec<GeoPoint> = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        if i < 6 {
+            continue; // header
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() < 5 {
+            continue;
+        }
+        let (Ok(lat), Ok(lon), Ok(days)) = (
+            fields[0].parse::<f64>(),
+            fields[1].parse::<f64>(),
+            fields[4].parse::<f64>(),
+        ) else {
+            continue;
+        };
+        let t = days * 86_400.0;
+        if lat.is_finite() && lon.is_finite() && t.is_finite() {
+            fixes.push(GeoPoint::new(lon, lat, t));
+        }
+    }
+    if fixes.len() < 2 {
+        return Err(IoError::NotEnoughPoints);
+    }
+    let projection = LocalProjection::from_first_fix(&fixes);
+    finalize(projection.project_all(&fixes))
+}
+
+/// Sorts by time, removes duplicate timestamps and validates.
+fn finalize(mut points: Vec<Point>) -> Result<Trajectory, IoError> {
+    points.sort_by(|a, b| a.t.partial_cmp(&b.t).expect("finite timestamps"));
+    points.dedup_by(|a, b| a.t == b.t);
+    if points.len() < 2 {
+        return Err(IoError::NotEnoughPoints);
+    }
+    Trajectory::new(points).map_err(IoError::Trajectory)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn csv_roundtrip() {
+        let traj = Trajectory::from_xyt(&[(0.0, 0.0, 0.0), (10.0, 5.0, 1.0), (20.0, 3.0, 2.0)])
+            .unwrap();
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &traj).unwrap();
+        let parsed = read_csv(BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(parsed, traj);
+    }
+
+    #[test]
+    fn csv_skips_headers_and_garbage() {
+        let data = "x,y,t\n0,0,0\nnot,a,number\n10,5,1\n\n20,3,2\n";
+        let parsed = read_csv(BufReader::new(data.as_bytes())).unwrap();
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed.point(1).x, 10.0);
+    }
+
+    #[test]
+    fn csv_sorts_out_of_order_and_dedups() {
+        // Out-of-order and duplicate points are exactly the transmission
+        // issues the paper's introduction mentions.
+        let data = "10,5,2\n0,0,0\n10,5,2\n5,1,1\n";
+        let parsed = read_csv(BufReader::new(data.as_bytes())).unwrap();
+        assert_eq!(parsed.len(), 3);
+        assert!(parsed.points().windows(2).all(|w| w[0].t < w[1].t));
+    }
+
+    #[test]
+    fn csv_too_few_points_is_an_error() {
+        assert!(matches!(
+            read_csv(BufReader::new("1,1,1\n".as_bytes())),
+            Err(IoError::NotEnoughPoints)
+        ));
+        assert!(matches!(
+            read_csv(BufReader::new("".as_bytes())),
+            Err(IoError::NotEnoughPoints)
+        ));
+    }
+
+    #[test]
+    fn plt_parsing() {
+        let data = "Geolife trajectory\nWGS 84\nAltitude is in Feet\nReserved 3\n\
+                    0,2,255,My Track,0,0,2,8421376\n0\n\
+                    39.984702,116.318417,0,492,39744.1201851852,2008-10-23,02:53:04\n\
+                    39.984683,116.31845,0,492,39744.1202546296,2008-10-23,02:53:10\n\
+                    39.984686,116.318417,0,492,39744.1203240741,2008-10-23,02:53:16\n";
+        let traj = read_plt(BufReader::new(data.as_bytes())).unwrap();
+        assert_eq!(traj.len(), 3);
+        // First fix is the projection origin.
+        assert!(traj.first().x.abs() < 1e-9);
+        assert!(traj.first().y.abs() < 1e-9);
+        // ~6 seconds between fixes.
+        let dt = traj.point(1).t - traj.point(0).t;
+        assert!((dt - 6.0).abs() < 0.5, "dt = {dt}");
+        // The second fix is a couple of meters away.
+        let d = traj.point(0).distance(&traj.point(1));
+        assert!(d > 0.5 && d < 20.0, "d = {d}");
+    }
+
+    #[test]
+    fn plt_with_only_headers_is_an_error() {
+        let data = "a\nb\nc\nd\ne\nf\n";
+        assert!(matches!(
+            read_plt(BufReader::new(data.as_bytes())),
+            Err(IoError::NotEnoughPoints)
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = IoError::NotEnoughPoints;
+        assert!(e.to_string().contains("fewer than two"));
+        let e = IoError::Trajectory(TrajectoryError::Empty);
+        assert!(e.to_string().contains("invalid trajectory"));
+    }
+}

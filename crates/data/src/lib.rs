@@ -1,0 +1,34 @@
+//! # traj-data
+//!
+//! Trajectory workloads for the `trajsimp` workspace.
+//!
+//! The OPERB paper evaluates on four proprietary GPS corpora (Taxi, Truck,
+//! SerCar, GeoLife — Table 1).  Those datasets are not redistributable, so
+//! this crate provides two things:
+//!
+//! 1. **Synthetic generators** that emulate the statistical properties that
+//!    matter to line-simplification algorithms — sampling interval,
+//!    urban-grid turning behaviour, speed profile and GPS noise — one
+//!    [`DatasetProfile`] per paper dataset (see `DESIGN.md`, "Substitutions"
+//!    for the rationale).  Generation is deterministic given a seed.
+//! 2. **File IO** ([`io`]) so the real corpora (or any CSV / GeoLife `.plt`
+//!    data) can be dropped in instead of the synthetic workloads.
+//!
+//! The generators build trajectories in a local planar frame (meters), which
+//! is the coordinate system every algorithm in the workspace consumes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod io;
+pub mod motion;
+pub mod profiles;
+pub mod road_network;
+pub mod stats;
+
+pub use generator::DatasetGenerator;
+pub use motion::{MotionConfig, VehicleSimulator};
+pub use profiles::{DatasetKind, DatasetProfile};
+pub use road_network::{GridNetwork, RouteKind};
+pub use stats::DatasetStats;

@@ -1,0 +1,280 @@
+//! Vehicle motion simulation: turns a route polyline into a timestamped,
+//! noisy GPS trajectory.
+//!
+//! The simulator walks along the route with a fluctuating speed, pauses at a
+//! configurable fraction of waypoints (traffic lights / pick-ups), samples
+//! the position at the profile's sampling interval and perturbs each fix
+//! with Gaussian GPS noise.  These are exactly the properties that drive a
+//! line-simplification algorithm's behaviour: sampling density along the
+//! road, deviation amplitude (noise) and turn sharpness.
+
+use rand::Rng;
+use traj_geo::Point;
+use traj_model::Trajectory;
+
+/// Motion and sampling parameters for the simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MotionConfig {
+    /// Mean cruising speed in m/s.
+    pub mean_speed_mps: f64,
+    /// Standard deviation of the per-sample speed fluctuation in m/s.
+    pub speed_stddev_mps: f64,
+    /// Minimum sampling interval in seconds.
+    pub min_sampling_interval: f64,
+    /// Maximum sampling interval in seconds.
+    pub max_sampling_interval: f64,
+    /// Probability of a stop (zero speed for a few samples) at a waypoint.
+    pub stop_probability: f64,
+    /// Standard deviation of the GPS noise in meters.
+    pub gps_noise_m: f64,
+}
+
+impl Default for MotionConfig {
+    fn default() -> Self {
+        Self {
+            mean_speed_mps: 10.0,
+            speed_stddev_mps: 2.0,
+            min_sampling_interval: 5.0,
+            max_sampling_interval: 5.0,
+            stop_probability: 0.1,
+            gps_noise_m: 3.0,
+        }
+    }
+}
+
+/// Simulates a vehicle driving along a route.
+#[derive(Debug, Clone, Copy)]
+pub struct VehicleSimulator {
+    config: MotionConfig,
+}
+
+impl VehicleSimulator {
+    /// Creates a simulator with the given configuration.
+    pub fn new(config: MotionConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MotionConfig {
+        &self.config
+    }
+
+    /// Samples a standard-normal variate (Box–Muller; avoids an extra
+    /// dependency on a distributions crate).
+    fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Drives along `route` emitting `num_points` GPS fixes starting at time
+    /// `t0` (seconds).  The route is traversed repeatedly (ping-pong) if it
+    /// is too short for the requested number of points.
+    pub fn drive<R: Rng>(
+        &self,
+        rng: &mut R,
+        route: &[Point],
+        num_points: usize,
+        t0: f64,
+    ) -> Trajectory {
+        assert!(route.len() >= 2, "a route needs at least two waypoints");
+        assert!(num_points >= 2, "a trajectory needs at least two points");
+        let cfg = &self.config;
+
+        let mut points = Vec::with_capacity(num_points);
+        let mut t = t0;
+        // Position along the route: segment index + distance into it.
+        let mut seg = 0usize;
+        let mut offset = 0.0f64;
+        let mut forward = true;
+        let mut stop_timer = 0.0f64;
+
+        for _ in 0..num_points {
+            // Record the current (noisy) position.
+            let pos = position_on(route, seg, offset, forward);
+            let noisy = Point::new(
+                pos.x + Self::gaussian(rng) * cfg.gps_noise_m,
+                pos.y + Self::gaussian(rng) * cfg.gps_noise_m,
+                t,
+            );
+            points.push(noisy);
+
+            // Advance time by one sampling interval.
+            let dt = if cfg.max_sampling_interval > cfg.min_sampling_interval {
+                rng.gen_range(cfg.min_sampling_interval..=cfg.max_sampling_interval)
+            } else {
+                cfg.min_sampling_interval
+            };
+            t += dt;
+
+            // Advance position.
+            let speed = if stop_timer > 0.0 {
+                stop_timer -= dt;
+                0.0
+            } else {
+                (cfg.mean_speed_mps + Self::gaussian(rng) * cfg.speed_stddev_mps).max(0.0)
+            };
+            let mut travel = speed * dt;
+            while travel > 0.0 {
+                let (a, b) = segment_endpoints(route, seg, forward);
+                let seg_len = a.distance(&b);
+                let remaining = seg_len - offset;
+                if travel < remaining {
+                    offset += travel;
+                    travel = 0.0;
+                } else {
+                    travel -= remaining;
+                    offset = 0.0;
+                    // Arrived at a waypoint: maybe stop.
+                    if rng.gen_bool(cfg.stop_probability) {
+                        stop_timer = rng.gen_range(1.0..30.0);
+                        travel = 0.0;
+                    }
+                    // Move to the next segment, ping-ponging at the ends.
+                    if forward {
+                        if seg + 1 < route.len() - 1 {
+                            seg += 1;
+                        } else {
+                            forward = false;
+                        }
+                    } else if seg > 0 {
+                        seg -= 1;
+                    } else {
+                        forward = true;
+                    }
+                }
+            }
+        }
+        Trajectory::new_unchecked(points)
+    }
+}
+
+/// The endpoints of route segment `seg` in traversal order.
+fn segment_endpoints(route: &[Point], seg: usize, forward: bool) -> (Point, Point) {
+    if forward {
+        (route[seg], route[seg + 1])
+    } else {
+        (route[seg + 1], route[seg])
+    }
+}
+
+/// The position `offset` meters into route segment `seg`, measured from the
+/// segment's start in the current traversal direction.
+fn position_on(route: &[Point], seg: usize, offset: f64, forward: bool) -> Point {
+    let (a, b) = segment_endpoints(route, seg, forward);
+    let len = a.distance(&b);
+    if len == 0.0 {
+        return a;
+    }
+    a.lerp(&b, (offset / len).clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn straight_route() -> Vec<Point> {
+        (0..20).map(|i| Point::xy(i as f64 * 500.0, 0.0)).collect()
+    }
+
+    #[test]
+    fn produces_requested_number_of_points() {
+        let sim = VehicleSimulator::new(MotionConfig::default());
+        let mut rng = SmallRng::seed_from_u64(1);
+        let traj = sim.drive(&mut rng, &straight_route(), 500, 0.0);
+        assert_eq!(traj.len(), 500);
+    }
+
+    #[test]
+    fn timestamps_strictly_increase() {
+        let sim = VehicleSimulator::new(MotionConfig {
+            min_sampling_interval: 1.0,
+            max_sampling_interval: 5.0,
+            ..MotionConfig::default()
+        });
+        let mut rng = SmallRng::seed_from_u64(2);
+        let traj = sim.drive(&mut rng, &straight_route(), 300, 100.0);
+        assert_eq!(traj.first().t, 100.0);
+        for w in traj.points().windows(2) {
+            assert!(w[1].t > w[0].t);
+        }
+    }
+
+    #[test]
+    fn fixed_sampling_interval_is_respected() {
+        let sim = VehicleSimulator::new(MotionConfig {
+            min_sampling_interval: 60.0,
+            max_sampling_interval: 60.0,
+            ..MotionConfig::default()
+        });
+        let mut rng = SmallRng::seed_from_u64(3);
+        let traj = sim.drive(&mut rng, &straight_route(), 50, 0.0);
+        for w in traj.points().windows(2) {
+            assert!((w[1].t - w[0].t - 60.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn noise_free_straight_drive_stays_on_the_road() {
+        let sim = VehicleSimulator::new(MotionConfig {
+            gps_noise_m: 0.0,
+            stop_probability: 0.0,
+            ..MotionConfig::default()
+        });
+        let mut rng = SmallRng::seed_from_u64(4);
+        let traj = sim.drive(&mut rng, &straight_route(), 200, 0.0);
+        for p in traj.points() {
+            assert!(p.y.abs() < 1e-9, "left the road: {p}");
+            assert!(p.x >= -1e-9);
+        }
+    }
+
+    #[test]
+    fn gps_noise_perturbs_positions() {
+        let noisy = VehicleSimulator::new(MotionConfig {
+            gps_noise_m: 10.0,
+            ..MotionConfig::default()
+        });
+        let mut rng = SmallRng::seed_from_u64(5);
+        let traj = noisy.drive(&mut rng, &straight_route(), 300, 0.0);
+        let max_dev = traj.points().iter().map(|p| p.y.abs()).fold(0.0, f64::max);
+        assert!(max_dev > 1.0, "noise should push fixes off the road");
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let sim = VehicleSimulator::new(MotionConfig::default());
+        let a = sim.drive(&mut SmallRng::seed_from_u64(9), &straight_route(), 100, 0.0);
+        let b = sim.drive(&mut SmallRng::seed_from_u64(9), &straight_route(), 100, 0.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn short_route_is_traversed_back_and_forth() {
+        // Two waypoints only and far more driving than the route length: the
+        // simulator must not panic and must keep positions within the route
+        // bounding box (plus noise, which is zero here).
+        let sim = VehicleSimulator::new(MotionConfig {
+            gps_noise_m: 0.0,
+            mean_speed_mps: 30.0,
+            stop_probability: 0.0,
+            ..MotionConfig::default()
+        });
+        let route = vec![Point::xy(0.0, 0.0), Point::xy(300.0, 0.0)];
+        let mut rng = SmallRng::seed_from_u64(6);
+        let traj = sim.drive(&mut rng, &route, 400, 0.0);
+        for p in traj.points() {
+            assert!(p.x >= -1e-6 && p.x <= 300.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_single_waypoint_routes() {
+        let sim = VehicleSimulator::new(MotionConfig::default());
+        let mut rng = SmallRng::seed_from_u64(7);
+        let _ = sim.drive(&mut rng, &[Point::xy(0.0, 0.0)], 10, 0.0);
+    }
+}

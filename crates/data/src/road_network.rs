@@ -1,0 +1,235 @@
+//! A minimal grid road network and route sampler.
+//!
+//! The synthetic workloads emulate vehicles that drive on an urban (or
+//! highway) grid: straight stretches along blocks, turns at intersections.
+//! This is the structural property that produces the *anomalous line
+//! segments* the OPERB-A patching method targets (paper §5.1, Figure 9 —
+//! "crossroads"), and the turn frequency is what differentiates the paper's
+//! datasets qualitatively.
+
+use rand::Rng;
+use traj_geo::Point;
+
+/// The kind of route sampled from the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteKind {
+    /// Grid-constrained driving with turns at intersections (Taxi, Truck,
+    /// SerCar profiles).
+    GridDrive,
+    /// Meandering free movement (pedestrian / bicycle legs of GeoLife).
+    FreeWalk,
+}
+
+/// An axis-aligned grid road network with a fixed block size.
+///
+/// Intersections sit at integer multiples of `block_size`; roads are the
+/// horizontal and vertical lines through them.  The network is conceptually
+/// infinite — routes are random walks over intersections, so no adjacency
+/// structure needs to be materialized.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridNetwork {
+    /// Distance between two adjacent intersections, in meters.
+    pub block_size: f64,
+    /// Probability of turning (left or right) at an intersection.
+    pub turn_probability: f64,
+}
+
+/// A compass direction along the grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Heading {
+    East,
+    North,
+    West,
+    South,
+}
+
+impl Heading {
+    fn unit(&self) -> (f64, f64) {
+        match self {
+            Heading::East => (1.0, 0.0),
+            Heading::North => (0.0, 1.0),
+            Heading::West => (-1.0, 0.0),
+            Heading::South => (0.0, -1.0),
+        }
+    }
+
+    fn left(&self) -> Heading {
+        match self {
+            Heading::East => Heading::North,
+            Heading::North => Heading::West,
+            Heading::West => Heading::South,
+            Heading::South => Heading::East,
+        }
+    }
+
+    fn right(&self) -> Heading {
+        match self {
+            Heading::East => Heading::South,
+            Heading::South => Heading::West,
+            Heading::West => Heading::North,
+            Heading::North => Heading::East,
+        }
+    }
+}
+
+impl GridNetwork {
+    /// Creates a grid network.
+    pub fn new(block_size: f64, turn_probability: f64) -> Self {
+        debug_assert!(block_size > 0.0);
+        Self {
+            block_size,
+            turn_probability: turn_probability.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Samples a route (a polyline of waypoints, no timestamps) with
+    /// `total_length` meters of driving, starting at the origin.
+    ///
+    /// Consecutive waypoints are intersections of the grid; the route is a
+    /// random walk that goes straight with probability
+    /// `1 − turn_probability` and turns left or right otherwise (never an
+    /// immediate U-turn, matching how vehicles actually traverse road
+    /// networks).
+    pub fn sample_route<R: Rng>(&self, rng: &mut R, total_length: f64) -> Vec<Point> {
+        let blocks = (total_length / self.block_size).ceil().max(1.0) as usize;
+        let mut heading = match rng.gen_range(0..4) {
+            0 => Heading::East,
+            1 => Heading::North,
+            2 => Heading::West,
+            _ => Heading::South,
+        };
+        let mut x = 0.0;
+        let mut y = 0.0;
+        let mut route = Vec::with_capacity(blocks + 1);
+        route.push(Point::xy(x, y));
+        for _ in 0..blocks {
+            if rng.gen_bool(self.turn_probability) {
+                heading = if rng.gen_bool(0.5) {
+                    heading.left()
+                } else {
+                    heading.right()
+                };
+            }
+            let (dx, dy) = heading.unit();
+            x += dx * self.block_size;
+            y += dy * self.block_size;
+            route.push(Point::xy(x, y));
+        }
+        route
+    }
+
+    /// Samples a meandering free-movement route (used by the GeoLife-like
+    /// pedestrian / bicycle legs): heading changes smoothly instead of in
+    /// 90° steps.
+    pub fn sample_free_route<R: Rng>(&self, rng: &mut R, total_length: f64) -> Vec<Point> {
+        let step = (self.block_size / 4.0).max(10.0);
+        let steps = (total_length / step).ceil().max(1.0) as usize;
+        let mut heading: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+        let mut x = 0.0;
+        let mut y = 0.0;
+        let mut route = Vec::with_capacity(steps + 1);
+        route.push(Point::xy(x, y));
+        for _ in 0..steps {
+            heading += rng.gen_range(-0.5..0.5);
+            x += heading.cos() * step;
+            y += heading.sin() * step;
+            route.push(Point::xy(x, y));
+        }
+        route
+    }
+
+    /// Total polyline length of a route.
+    pub fn route_length(route: &[Point]) -> f64 {
+        route.windows(2).map(|w| w[0].distance(&w[1])).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn route_has_requested_length() {
+        let net = GridNetwork::new(500.0, 0.3);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let route = net.sample_route(&mut rng, 10_000.0);
+        let len = GridNetwork::route_length(&route);
+        assert!(len >= 10_000.0);
+        assert!(len <= 10_000.0 + 500.0 + 1e-9);
+    }
+
+    #[test]
+    fn route_waypoints_sit_on_grid() {
+        let net = GridNetwork::new(250.0, 0.5);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let route = net.sample_route(&mut rng, 5_000.0);
+        for p in &route {
+            assert!((p.x / 250.0).fract().abs() < 1e-9);
+            assert!((p.y / 250.0).fract().abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn segments_are_axis_aligned_blocks() {
+        let net = GridNetwork::new(100.0, 0.4);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let route = net.sample_route(&mut rng, 3_000.0);
+        for w in route.windows(2) {
+            let dx = (w[1].x - w[0].x).abs();
+            let dy = (w[1].y - w[0].y).abs();
+            assert!(
+                (dx < 1e-9 && (dy - 100.0).abs() < 1e-9)
+                    || (dy < 1e-9 && (dx - 100.0).abs() < 1e-9),
+                "non-grid step {dx},{dy}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_turn_probability_is_a_straight_road() {
+        let net = GridNetwork::new(100.0, 0.0);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let route = net.sample_route(&mut rng, 2_000.0);
+        // All steps share one heading: the route is collinear.
+        let first = route[0];
+        let second = route[1];
+        let dir = (second.x - first.x, second.y - first.y);
+        for w in route.windows(2) {
+            assert!(((w[1].x - w[0].x) - dir.0).abs() < 1e-9);
+            assert!(((w[1].y - w[0].y) - dir.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let net = GridNetwork::new(300.0, 0.35);
+        let a = net.sample_route(&mut SmallRng::seed_from_u64(5), 4_000.0);
+        let b = net.sample_route(&mut SmallRng::seed_from_u64(5), 4_000.0);
+        let c = net.sample_route(&mut SmallRng::seed_from_u64(6), 4_000.0);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn free_route_moves_with_bounded_steps() {
+        let net = GridNetwork::new(300.0, 0.4);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let route = net.sample_free_route(&mut rng, 2_000.0);
+        assert!(route.len() > 10);
+        let step = (300.0f64 / 4.0).max(10.0);
+        for w in route.windows(2) {
+            let d = w[0].distance(&w[1]);
+            assert!((d - step).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn turn_probability_is_clamped() {
+        let net = GridNetwork::new(100.0, 7.0);
+        assert_eq!(net.turn_probability, 1.0);
+        let net = GridNetwork::new(100.0, -1.0);
+        assert_eq!(net.turn_probability, 0.0);
+    }
+}

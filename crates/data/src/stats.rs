@@ -1,0 +1,147 @@
+//! Dataset statistics — the numbers reported in Table 1 of the paper.
+
+use crate::profiles::DatasetKind;
+use traj_model::Trajectory;
+
+/// Summary statistics of a (synthetic or real) trajectory dataset, matching
+/// the columns of Table 1: number of trajectories, sampling rate, points per
+/// trajectory and total point count.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DatasetStats {
+    /// Dataset display name.
+    pub name: String,
+    /// Number of trajectories.
+    pub num_trajectories: usize,
+    /// Minimum observed sampling interval, seconds.
+    pub min_sampling_interval: f64,
+    /// Maximum observed sampling interval, seconds.
+    pub max_sampling_interval: f64,
+    /// Mean number of points per trajectory.
+    pub mean_points_per_trajectory: f64,
+    /// Total number of points across all trajectories.
+    pub total_points: usize,
+    /// Mean travelled path length per trajectory, meters.
+    pub mean_path_length_m: f64,
+}
+
+impl DatasetStats {
+    /// Computes the statistics of a dataset.
+    pub fn compute(name: impl Into<String>, trajectories: &[Trajectory]) -> Self {
+        let name = name.into();
+        if trajectories.is_empty() {
+            return Self {
+                name,
+                num_trajectories: 0,
+                min_sampling_interval: 0.0,
+                max_sampling_interval: 0.0,
+                mean_points_per_trajectory: 0.0,
+                total_points: 0,
+                mean_path_length_m: 0.0,
+            };
+        }
+        let total_points: usize = trajectories.iter().map(Trajectory::len).sum();
+        let mut min_dt = f64::INFINITY;
+        let mut max_dt: f64 = 0.0;
+        for traj in trajectories {
+            for w in traj.points().windows(2) {
+                let dt = w[1].t - w[0].t;
+                min_dt = min_dt.min(dt);
+                max_dt = max_dt.max(dt);
+            }
+        }
+        if !min_dt.is_finite() {
+            min_dt = 0.0;
+        }
+        let mean_path_length_m = trajectories
+            .iter()
+            .map(Trajectory::path_length)
+            .sum::<f64>()
+            / trajectories.len() as f64;
+        Self {
+            name,
+            num_trajectories: trajectories.len(),
+            min_sampling_interval: min_dt,
+            max_sampling_interval: max_dt,
+            mean_points_per_trajectory: total_points as f64 / trajectories.len() as f64,
+            total_points,
+            mean_path_length_m,
+        }
+    }
+
+    /// Computes statistics labelled with a paper dataset kind.
+    pub fn for_kind(kind: DatasetKind, trajectories: &[Trajectory]) -> Self {
+        Self::compute(kind.name(), trajectories)
+    }
+
+    /// Formats one row of a Table-1-like report.
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<8} {:>8} {:>6.0}-{:<6.0} {:>12.1} {:>12}",
+            self.name,
+            self.num_trajectories,
+            self.min_sampling_interval,
+            self.max_sampling_interval,
+            self.mean_points_per_trajectory,
+            self.total_points
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_geo::Point;
+
+    fn traj(n: usize, dt: f64) -> Trajectory {
+        Trajectory::new_unchecked(
+            (0..n)
+                .map(|i| Point::new(i as f64 * 10.0, 0.0, i as f64 * dt))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn computes_basic_statistics() {
+        let data = vec![traj(100, 5.0), traj(200, 5.0)];
+        let stats = DatasetStats::compute("Test", &data);
+        assert_eq!(stats.num_trajectories, 2);
+        assert_eq!(stats.total_points, 300);
+        assert!((stats.mean_points_per_trajectory - 150.0).abs() < 1e-9);
+        assert!((stats.min_sampling_interval - 5.0).abs() < 1e-9);
+        assert!((stats.max_sampling_interval - 5.0).abs() < 1e-9);
+        assert!((stats.mean_path_length_m - ((99.0 * 10.0) + (199.0 * 10.0)) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let stats = DatasetStats::compute("Empty", &[]);
+        assert_eq!(stats.num_trajectories, 0);
+        assert_eq!(stats.total_points, 0);
+    }
+
+    #[test]
+    fn table_row_contains_name_and_counts() {
+        let stats = DatasetStats::for_kind(DatasetKind::Taxi, &[traj(50, 60.0)]);
+        let row = stats.table_row();
+        assert!(row.contains("Taxi"));
+        assert!(row.contains("50"));
+    }
+
+    #[test]
+    fn mixed_sampling_intervals() {
+        let a = Trajectory::from_xyt(&[(0.0, 0.0, 0.0), (1.0, 0.0, 1.0), (2.0, 0.0, 61.0)])
+            .unwrap();
+        let stats = DatasetStats::compute("Mixed", &[a]);
+        assert!((stats.min_sampling_interval - 1.0).abs() < 1e-9);
+        assert!((stats.max_sampling_interval - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let stats = DatasetStats::compute("Test", &[traj(10, 1.0)]);
+        let json = serde_json::to_string(&stats).unwrap();
+        assert!(json.contains("\"name\":\"Test\""));
+        let back: DatasetStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
+    }
+}

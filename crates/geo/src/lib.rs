@@ -1,0 +1,53 @@
+//! # traj-geo
+//!
+//! Geometry primitives used throughout the `trajsimp` workspace.
+//!
+//! The OPERB paper (Lin et al., VLDB 2017) defines trajectories over data
+//! points `P(x, y, t)` where `x`/`y` are planar coordinates (longitude /
+//! latitude projected to meters) and `t` is a timestamp.  All simplification
+//! algorithms in this workspace operate on *planar* coordinates expressed in
+//! the same unit as the error bound `ζ` (meters by convention).  The
+//! [`projection`] module converts raw GPS fixes (degrees of latitude /
+//! longitude) into such a local planar frame.
+//!
+//! Contents:
+//!
+//! * [`Point`] — a timestamped planar point (paper §3.1, "Points (P)").
+//! * [`DirectedSegment`] — a directed line segment `P_s → P_e` with its
+//!   length and angle (paper §3.1, "Directed line segments (L)").
+//! * [`PolarSegment`] — a directed line segment represented by an anchor
+//!   point, a length and an angle; this is the `(Ps, |L|, L.θ)` triple the
+//!   fitting function of OPERB manipulates.
+//! * angle helpers ([`angle`]) — normalization, included angles, the sign
+//!   function `f` of the fitting function.
+//! * distance helpers — point-to-line, point-to-segment, synchronous
+//!   Euclidean distance (SED).
+//! * [`BoundingBox`] and quadrant helpers used by the BQS / FBQS baselines.
+//! * [`projection`] — equirectangular local projection and haversine
+//!   distances for working with real GPS data.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod angle;
+pub mod bbox;
+pub mod line;
+pub mod point;
+pub mod projection;
+pub mod segment;
+
+pub use angle::{included_angle, normalize_angle, normalize_angle_signed};
+pub use bbox::BoundingBox;
+pub use line::Line;
+pub use point::Point;
+pub use projection::{GeoPoint, LocalProjection};
+pub use segment::{DirectedSegment, PolarSegment};
+
+/// Numeric tolerance used by the geometry predicates in this crate.
+///
+/// Coordinates are meters, so `1e-9` m (a nanometer) is far below GPS noise
+/// and guards only against floating-point round-off.
+pub const EPSILON: f64 = 1e-9;
+
+/// `2π`, the full turn used when normalizing angles.
+pub const TAU: f64 = std::f64::consts::TAU;

@@ -1,0 +1,138 @@
+//! Property-based tests of the geometry primitives.
+
+use proptest::prelude::*;
+use traj_geo::angle::{included_angle, normalize_angle, normalize_angle_signed};
+use traj_geo::line::{Line, LineIntersection};
+use traj_geo::{BoundingBox, DirectedSegment, GeoPoint, LocalProjection, Point, TAU};
+
+fn finite_coord() -> impl Strategy<Value = f64> {
+    -1.0e6..1.0e6f64
+}
+
+proptest! {
+    #[test]
+    fn normalize_angle_is_in_range_and_idempotent(theta in -1.0e3..1.0e3f64) {
+        let n = normalize_angle(theta);
+        prop_assert!((0.0..TAU).contains(&n));
+        prop_assert!((normalize_angle(n) - n).abs() < 1e-12);
+        // Normalization preserves the direction (difference is a multiple of 2π).
+        let k = (theta - n) / TAU;
+        prop_assert!((k - k.round()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalize_signed_matches_unsigned(theta in -1.0e3..1.0e3f64) {
+        let s = normalize_angle_signed(theta);
+        prop_assert!(s > -std::f64::consts::PI - 1e-12 && s <= std::f64::consts::PI + 1e-12);
+        prop_assert!((normalize_angle(s) - normalize_angle(theta)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn included_angle_is_antisymmetric_mod_tau(a in 0.0..TAU, b in 0.0..TAU) {
+        let ab = included_angle(a, b);
+        let ba = included_angle(b, a);
+        let sum = normalize_angle(ab + ba);
+        prop_assert!(sum.abs() < 1e-9 || (sum - TAU).abs() < 1e-9);
+    }
+
+    #[test]
+    fn point_distance_is_a_metric(
+        ax in finite_coord(), ay in finite_coord(),
+        bx in finite_coord(), by in finite_coord(),
+        cx in finite_coord(), cy in finite_coord(),
+    ) {
+        let a = Point::xy(ax, ay);
+        let b = Point::xy(bx, by);
+        let c = Point::xy(cx, cy);
+        // Symmetry.
+        prop_assert!((a.distance(&b) - b.distance(&a)).abs() < 1e-9);
+        // Identity.
+        prop_assert!(a.distance(&a).abs() < 1e-12);
+        // Triangle inequality (with slack for floating point).
+        prop_assert!(a.distance(&c) <= a.distance(&b) + b.distance(&c) + 1e-6);
+    }
+
+    #[test]
+    fn line_distance_never_exceeds_segment_distance(
+        sx in finite_coord(), sy in finite_coord(),
+        ex in finite_coord(), ey in finite_coord(),
+        px in finite_coord(), py in finite_coord(),
+    ) {
+        let seg = DirectedSegment::new(Point::xy(sx, sy), Point::xy(ex, ey));
+        let p = Point::xy(px, py);
+        prop_assert!(seg.distance_to_line(&p) <= seg.distance_to_segment(&p) + 1e-6);
+        // Endpoints are at distance zero from the supporting line.
+        prop_assert!(seg.distance_to_line(&seg.start) < 1e-6);
+        prop_assert!(seg.distance_to_line(&seg.end) < 1e-6);
+    }
+
+    #[test]
+    fn distance_is_direction_independent(
+        sx in finite_coord(), sy in finite_coord(),
+        ex in finite_coord(), ey in finite_coord(),
+        px in finite_coord(), py in finite_coord(),
+    ) {
+        let fwd = DirectedSegment::new(Point::xy(sx, sy), Point::xy(ex, ey));
+        let back = DirectedSegment::new(Point::xy(ex, ey), Point::xy(sx, sy));
+        let p = Point::xy(px, py);
+        prop_assert!((fwd.distance_to_line(&p) - back.distance_to_line(&p)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bounding_box_contains_all_its_points(
+        pts in prop::collection::vec((finite_coord(), finite_coord()), 1..50)
+    ) {
+        let points: Vec<Point> = pts.iter().map(|&(x, y)| Point::xy(x, y)).collect();
+        let bb = BoundingBox::from_points(&points);
+        for p in &points {
+            prop_assert!(bb.contains(p));
+        }
+        prop_assert!(bb.width() >= 0.0 && bb.height() >= 0.0);
+    }
+
+    #[test]
+    fn polar_roundtrip_preserves_endpoint(
+        sx in finite_coord(), sy in finite_coord(),
+        ex in finite_coord(), ey in finite_coord(),
+    ) {
+        prop_assume!((sx - ex).abs() > 1e-3 || (sy - ey).abs() > 1e-3);
+        let seg = DirectedSegment::new(Point::xy(sx, sy), Point::xy(ex, ey));
+        let polar = seg.to_polar();
+        let back = polar.to_directed();
+        let scale = seg.length().max(1.0);
+        prop_assert!(back.end.distance(&seg.end) < 1e-6 * scale);
+    }
+
+    #[test]
+    fn intersection_point_lies_on_both_lines(
+        ax in -1000.0..1000.0f64, ay in -1000.0..1000.0f64, atheta in 0.0..TAU,
+        bx in -1000.0..1000.0f64, by in -1000.0..1000.0f64, btheta in 0.0..TAU,
+    ) {
+        let a = Line::new(Point::xy(ax, ay), atheta);
+        let b = Line::new(Point::xy(bx, by), btheta);
+        if let LineIntersection::Point { point, .. } = a.intersect(&b) {
+            // Guard against nearly-parallel lines whose intersection is
+            // astronomically far away (the residual scales with distance).
+            let reach = point.distance(&a.anchor).max(point.distance(&b.anchor)).max(1.0);
+            prop_assert!(a.distance(&point) < 1e-6 * reach);
+            prop_assert!(b.distance(&point) < 1e-6 * reach);
+        }
+    }
+
+    #[test]
+    fn projection_roundtrip(
+        lon in -179.0..179.0f64,
+        lat in -80.0..80.0f64,
+        dlon in -0.05..0.05f64,
+        dlat in -0.05..0.05f64,
+    ) {
+        let origin = GeoPoint::new(lon, lat, 0.0);
+        let proj = LocalProjection::new(origin);
+        let fix = GeoPoint::new(lon + dlon, lat + dlat, 12.0);
+        let planar = proj.project(&fix);
+        let back = proj.unproject(&planar);
+        prop_assert!((back.lon - fix.lon).abs() < 1e-9);
+        prop_assert!((back.lat - fix.lat).abs() < 1e-9);
+        prop_assert!(planar.t == 12.0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Compression ratio (paper §6.2.2).
+//!
+//! Given trajectories `{...T_1, …, ...T_M}` and their piecewise line
+//! representations `{T_1, …, T_M}`, the compression ratio is
+//! `(Σ_j |T_j|) / (Σ_j |...T_j|)` — the total number of output line segments
+//! divided by the total number of input points.  Lower is better.
+
+use traj_model::SimplifiedTrajectory;
+
+/// Compression ratio of a single simplified trajectory.
+pub fn compression_ratio(simplified: &SimplifiedTrajectory) -> f64 {
+    simplified.compression_ratio()
+}
+
+/// Dataset-level compression ratio: total segments over total points, as
+/// defined in the paper (not the mean of per-trajectory ratios).
+pub fn dataset_compression_ratio(simplified: &[SimplifiedTrajectory]) -> f64 {
+    let total_segments: usize = simplified.iter().map(SimplifiedTrajectory::num_segments).sum();
+    let total_points: usize = simplified.iter().map(SimplifiedTrajectory::original_len).sum();
+    if total_points == 0 {
+        0.0
+    } else {
+        total_segments as f64 / total_points as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_geo::{DirectedSegment, Point};
+    use traj_model::SimplifiedSegment;
+
+    fn simplified(segments: usize, points: usize) -> SimplifiedTrajectory {
+        let segs = (0..segments)
+            .map(|i| {
+                SimplifiedSegment::new(
+                    DirectedSegment::new(
+                        Point::xy(i as f64, 0.0),
+                        Point::xy(i as f64 + 1.0, 0.0),
+                    ),
+                    i,
+                    i + 1,
+                )
+            })
+            .collect();
+        SimplifiedTrajectory::new(segs, points)
+    }
+
+    #[test]
+    fn single_trajectory_ratio() {
+        let s = simplified(10, 100);
+        assert!((compression_ratio(&s) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dataset_ratio_is_weighted_not_averaged() {
+        // 10/100 and 90/100: the dataset ratio is 100/200 = 0.5, not the
+        // mean of 0.1 and 0.9 (which happens to also be 0.5)… use asymmetric
+        // sizes to actually distinguish.
+        let a = simplified(10, 100); // 0.1
+        let b = simplified(30, 50); // 0.6
+        let ratio = dataset_compression_ratio(&[a, b]);
+        assert!((ratio - 40.0 / 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_dataset_is_zero() {
+        assert_eq!(dataset_compression_ratio(&[]), 0.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Line-segment point-count distribution `Z(k)` (paper Exp-2.3, Figure 17)
+//! and anomalous-segment accounting.
+//!
+//! For a piecewise representation `T = (L_1, …, L_M)` the paper counts, for
+//! every segment, the number of original data points it contains (`C_i`),
+//! and reports `Z(k) = |{C_i | C_i = k}|` — boundary points are counted for
+//! both adjacent segments, so `k = 1` is possible.  Heavy segments (large
+//! `k`) are what drive good compression ratios.
+
+use std::collections::BTreeMap;
+
+use traj_model::SimplifiedTrajectory;
+
+/// The histogram `Z(k)` over one or more simplified trajectories.
+#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct SegmentDistribution {
+    counts: BTreeMap<usize, usize>,
+}
+
+impl SegmentDistribution {
+    /// Builds the distribution of a single simplified trajectory.
+    pub fn of(simplified: &SimplifiedTrajectory) -> Self {
+        let mut dist = Self::default();
+        dist.add(simplified);
+        dist
+    }
+
+    /// Accumulates another simplified trajectory into the histogram.
+    pub fn add(&mut self, simplified: &SimplifiedTrajectory) {
+        for seg in simplified.segments() {
+            *self.counts.entry(seg.point_count()).or_insert(0) += 1;
+        }
+    }
+
+    /// `Z(k)`: the number of segments containing exactly `k` points.
+    pub fn z(&self, k: usize) -> usize {
+        self.counts.get(&k).copied().unwrap_or(0)
+    }
+
+    /// Iterator over `(k, Z(k))` pairs in increasing `k`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.counts.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Total number of segments in the histogram.
+    pub fn total_segments(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// The largest `k` with `Z(k) > 0` (0 when empty).
+    pub fn max_k(&self) -> usize {
+        self.counts.keys().next_back().copied().unwrap_or(0)
+    }
+
+    /// Number of "heavy" segments containing at least `k_min` points.
+    pub fn heavy_segments(&self, k_min: usize) -> usize {
+        self.counts
+            .iter()
+            .filter(|(&k, _)| k >= k_min)
+            .map(|(_, &v)| v)
+            .sum()
+    }
+
+    /// Mean number of points per segment (0 when empty).
+    pub fn mean_points_per_segment(&self) -> f64 {
+        let total = self.total_segments();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: usize = self.counts.iter().map(|(&k, &v)| k * v).sum();
+        weighted as f64 / total as f64
+    }
+}
+
+/// Builds the distribution over a whole dataset.
+pub fn segment_distribution(simplified: &[SimplifiedTrajectory]) -> SegmentDistribution {
+    let mut dist = SegmentDistribution::default();
+    for s in simplified {
+        dist.add(s);
+    }
+    dist
+}
+
+/// Total number of anomalous segments (segments representing only their own
+/// two endpoints, §5.1) over a dataset.
+pub fn anomalous_segment_count(simplified: &[SimplifiedTrajectory]) -> usize {
+    simplified
+        .iter()
+        .map(SimplifiedTrajectory::num_anomalous_segments)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_geo::{DirectedSegment, Point};
+    use traj_model::SimplifiedSegment;
+
+    fn seg(a: usize, b: usize) -> SimplifiedSegment {
+        SimplifiedSegment::new(
+            DirectedSegment::new(Point::xy(a as f64, 0.0), Point::xy(b as f64, 0.0)),
+            a,
+            b,
+        )
+    }
+
+    fn simp(ranges: &[(usize, usize)], n: usize) -> SimplifiedTrajectory {
+        SimplifiedTrajectory::new(ranges.iter().map(|&(a, b)| seg(a, b)).collect(), n)
+    }
+
+    #[test]
+    fn histogram_counts_points_per_segment() {
+        let s = simp(&[(0, 5), (5, 6), (6, 9)], 10);
+        let d = SegmentDistribution::of(&s);
+        assert_eq!(d.z(6), 1); // 0..=5
+        assert_eq!(d.z(2), 1); // 5..=6
+        assert_eq!(d.z(4), 1); // 6..=9
+        assert_eq!(d.z(3), 0);
+        assert_eq!(d.total_segments(), 3);
+        assert_eq!(d.max_k(), 6);
+        assert_eq!(d.heavy_segments(4), 2);
+        assert!((d.mean_points_per_segment() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dataset_accumulation() {
+        let a = simp(&[(0, 5), (5, 9)], 10);
+        let b = simp(&[(0, 5)], 6);
+        let d = segment_distribution(&[a, b]);
+        assert_eq!(d.z(6), 2);
+        assert_eq!(d.z(5), 1);
+        assert_eq!(d.total_segments(), 3);
+        let it: Vec<(usize, usize)> = d.iter().collect();
+        assert_eq!(it, vec![(5, 1), (6, 2)]);
+    }
+
+    #[test]
+    fn anomalous_counting() {
+        let a = simp(&[(0, 5), (5, 6), (6, 9)], 10);
+        let b = simp(&[(0, 1), (1, 2)], 3);
+        assert_eq!(anomalous_segment_count(&[a, b]), 3);
+    }
+
+    #[test]
+    fn empty_distribution() {
+        let d = SegmentDistribution::default();
+        assert_eq!(d.total_segments(), 0);
+        assert_eq!(d.max_k(), 0);
+        assert_eq!(d.mean_points_per_segment(), 0.0);
+        assert_eq!(d.z(5), 0);
+    }
+}

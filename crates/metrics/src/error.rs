@@ -1,0 +1,216 @@
+//! Error metrics: maximum error, error-bound verification and the average
+//! error of the paper's §6.2.3.
+//!
+//! The paper's error definition (end of §3.2): a compression algorithm is
+//! *error bounded* by ζ if for every original point `P` there exists an
+//! output segment whose supporting line is within ζ of `P`.  The average
+//! error (§6.2.3) assigns each point to the line segment *containing* it —
+//! here, to the covering segment(s) by responsibility range — and averages
+//! the distances.
+
+use traj_geo::Point;
+use traj_model::{SimplifiedTrajectory, Trajectory};
+
+/// A single violation of the error bound, reported by
+/// [`check_error_bound`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorBoundViolation {
+    /// Index of the violating original point.
+    pub point_index: usize,
+    /// The violating point.
+    pub point: Point,
+    /// Its distance to the closest output segment line.
+    pub distance: f64,
+}
+
+/// Distance from a point to the closest output segment line, over **all**
+/// segments — the existential quantifier of the paper's error definition.
+fn min_distance_any(simplified: &SimplifiedTrajectory, p: &Point) -> f64 {
+    simplified
+        .segments()
+        .iter()
+        .map(|s| s.distance_to_line(p))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Distance from point `i` to the closest segment *covering* it by
+/// responsibility range, falling back to the global minimum when no segment
+/// covers it (cannot happen for well-formed output, but keeps the metric
+/// total).
+fn min_distance_covering(simplified: &SimplifiedTrajectory, i: usize, p: &Point) -> f64 {
+    let mut best = f64::INFINITY;
+    for s in simplified.segments_covering(i) {
+        best = best.min(s.distance_to_line(p));
+    }
+    if best.is_finite() {
+        best
+    } else {
+        min_distance_any(simplified, p)
+    }
+}
+
+/// Maximum error: the largest distance from any original point to its
+/// nearest output segment line.  An algorithm is error bounded by ζ iff this
+/// value is ≤ ζ.
+pub fn max_error(trajectory: &Trajectory, simplified: &SimplifiedTrajectory) -> f64 {
+    if simplified.is_empty() {
+        return 0.0;
+    }
+    trajectory
+        .points()
+        .iter()
+        .map(|p| min_distance_any(simplified, p))
+        .fold(0.0, f64::max)
+}
+
+/// Average error (paper §6.2.3): each point contributes its distance to the
+/// covering segment, and the sum is divided by the total number of points.
+pub fn average_error(trajectory: &Trajectory, simplified: &SimplifiedTrajectory) -> f64 {
+    if simplified.is_empty() || trajectory.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = trajectory
+        .points()
+        .iter()
+        .enumerate()
+        .map(|(i, p)| min_distance_covering(simplified, i, p))
+        .sum();
+    sum / trajectory.len() as f64
+}
+
+/// Dataset-level average error: total distance over total points, matching
+/// the paper's formula `Σ_j Σ_i d(P_{j,i}, L_{l,i}) / Σ_j |...T_j|`.
+pub fn dataset_average_error(pairs: &[(&Trajectory, &SimplifiedTrajectory)]) -> f64 {
+    let mut total = 0.0;
+    let mut points = 0usize;
+    for (traj, simp) in pairs {
+        if simp.is_empty() {
+            continue;
+        }
+        total += traj
+            .points()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| min_distance_covering(simp, i, p))
+            .sum::<f64>();
+        points += traj.len();
+    }
+    if points == 0 {
+        0.0
+    } else {
+        total / points as f64
+    }
+}
+
+/// Verifies the ζ error bound for every original point; returns all
+/// violations (empty when the bound holds).
+pub fn check_error_bound(
+    trajectory: &Trajectory,
+    simplified: &SimplifiedTrajectory,
+    epsilon: f64,
+) -> Vec<ErrorBoundViolation> {
+    if simplified.is_empty() {
+        return Vec::new();
+    }
+    trajectory
+        .points()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, p)| {
+            let d = min_distance_any(simplified, p);
+            (d > epsilon).then_some(ErrorBoundViolation {
+                point_index: i,
+                point: *p,
+                distance: d,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_geo::DirectedSegment;
+    use traj_model::SimplifiedSegment;
+
+    fn make_simplified(segs: &[((f64, f64), (f64, f64), usize, usize)], n: usize) -> SimplifiedTrajectory {
+        SimplifiedTrajectory::new(
+            segs.iter()
+                .map(|&((x0, y0), (x1, y1), a, b)| {
+                    SimplifiedSegment::new(
+                        DirectedSegment::new(Point::xy(x0, y0), Point::xy(x1, y1)),
+                        a,
+                        b,
+                    )
+                })
+                .collect(),
+            n,
+        )
+    }
+
+    #[test]
+    fn max_error_on_straight_line_is_peak_deviation() {
+        let traj = Trajectory::from_xy(&[(0.0, 0.0), (5.0, 3.0), (10.0, 0.0)]);
+        let simp = make_simplified(&[((0.0, 0.0), (10.0, 0.0), 0, 2)], 3);
+        assert!((max_error(&traj, &simp) - 3.0).abs() < 1e-12);
+        assert!((average_error(&traj, &simp) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_bound_check_reports_violations() {
+        let traj = Trajectory::from_xy(&[(0.0, 0.0), (5.0, 3.0), (10.0, 0.0)]);
+        let simp = make_simplified(&[((0.0, 0.0), (10.0, 0.0), 0, 2)], 3);
+        assert!(check_error_bound(&traj, &simp, 3.0).is_empty());
+        let violations = check_error_bound(&traj, &simp, 2.0);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].point_index, 1);
+        assert!((violations[0].distance - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn existential_definition_uses_any_segment() {
+        // A point far from "its" covering segment but close to another
+        // segment's line still satisfies the bound (this mirrors how OPERB's
+        // absorbed trailing points are covered by the previous segment).
+        let traj = Trajectory::from_xy(&[(0.0, 0.0), (10.0, 0.0), (20.0, 0.1), (20.0, 30.0)]);
+        let simp = make_simplified(
+            &[((0.0, 0.0), (10.0, 0.0), 0, 1), ((10.0, 0.0), (20.0, 30.0), 1, 3)],
+            4,
+        );
+        // Point 2 is 0.1 m from the first segment's line but ~9.5 m from the
+        // second one: max_error uses the minimum over all segments.
+        assert!(max_error(&traj, &simp) < 0.2);
+        // average_error assigns it to the covering (second) segment, so the
+        // average is larger than the max-over-any would suggest.
+        assert!(average_error(&traj, &simp) > 0.2);
+    }
+
+    #[test]
+    fn empty_simplification_gives_zero_errors() {
+        let traj = Trajectory::from_xy(&[(0.0, 0.0)]);
+        let simp = SimplifiedTrajectory::new(vec![], 1);
+        assert_eq!(max_error(&traj, &simp), 0.0);
+        assert_eq!(average_error(&traj, &simp), 0.0);
+        assert!(check_error_bound(&traj, &simp, 1.0).is_empty());
+    }
+
+    #[test]
+    fn dataset_average_is_point_weighted() {
+        let t1 = Trajectory::from_xy(&[(0.0, 0.0), (5.0, 2.0), (10.0, 0.0)]);
+        let s1 = make_simplified(&[((0.0, 0.0), (10.0, 0.0), 0, 2)], 3);
+        let t2 = Trajectory::from_xy(&[(0.0, 0.0), (10.0, 0.0)]);
+        let s2 = make_simplified(&[((0.0, 0.0), (10.0, 0.0), 0, 1)], 2);
+        let avg = dataset_average_error(&[(&t1, &s1), (&t2, &s2)]);
+        // Total deviation 2.0 over 5 points.
+        assert!((avg - 0.4).abs() < 1e-12);
+        assert_eq!(dataset_average_error(&[]), 0.0);
+    }
+
+    #[test]
+    fn zero_error_for_exact_representation() {
+        let traj = Trajectory::from_xy(&[(0.0, 0.0), (5.0, 0.0), (10.0, 0.0)]);
+        let simp = make_simplified(&[((0.0, 0.0), (10.0, 0.0), 0, 2)], 3);
+        assert_eq!(max_error(&traj, &simp), 0.0);
+        assert_eq!(average_error(&traj, &simp), 0.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # traj-metrics
+//!
+//! The quality and performance metrics of the OPERB paper's evaluation
+//! (§6), computed over [`traj_model::Trajectory`] /
+//! [`traj_model::SimplifiedTrajectory`] pairs:
+//!
+//! * [`compression`] — the compression ratio `Σ|T_j| / Σ|...T_j|`
+//!   (Exp-2, Figures 15 & 16);
+//! * [`error`] — maximum error, error-bound verification and the average
+//!   error of §6.2.3 (Figure 18);
+//! * [`distribution`] — the line-segment point-count distribution `Z(k)`
+//!   (Exp-2.3, Figure 17) and anomalous-segment counts;
+//! * [`timing`] — wall-clock measurement helpers for the efficiency
+//!   experiments (Figures 12–14);
+//! * [`evaluate`] — a one-call summary combining all of the above for one
+//!   algorithm on one dataset, used by the experiment harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compression;
+pub mod distribution;
+pub mod error;
+pub mod evaluate;
+pub mod timing;
+
+pub use compression::{compression_ratio, dataset_compression_ratio};
+pub use distribution::{anomalous_segment_count, segment_distribution, SegmentDistribution};
+pub use error::{
+    average_error, check_error_bound, dataset_average_error, max_error, ErrorBoundViolation,
+};
+pub use evaluate::{evaluate_batch, EvaluationResult};
+pub use timing::{measure, Measurement};

@@ -1,0 +1,109 @@
+//! Wall-clock measurement helpers for the efficiency experiments
+//! (Figures 12–14).
+//!
+//! The paper times only the compression step ("we load and compress
+//! trajectories one by one, and only count the running time of the
+//! compressing process"), repeating each test three times and reporting the
+//! average.  [`measure`] reproduces exactly that protocol.
+
+use std::time::{Duration, Instant};
+
+/// Result of a repeated timing run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Mean wall-clock time per repetition.
+    pub mean: Duration,
+    /// Fastest repetition.
+    pub min: Duration,
+    /// Slowest repetition.
+    pub max: Duration,
+    /// Number of repetitions.
+    pub repetitions: u32,
+}
+
+impl Measurement {
+    /// Mean time in milliseconds.
+    pub fn mean_millis(&self) -> f64 {
+        self.mean.as_secs_f64() * 1e3
+    }
+
+    /// Throughput in "work units" per second for `units` units of work per
+    /// repetition (typically data points).
+    pub fn throughput(&self, units: usize) -> f64 {
+        let secs = self.mean.as_secs_f64();
+        if secs == 0.0 {
+            f64::INFINITY
+        } else {
+            units as f64 / secs
+        }
+    }
+}
+
+/// Runs `work` `repetitions` times (default protocol of the paper: 3) and
+/// reports the timing statistics.  The closure's return value is passed to
+/// `std::hint::black_box` so the optimizer cannot elide the work.
+pub fn measure<T>(repetitions: u32, mut work: impl FnMut() -> T) -> Measurement {
+    let repetitions = repetitions.max(1);
+    let mut min = Duration::MAX;
+    let mut max = Duration::ZERO;
+    let mut total = Duration::ZERO;
+    for _ in 0..repetitions {
+        let start = Instant::now();
+        let out = work();
+        let elapsed = start.elapsed();
+        std::hint::black_box(out);
+        min = min.min(elapsed);
+        max = max.max(elapsed);
+        total += elapsed;
+    }
+    Measurement {
+        mean: total / repetitions,
+        min,
+        max,
+        repetitions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_work() {
+        let m = measure(3, || {
+            let mut acc = 0u64;
+            for i in 0..50_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert_eq!(m.repetitions, 3);
+        assert!(m.min <= m.mean && m.mean <= m.max);
+        assert!(m.mean > Duration::ZERO);
+        assert!(m.mean_millis() > 0.0);
+    }
+
+    #[test]
+    fn zero_repetitions_clamped_to_one() {
+        let m = measure(0, || 42);
+        assert_eq!(m.repetitions, 1);
+    }
+
+    #[test]
+    fn throughput_computation() {
+        let m = Measurement {
+            mean: Duration::from_millis(100),
+            min: Duration::from_millis(90),
+            max: Duration::from_millis(110),
+            repetitions: 3,
+        };
+        assert!((m.throughput(1000) - 10_000.0).abs() < 1e-6);
+        let zero = Measurement {
+            mean: Duration::ZERO,
+            min: Duration::ZERO,
+            max: Duration::ZERO,
+            repetitions: 1,
+        };
+        assert!(zero.throughput(10).is_infinite());
+    }
+}

@@ -1,0 +1,73 @@
+//! Error types for trajectory construction and simplification.
+
+use std::fmt;
+
+/// Errors raised when constructing or validating a [`crate::Trajectory`], or
+/// when a simplifier is given invalid parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrajectoryError {
+    /// A trajectory needs at least one data point.
+    Empty,
+    /// The timestamps are not strictly increasing at the given index
+    /// (`P_i.t < P_j.t` must hold for all `i < j`, paper §3.1).
+    NonMonotonicTime {
+        /// Index of the offending point (the one whose timestamp does not
+        /// increase over its predecessor).
+        index: usize,
+    },
+    /// A coordinate or timestamp is NaN or infinite at the given index.
+    NonFinitePoint {
+        /// Index of the offending point.
+        index: usize,
+    },
+    /// The error bound `ζ` handed to a simplifier must be finite and > 0.
+    InvalidErrorBound {
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for TrajectoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrajectoryError::Empty => write!(f, "trajectory must contain at least one point"),
+            TrajectoryError::NonMonotonicTime { index } => write!(
+                f,
+                "trajectory timestamps must be strictly increasing (violated at point {index})"
+            ),
+            TrajectoryError::NonFinitePoint { index } => {
+                write!(f, "trajectory point {index} has a non-finite coordinate")
+            }
+            TrajectoryError::InvalidErrorBound { value } => {
+                write!(f, "error bound must be finite and positive, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrajectoryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(TrajectoryError::Empty.to_string().contains("at least one"));
+        assert!(TrajectoryError::NonMonotonicTime { index: 3 }
+            .to_string()
+            .contains("point 3"));
+        assert!(TrajectoryError::NonFinitePoint { index: 7 }
+            .to_string()
+            .contains("point 7"));
+        assert!(TrajectoryError::InvalidErrorBound { value: -1.0 }
+            .to_string()
+            .contains("-1"));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_err<E: std::error::Error>(_e: &E) {}
+        assert_err(&TrajectoryError::Empty);
+    }
+}

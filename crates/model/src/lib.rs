@@ -1,0 +1,35 @@
+//! # traj-model
+//!
+//! The trajectory data model shared by every algorithm crate in the
+//! `trajsimp` workspace, mirroring §3.1 of the OPERB paper:
+//!
+//! * [`Trajectory`] — a time-ordered sequence of data points
+//!   (`...T [P0, …, Pn]`).
+//! * [`SimplifiedTrajectory`] / [`SimplifiedSegment`] — a piecewise line
+//!   representation `T [L0, …, Lm]` of a trajectory, where each directed
+//!   line segment additionally records which range of original points it is
+//!   responsible for (needed by the compression-ratio, average-error and
+//!   segment-distribution metrics of §6).
+//! * [`BatchSimplifier`] and [`StreamingSimplifier`] — the two algorithm
+//!   interfaces: batch algorithms (DP, TD-TR) see the whole trajectory at
+//!   once; online/one-pass algorithms (OPW, BQS, FBQS, OPERB, OPERB-A)
+//!   consume points one at a time through the streaming interface and can be
+//!   used in both modes through the [`StreamingAdapter`].
+//! * [`CountingSource`] — an instrumented point source used by tests to
+//!   verify the *one-pass* property (each point handed to the algorithm
+//!   exactly once).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod simplified;
+pub mod source;
+pub mod traits;
+pub mod trajectory;
+
+pub use error::TrajectoryError;
+pub use simplified::{SimplifiedSegment, SimplifiedTrajectory};
+pub use source::CountingSource;
+pub use traits::{BatchSimplifier, StreamingAdapter, StreamingSimplifier};
+pub use trajectory::Trajectory;

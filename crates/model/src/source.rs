@@ -1,0 +1,159 @@
+//! Instrumented point sources used to verify the one-pass property.
+//!
+//! The defining property of OPERB / OPERB-A (and of FBQS) is that each data
+//! point of the trajectory is *read once and only once* during
+//! simplification.  [`CountingSource`] wraps a trajectory and counts how
+//! many times each point is handed out, so tests can assert the one-pass
+//! property mechanically rather than by inspection.
+
+use traj_geo::Point;
+
+/// A point source that records how many times each point has been read.
+#[derive(Debug, Clone)]
+pub struct CountingSource {
+    points: Vec<Point>,
+    reads: Vec<usize>,
+    cursor: usize,
+}
+
+impl CountingSource {
+    /// Creates a source over the given points.
+    pub fn new(points: Vec<Point>) -> Self {
+        let reads = vec![0; points.len()];
+        Self {
+            points,
+            reads,
+            cursor: 0,
+        }
+    }
+
+    /// Total number of points in the source.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when the source holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Reads the next point in order (None when exhausted), incrementing its
+    /// read counter.
+    pub fn next_point(&mut self) -> Option<Point> {
+        if self.cursor >= self.points.len() {
+            return None;
+        }
+        let i = self.cursor;
+        self.cursor += 1;
+        self.reads[i] += 1;
+        Some(self.points[i])
+    }
+
+    /// Reads the point at an arbitrary index (used to emulate algorithms
+    /// that revisit points, e.g. DP), incrementing its read counter.
+    pub fn read_at(&mut self, index: usize) -> Point {
+        self.reads[index] += 1;
+        self.points[index]
+    }
+
+    /// Per-point read counts.
+    pub fn reads(&self) -> &[usize] {
+        &self.reads
+    }
+
+    /// Total number of point reads performed so far.
+    pub fn total_reads(&self) -> usize {
+        self.reads.iter().sum()
+    }
+
+    /// `true` when every point has been read exactly once — the one-pass
+    /// property.
+    pub fn is_single_pass(&self) -> bool {
+        self.reads.iter().all(|&c| c == 1)
+    }
+
+    /// `true` when every point has been read at least once.
+    pub fn is_exhaustive(&self) -> bool {
+        self.reads.iter().all(|&c| c >= 1)
+    }
+
+    /// Resets the read counters and the sequential cursor.
+    pub fn reset(&mut self) {
+        self.cursor = 0;
+        self.reads.iter_mut().for_each(|c| *c = 0);
+    }
+}
+
+impl Iterator for CountingSource {
+    type Item = Point;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_point()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.points.len() - self.cursor;
+        (remaining, Some(remaining))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(n: usize) -> Vec<Point> {
+        (0..n).map(|i| Point::new(i as f64, 0.0, i as f64)).collect()
+    }
+
+    #[test]
+    fn sequential_reads_are_single_pass() {
+        let mut src = CountingSource::new(pts(5));
+        assert_eq!(src.len(), 5);
+        assert!(!src.is_empty());
+        let mut count = 0;
+        while src.next_point().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 5);
+        assert!(src.is_single_pass());
+        assert!(src.is_exhaustive());
+        assert_eq!(src.total_reads(), 5);
+        assert!(src.next_point().is_none());
+    }
+
+    #[test]
+    fn random_access_breaks_single_pass() {
+        let mut src = CountingSource::new(pts(3));
+        let _ = src.read_at(1);
+        let _ = src.read_at(1);
+        assert!(!src.is_single_pass());
+        assert!(!src.is_exhaustive());
+        assert_eq!(src.reads(), &[0, 2, 0]);
+        assert_eq!(src.total_reads(), 2);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut src = CountingSource::new(pts(2));
+        let _ = src.next_point();
+        src.reset();
+        assert_eq!(src.total_reads(), 0);
+        assert_eq!(src.next_point().unwrap().x, 0.0);
+    }
+
+    #[test]
+    fn iterator_interface() {
+        let src = CountingSource::new(pts(4));
+        assert_eq!(src.size_hint(), (4, Some(4)));
+        let collected: Vec<Point> = src.collect();
+        assert_eq!(collected.len(), 4);
+    }
+
+    #[test]
+    fn empty_source() {
+        let mut src = CountingSource::new(vec![]);
+        assert!(src.is_empty());
+        assert!(src.next_point().is_none());
+        assert!(src.is_single_pass()); // vacuously true
+    }
+}

@@ -1,0 +1,217 @@
+//! Algorithm interfaces: batch and streaming (one-pass / online)
+//! simplifiers, and the adapter that lets a streaming algorithm be used as a
+//! batch one.
+
+use crate::error::TrajectoryError;
+use crate::simplified::{SimplifiedSegment, SimplifiedTrajectory};
+use crate::trajectory::Trajectory;
+use traj_geo::Point;
+
+/// A batch trajectory simplification algorithm (e.g. DP): the whole
+/// trajectory must be available before simplification starts.
+pub trait BatchSimplifier {
+    /// Human-readable algorithm name, used by the experiment harness.
+    fn name(&self) -> &'static str;
+
+    /// Simplifies `trajectory` under the error bound `epsilon` (the paper's
+    /// `ζ`, in the same length unit as the point coordinates).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrajectoryError::InvalidErrorBound`] when `epsilon` is not
+    /// finite and positive.
+    fn simplify(
+        &self,
+        trajectory: &Trajectory,
+        epsilon: f64,
+    ) -> Result<SimplifiedTrajectory, TrajectoryError>;
+}
+
+/// A streaming (online) trajectory simplification algorithm.
+///
+/// Points are pushed one at a time in trajectory order; the algorithm emits
+/// finished directed line segments as soon as they are determined and must
+/// be `finish`ed to flush the trailing segment.  One-pass algorithms (OPERB,
+/// OPERB-A, FBQS) look at each pushed point O(1) times and keep O(1) state;
+/// window algorithms (OPW, BQS) buffer points internally but expose the same
+/// interface.
+pub trait StreamingSimplifier {
+    /// Human-readable algorithm name.
+    fn name(&self) -> &'static str;
+
+    /// The error bound this instance was configured with.
+    fn epsilon(&self) -> f64;
+
+    /// Feeds the next point.  Any segments that became final are appended to
+    /// `out` (most pushes append nothing).
+    fn push(&mut self, point: Point, out: &mut Vec<SimplifiedSegment>);
+
+    /// Signals the end of the trajectory, flushing any pending segments.
+    /// After `finish` the simplifier is reset and may be reused for a new
+    /// trajectory.
+    fn finish(&mut self, out: &mut Vec<SimplifiedSegment>);
+
+    /// Number of points pushed since construction or the last `finish`.
+    fn points_seen(&self) -> usize;
+}
+
+/// Blanket adapter: runs a [`StreamingSimplifier`] over a whole
+/// [`Trajectory`] and assembles the [`SimplifiedTrajectory`].
+///
+/// The adapter owns a *factory* closure so that each `simplify` call gets a
+/// fresh simplifier configured with the requested `epsilon`.
+pub struct StreamingAdapter<F> {
+    name: &'static str,
+    factory: F,
+}
+
+impl<F, S> StreamingAdapter<F>
+where
+    F: Fn(f64) -> S,
+    S: StreamingSimplifier,
+{
+    /// Creates an adapter with the given display name and simplifier
+    /// factory.
+    pub fn new(name: &'static str, factory: F) -> Self {
+        Self { name, factory }
+    }
+
+    /// Runs the streaming simplifier over the trajectory.
+    pub fn run(
+        &self,
+        trajectory: &Trajectory,
+        epsilon: f64,
+    ) -> Result<SimplifiedTrajectory, TrajectoryError> {
+        validate_epsilon(epsilon)?;
+        let mut simplifier = (self.factory)(epsilon);
+        let mut segments = Vec::new();
+        for &p in trajectory.points() {
+            simplifier.push(p, &mut segments);
+        }
+        simplifier.finish(&mut segments);
+        Ok(SimplifiedTrajectory::new(segments, trajectory.len()))
+    }
+}
+
+impl<F, S> BatchSimplifier for StreamingAdapter<F>
+where
+    F: Fn(f64) -> S,
+    S: StreamingSimplifier,
+{
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn simplify(
+        &self,
+        trajectory: &Trajectory,
+        epsilon: f64,
+    ) -> Result<SimplifiedTrajectory, TrajectoryError> {
+        self.run(trajectory, epsilon)
+    }
+}
+
+/// Validates an error bound `ζ`.
+pub fn validate_epsilon(epsilon: f64) -> Result<(), TrajectoryError> {
+    if !epsilon.is_finite() || epsilon <= 0.0 {
+        Err(TrajectoryError::InvalidErrorBound { value: epsilon })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_geo::DirectedSegment;
+
+    /// A toy streaming simplifier that emits one segment per pushed pair of
+    /// points — enough to exercise the adapter plumbing.
+    struct PairEmitter {
+        epsilon: f64,
+        pending: Option<(Point, usize)>,
+        start: Option<(Point, usize)>,
+        seen: usize,
+    }
+
+    impl PairEmitter {
+        fn new(epsilon: f64) -> Self {
+            Self {
+                epsilon,
+                pending: None,
+                start: None,
+                seen: 0,
+            }
+        }
+    }
+
+    impl StreamingSimplifier for PairEmitter {
+        fn name(&self) -> &'static str {
+            "pair-emitter"
+        }
+        fn epsilon(&self) -> f64 {
+            self.epsilon
+        }
+        fn push(&mut self, point: Point, out: &mut Vec<SimplifiedSegment>) {
+            let idx = self.seen;
+            self.seen += 1;
+            if self.start.is_none() {
+                self.start = Some((point, idx));
+                return;
+            }
+            if let Some((s, si)) = self.start {
+                out.push(SimplifiedSegment::new(
+                    DirectedSegment::new(s, point),
+                    si,
+                    idx,
+                ));
+                self.start = Some((point, idx));
+            }
+            self.pending = Some((point, idx));
+        }
+        fn finish(&mut self, _out: &mut Vec<SimplifiedSegment>) {
+            self.start = None;
+            self.pending = None;
+            self.seen = 0;
+        }
+        fn points_seen(&self) -> usize {
+            self.seen
+        }
+    }
+
+    #[test]
+    fn adapter_runs_streaming_simplifier() {
+        let adapter = StreamingAdapter::new("pairs", PairEmitter::new);
+        let traj = Trajectory::from_xy(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        let out = adapter.simplify(&traj, 1.0).unwrap();
+        assert_eq!(out.num_segments(), 2);
+        assert_eq!(out.original_len(), 3);
+        assert_eq!(adapter.name(), "pairs");
+        assert_eq!(out.validate(), Ok(()));
+    }
+
+    #[test]
+    fn adapter_rejects_bad_epsilon() {
+        let adapter = StreamingAdapter::new("pairs", PairEmitter::new);
+        let traj = Trajectory::from_xy(&[(0.0, 0.0), (1.0, 0.0)]);
+        assert!(matches!(
+            adapter.simplify(&traj, 0.0),
+            Err(TrajectoryError::InvalidErrorBound { .. })
+        ));
+        assert!(matches!(
+            adapter.simplify(&traj, f64::NAN),
+            Err(TrajectoryError::InvalidErrorBound { .. })
+        ));
+        assert!(matches!(
+            adapter.simplify(&traj, -3.0),
+            Err(TrajectoryError::InvalidErrorBound { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_epsilon_accepts_positive() {
+        assert!(validate_epsilon(0.5).is_ok());
+        assert!(validate_epsilon(1e9).is_ok());
+        assert!(validate_epsilon(f64::INFINITY).is_err());
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests of the trajectory model invariants.
+
+use proptest::prelude::*;
+use traj_geo::{DirectedSegment, Point};
+use traj_model::{CountingSource, SimplifiedSegment, SimplifiedTrajectory, Trajectory};
+
+fn monotone_trajectory(max_len: usize) -> impl Strategy<Value = Trajectory> {
+    prop::collection::vec((-1.0e4..1.0e4f64, -1.0e4..1.0e4f64, 0.01f64..10.0), 2..max_len)
+        .prop_map(|tuples| {
+            let mut t = 0.0;
+            let points = tuples
+                .into_iter()
+                .map(|(x, y, dt)| {
+                    t += dt;
+                    Point::new(x, y, t)
+                })
+                .collect();
+            Trajectory::new(points).expect("timestamps strictly increase by construction")
+        })
+}
+
+proptest! {
+    #[test]
+    fn valid_trajectories_pass_validation(traj in monotone_trajectory(100)) {
+        // Re-validating the points must succeed and preserve everything.
+        let again = Trajectory::new(traj.points().to_vec()).expect("still valid");
+        prop_assert_eq!(&again, &traj);
+        prop_assert!(traj.duration() >= 0.0);
+        prop_assert!(traj.path_length() >= 0.0);
+        prop_assert!(traj.mean_sampling_interval() > 0.0);
+    }
+
+    #[test]
+    fn shuffled_timestamps_are_rejected(traj in monotone_trajectory(30)) {
+        let mut points = traj.points().to_vec();
+        // Swap two adjacent timestamps to violate monotonicity.
+        if points.len() >= 2 {
+            let t0 = points[0].t;
+            points[0].t = points[1].t;
+            points[1].t = t0;
+            prop_assert!(Trajectory::new(points).is_err());
+        }
+    }
+
+    #[test]
+    fn slices_preserve_points(traj in monotone_trajectory(60), split in 0usize..59) {
+        let last = traj.len() - 1;
+        let mid = split.min(last);
+        let left = traj.slice(0, mid);
+        let right = traj.slice(mid, last);
+        prop_assert_eq!(left.len() + right.len(), traj.len() + 1);
+        prop_assert_eq!(left.last(), right.first());
+        prop_assert_eq!(left.first(), traj.first());
+        prop_assert_eq!(right.last(), traj.last());
+    }
+
+    #[test]
+    fn single_segment_representation_validates(traj in monotone_trajectory(80)) {
+        let seg = SimplifiedSegment::new(
+            DirectedSegment::new(traj.first(), traj.last()),
+            0,
+            traj.len() - 1,
+        );
+        let simp = SimplifiedTrajectory::new(vec![seg], traj.len());
+        prop_assert_eq!(simp.validate(), Ok(()));
+        prop_assert!(simp.compression_ratio() <= 1.0);
+        prop_assert_eq!(simp.num_shape_points(), 2);
+        // Every index is covered.
+        for i in 0..traj.len() {
+            prop_assert_eq!(simp.segments_covering(i).count(), 1);
+        }
+    }
+
+    #[test]
+    fn counting_source_sees_every_point_once(traj in monotone_trajectory(80)) {
+        let mut src = CountingSource::new(traj.points().to_vec());
+        let mut n = 0;
+        while src.next_point().is_some() {
+            n += 1;
+        }
+        prop_assert_eq!(n, traj.len());
+        prop_assert!(src.is_single_pass());
+        prop_assert!(src.is_exhaustive());
+    }
+}

@@ -1,0 +1,81 @@
+//! File import / export: compress a trajectory file from disk.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release --example file_roundtrip -- input.csv 30
+//! cargo run --release --example file_roundtrip -- trajectory.plt 30
+//! ```
+//!
+//! * `.csv` files contain `x,y,t` records (planar meters / seconds);
+//! * `.plt` files are GeoLife logs (projected to a local planar frame).
+//!
+//! Without arguments the example generates a GeoLife-like synthetic
+//! trajectory, writes it to a temporary CSV, reads it back, compresses it
+//! with OPERB-A and writes the simplified shape points next to it — i.e. a
+//! full ingest → compress → export round trip.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::PathBuf;
+
+use trajsimp::data::io::{read_csv, read_plt, write_csv};
+use trajsimp::data::{DatasetGenerator, DatasetKind};
+use trajsimp::metrics::{average_error, max_error};
+use trajsimp::model::{BatchSimplifier, Trajectory};
+use trajsimp::operb::OperbA;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let zeta: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(30.0);
+
+    let (trajectory, source): (Trajectory, String) = match args.first() {
+        Some(path) => {
+            let file = File::open(path).unwrap_or_else(|e| panic!("cannot open {path}: {e}"));
+            let reader = BufReader::new(file);
+            let traj = if path.ends_with(".plt") {
+                read_plt(reader).expect("valid GeoLife .plt file")
+            } else {
+                read_csv(reader).expect("valid x,y,t CSV file")
+            };
+            (traj, path.clone())
+        }
+        None => {
+            let traj =
+                DatasetGenerator::for_kind(DatasetKind::GeoLife, 11).generate_trajectory(0, 3_000);
+            let path = std::env::temp_dir().join("trajsimp_example_input.csv");
+            let mut writer = BufWriter::new(File::create(&path).expect("temp file"));
+            write_csv(&mut writer, &traj).expect("write temp csv");
+            (traj, path.display().to_string())
+        }
+    };
+
+    println!(
+        "loaded {} points from {source} (duration {:.0} s, path length {:.1} km)",
+        trajectory.len(),
+        trajectory.duration(),
+        trajectory.path_length() / 1000.0
+    );
+
+    let algorithm = OperbA::new();
+    let simplified = algorithm
+        .simplify(&trajectory, zeta)
+        .expect("valid error bound");
+
+    println!(
+        "OPERB-A with ζ = {zeta} m: {} → {} segments (ratio {:.4}), max error {:.2} m, avg error {:.2} m",
+        trajectory.len(),
+        simplified.num_segments(),
+        simplified.compression_ratio(),
+        max_error(&trajectory, &simplified),
+        average_error(&trajectory, &simplified),
+    );
+
+    // Export the simplified shape points as CSV next to the input.
+    let out_path = PathBuf::from(format!("{source}.simplified.csv"));
+    let shape = Trajectory::new(simplified.shape_points())
+        .unwrap_or_else(|_| trajectory.clone());
+    let mut writer = BufWriter::new(File::create(&out_path).expect("output file"));
+    write_csv(&mut writer, &shape).expect("write output");
+    println!("wrote simplified shape points to {}", out_path.display());
+}

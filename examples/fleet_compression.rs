@@ -1,0 +1,67 @@
+//! Fleet compression: the vehicle-to-cloud scenario that motivates the
+//! paper's introduction.
+//!
+//! A fleet of taxis samples its position every 60 seconds and uploads the
+//! trajectories to a server.  This example generates a synthetic fleet,
+//! compresses it with every implemented algorithm and reports, per
+//! algorithm: compression ratio, average error, maximum error and
+//! throughput — i.e. a miniature version of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release --example fleet_compression
+//! ```
+
+use trajsimp::baselines::{Bqs, DouglasPeucker, Fbqs, OpeningWindow};
+use trajsimp::data::{DatasetGenerator, DatasetKind};
+use trajsimp::metrics::evaluate_batch;
+use trajsimp::model::BatchSimplifier;
+use trajsimp::operb::{Operb, OperbA};
+
+fn main() {
+    let zeta = 40.0; // meters, the paper's default for most experiments
+    let fleet_size = 8;
+    let points_per_trajectory = 1_500;
+
+    println!("generating a fleet of {fleet_size} taxi trajectories ({points_per_trajectory} points each) …");
+    let fleet = DatasetGenerator::for_kind(DatasetKind::Taxi, 42)
+        .generate_sized(fleet_size, points_per_trajectory);
+    let total_points: usize = fleet.iter().map(|t| t.len()).sum();
+    println!("total: {total_points} GPS fixes, ζ = {zeta} m\n");
+
+    let algorithms: Vec<Box<dyn BatchSimplifier>> = vec![
+        Box::new(DouglasPeucker::new()),
+        Box::new(OpeningWindow::new()),
+        Box::new(Bqs::new()),
+        Box::new(Fbqs::new()),
+        Box::new(Operb::raw()),
+        Box::new(Operb::new()),
+        Box::new(OperbA::new()),
+    ];
+
+    println!(
+        "{:<12} {:>10} {:>12} {:>12} {:>12} {:>14}",
+        "algorithm", "segments", "compr.ratio", "avg err (m)", "max err (m)", "points/sec"
+    );
+    for algo in &algorithms {
+        let result = evaluate_batch(algo.as_ref(), &fleet, zeta, 3);
+        println!(
+            "{:<12} {:>10} {:>12.4} {:>12.2} {:>12.2} {:>14.0}",
+            result.algorithm,
+            result.total_segments,
+            result.compression_ratio,
+            result.average_error,
+            result.max_error,
+            result.throughput_points_per_sec(),
+        );
+        assert!(
+            result.error_bounded(),
+            "{} violated the error bound!",
+            result.algorithm
+        );
+    }
+
+    println!(
+        "\nevery algorithm stayed within ζ = {zeta} m; lower compression ratio and higher \
+         points/sec are better."
+    );
+}

@@ -1,0 +1,74 @@
+//! Quickstart: simplify a small GPS track with OPERB and OPERB-A and
+//! compare them against Douglas-Peucker.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use trajsimp::baselines::DouglasPeucker;
+use trajsimp::metrics::{average_error, max_error};
+use trajsimp::model::{BatchSimplifier, Trajectory};
+use trajsimp::operb::{Operb, OperbA};
+
+fn main() {
+    // A fifteen-point trajectory shaped like Figure 1 of the paper:
+    // a flat run, a climb, a crest and a descent.  Coordinates are meters,
+    // one fix per second.
+    let trajectory = Trajectory::from_xy(&[
+        (0.0, 0.0),
+        (10.0, 1.5),
+        (20.0, -1.0),
+        (30.0, 1.0),
+        (40.0, -0.5),
+        (50.0, 0.0),
+        (57.0, 8.0),
+        (64.0, 16.0),
+        (70.0, 25.0),
+        (80.0, 26.0),
+        (90.0, 28.0),
+        (95.0, 20.0),
+        (100.0, 12.0),
+        (105.0, 5.0),
+        (110.0, -3.0),
+    ]);
+    let zeta = 5.0; // error bound in meters
+
+    println!("input: {} points, ζ = {zeta} m\n", trajectory.len());
+
+    let algorithms: Vec<Box<dyn BatchSimplifier>> = vec![
+        Box::new(DouglasPeucker::new()),
+        Box::new(Operb::new()),
+        Box::new(OperbA::new()),
+    ];
+
+    for algo in &algorithms {
+        let simplified = algo
+            .simplify(&trajectory, zeta)
+            .expect("valid error bound and trajectory");
+        println!(
+            "{:<8} → {} segments (compression ratio {:.2}), max error {:.2} m, avg error {:.2} m",
+            algo.name(),
+            simplified.num_segments(),
+            simplified.compression_ratio(),
+            max_error(&trajectory, &simplified),
+            average_error(&trajectory, &simplified),
+        );
+        for (i, seg) in simplified.segments().iter().enumerate() {
+            println!(
+                "    L{i}: ({:7.2}, {:6.2}) → ({:7.2}, {:6.2})   covers points {:>2}..={:<2}{}",
+                seg.segment.start.x,
+                seg.segment.start.y,
+                seg.segment.end.x,
+                seg.segment.end.y,
+                seg.first_index,
+                seg.last_index,
+                if seg.interpolated_start || seg.interpolated_end {
+                    "  (patched)"
+                } else {
+                    ""
+                }
+            );
+        }
+        println!();
+    }
+}

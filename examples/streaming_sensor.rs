@@ -1,0 +1,74 @@
+//! Online simplification on a resource-constrained sensor.
+//!
+//! OPERB's selling point is that it is *one-pass*: a GPS logger can push
+//! every fix into the simplifier the moment it is sampled, transmit a line
+//! segment as soon as it is finalized, and never buffer the raw trajectory.
+//! This example simulates that loop with a service-car profile (3–5 s
+//! sampling) and shows the segments being emitted while the "vehicle" is
+//! still driving, together with the bounded state the algorithm keeps.
+//!
+//! ```text
+//! cargo run --release --example streaming_sensor
+//! ```
+
+use trajsimp::data::{DatasetGenerator, DatasetKind};
+use trajsimp::model::StreamingSimplifier;
+use trajsimp::operb::OperbAStream;
+
+fn main() {
+    let zeta = 25.0;
+    let trajectory = DatasetGenerator::for_kind(DatasetKind::SerCar, 7).generate_trajectory(0, 2_000);
+
+    println!(
+        "simulating a sensor sampling {} fixes (ζ = {zeta} m) …\n",
+        trajectory.len()
+    );
+
+    let mut simplifier = OperbAStream::new(zeta);
+    let mut emitted = Vec::new();
+    let mut transmitted_segments = 0usize;
+
+    for (i, &fix) in trajectory.points().iter().enumerate() {
+        // The sensor hands each fix to the simplifier exactly once.
+        simplifier.push(fix, &mut emitted);
+
+        // Whatever got finalized can be transmitted immediately and dropped
+        // from memory.
+        for seg in emitted.drain(..) {
+            transmitted_segments += 1;
+            if transmitted_segments <= 10 || transmitted_segments % 25 == 0 {
+                println!(
+                    "t = {:7.0}s  fix #{i:>5}  → transmit segment #{:<4} ({:8.1}, {:8.1}) → ({:8.1}, {:8.1}) covering {} fixes",
+                    fix.t,
+                    transmitted_segments,
+                    seg.segment.start.x,
+                    seg.segment.start.y,
+                    seg.segment.end.x,
+                    seg.segment.end.y,
+                    seg.point_count(),
+                );
+            }
+        }
+    }
+
+    // End of the trip: flush the trailing segment(s).
+    simplifier.finish(&mut emitted);
+    transmitted_segments += emitted.len();
+
+    let stats = simplifier.stats();
+    println!("\ntrip finished:");
+    println!("  raw fixes            : {}", trajectory.len());
+    println!("  transmitted segments : {transmitted_segments}");
+    println!(
+        "  compression ratio    : {:.4}",
+        transmitted_segments as f64 / trajectory.len() as f64
+    );
+    println!(
+        "  anomalous segments   : {} ({} patched away)",
+        stats.anomalous_segments, stats.patch_points_added
+    );
+    println!(
+        "  bandwidth saving     : {:.1}×",
+        trajectory.len() as f64 / transmitted_segments as f64
+    );
+}

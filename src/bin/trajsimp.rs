@@ -1,0 +1,152 @@
+//! `trajsimp` — command-line trajectory compression.
+//!
+//! ```text
+//! trajsimp <input.csv|input.plt> [--algorithm operb-a] [--epsilon 30] [--output out.csv]
+//! ```
+//!
+//! Reads a trajectory file (planar `x,y,t` CSV or a GeoLife `.plt` log),
+//! simplifies it with the selected error-bounded algorithm and writes the
+//! retained shape points as CSV, printing the compression statistics the
+//! paper's evaluation reports (ratio, average error, maximum error,
+//! throughput).
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use trajsimp::baselines::{Bqs, DouglasPeucker, Fbqs, OpeningWindow, TdTr};
+use trajsimp::data::io::{read_csv, read_plt};
+use trajsimp::metrics::{average_error, max_error};
+use trajsimp::model::{BatchSimplifier, Trajectory};
+use trajsimp::operb::{Operb, OperbA};
+
+const USAGE: &str = "usage: trajsimp <input.csv|input.plt> [--algorithm NAME] [--epsilon METERS] [--output FILE]\n\
+                     algorithms: operb (default: operb-a), operb-a, raw-operb, raw-operb-a, dp, td-tr, opw, bqs, fbqs";
+
+struct Options {
+    input: String,
+    algorithm: String,
+    epsilon: f64,
+    output: Option<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut input = None;
+    let mut algorithm = "operb-a".to_string();
+    let mut epsilon = 30.0;
+    let mut output = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--algorithm" | "-a" => {
+                algorithm = it.next().ok_or("--algorithm needs a value")?.to_lowercase();
+            }
+            "--epsilon" | "-e" => {
+                let v = it.next().ok_or("--epsilon needs a value")?;
+                epsilon = v.parse().map_err(|_| format!("invalid epsilon '{v}'"))?;
+            }
+            "--output" | "-o" => {
+                output = Some(it.next().ok_or("--output needs a file")?.to_string());
+            }
+            other if input.is_none() && !other.starts_with('-') => {
+                input = Some(other.to_string());
+            }
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    Ok(Options {
+        input: input.ok_or(USAGE)?,
+        algorithm,
+        epsilon,
+        output,
+    })
+}
+
+fn algorithm_by_name(name: &str) -> Option<Box<dyn BatchSimplifier>> {
+    Some(match name {
+        "operb" => Box::new(Operb::new()),
+        "raw-operb" => Box::new(Operb::raw()),
+        "operb-a" => Box::new(OperbA::new()),
+        "raw-operb-a" => Box::new(OperbA::raw()),
+        "dp" | "douglas-peucker" => Box::new(DouglasPeucker::new()),
+        "td-tr" | "tdtr" => Box::new(TdTr::new()),
+        "opw" => Box::new(OpeningWindow::new()),
+        "bqs" => Box::new(Bqs::new()),
+        "fbqs" => Box::new(Fbqs::new()),
+        _ => return None,
+    })
+}
+
+fn load(path: &str) -> Result<Trajectory, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let reader = BufReader::new(file);
+    if path.ends_with(".plt") {
+        read_plt(reader).map_err(|e| format!("cannot parse {path}: {e}"))
+    } else {
+        read_csv(reader).map_err(|e| format!("cannot parse {path}: {e}"))
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(algorithm) = algorithm_by_name(&options.algorithm) else {
+        eprintln!("unknown algorithm '{}'\n{USAGE}", options.algorithm);
+        return ExitCode::FAILURE;
+    };
+    let trajectory = match load(&options.input) {
+        Ok(t) => t,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let start = Instant::now();
+    let simplified = match algorithm.simplify(&trajectory, options.epsilon) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("simplification failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let elapsed = start.elapsed();
+
+    println!("input        : {} ({} points)", options.input, trajectory.len());
+    println!("algorithm    : {} (ζ = {} m)", algorithm.name(), options.epsilon);
+    println!("segments     : {}", simplified.num_segments());
+    println!("ratio        : {:.4}", simplified.compression_ratio());
+    println!("max error    : {:.2} m", max_error(&trajectory, &simplified));
+    println!("avg error    : {:.2} m", average_error(&trajectory, &simplified));
+    println!(
+        "time         : {:.2} ms ({:.0} points/s)",
+        elapsed.as_secs_f64() * 1e3,
+        trajectory.len() as f64 / elapsed.as_secs_f64().max(1e-12)
+    );
+
+    if let Some(out_path) = options.output {
+        let file = match File::create(&out_path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot create {out_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut writer = BufWriter::new(file);
+        for p in simplified.shape_points() {
+            if let Err(e) = writeln!(writer, "{},{},{}", p.x, p.y, p.t) {
+                eprintln!("write error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        println!("output       : {out_path} ({} shape points)", simplified.num_shape_points());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate re-exporting the whole `trajsimp` workspace.
+//!
+//! See the individual crates for details:
+//! [`traj_geo`], [`traj_model`], [`traj_data`], [`traj_baselines`],
+//! [`operb`], [`traj_metrics`].
+
+pub use operb;
+pub use traj_baselines as baselines;
+pub use traj_data as data;
+pub use traj_geo as geo;
+pub use traj_metrics as metrics;
+pub use traj_model as model;

@@ -1,0 +1,115 @@
+//! Cross-crate integration tests: every error-bounded algorithm must
+//! respect ζ on every synthetic dataset profile, and its output must be a
+//! well-formed piecewise representation.
+
+use trajsimp::baselines::{Bqs, DouglasPeucker, Fbqs, OpeningWindow};
+use trajsimp::data::{DatasetGenerator, DatasetKind};
+use trajsimp::metrics::{check_error_bound, max_error};
+use trajsimp::model::{BatchSimplifier, Trajectory};
+use trajsimp::operb::{Operb, OperbA};
+
+fn algorithms() -> Vec<Box<dyn BatchSimplifier>> {
+    vec![
+        Box::new(DouglasPeucker::new()),
+        Box::new(OpeningWindow::new()),
+        Box::new(Bqs::new()),
+        Box::new(Fbqs::new()),
+        Box::new(Operb::raw()),
+        Box::new(Operb::new()),
+        Box::new(OperbA::raw()),
+        Box::new(OperbA::new()),
+    ]
+}
+
+fn small_datasets() -> Vec<(DatasetKind, Vec<Trajectory>)> {
+    DatasetKind::ALL
+        .iter()
+        .map(|&kind| {
+            (
+                kind,
+                DatasetGenerator::for_kind(kind, 1234).generate_sized(2, 800),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn every_algorithm_is_error_bounded_on_every_profile() {
+    for (kind, data) in small_datasets() {
+        for zeta in [10.0, 40.0, 100.0] {
+            for algo in algorithms() {
+                for traj in &data {
+                    let out = algo.simplify(traj, zeta).expect("valid input");
+                    let violations = check_error_bound(traj, &out, zeta + 1e-9);
+                    assert!(
+                        violations.is_empty(),
+                        "{} on {kind} with ζ = {zeta}: {} violations, worst {:?}",
+                        algo.name(),
+                        violations.len(),
+                        violations
+                            .iter()
+                            .max_by(|a, b| a.distance.total_cmp(&b.distance))
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_output_is_a_well_formed_piecewise_representation() {
+    for (kind, data) in small_datasets() {
+        for algo in algorithms() {
+            for traj in &data {
+                let out = algo.simplify(traj, 40.0).expect("valid input");
+                assert_eq!(
+                    out.validate(),
+                    Ok(()),
+                    "{} produced an invalid representation on {kind}",
+                    algo.name()
+                );
+                assert_eq!(out.original_len(), traj.len());
+                assert!(out.num_segments() >= 1);
+                assert!(out.num_segments() < traj.len());
+                // The representation starts at P0 and ends at Pn (patch
+                // points never replace the global endpoints).
+                let first = out.segments().first().unwrap();
+                let last = out.segments().last().unwrap();
+                assert!(first.segment.start.approx_eq(&traj.first(), 1e-6));
+                assert!(last.segment.end.approx_eq(&traj.last(), 1e-6));
+            }
+        }
+    }
+}
+
+#[test]
+fn compression_ratio_decreases_as_zeta_grows() {
+    for (kind, data) in small_datasets() {
+        for algo in algorithms() {
+            let traj = &data[0];
+            let tight = algo.simplify(traj, 5.0).expect("valid input");
+            let loose = algo.simplify(traj, 80.0).expect("valid input");
+            assert!(
+                loose.num_segments() <= tight.num_segments(),
+                "{} on {kind}: {} segments at ζ=80 vs {} at ζ=5",
+                algo.name(),
+                loose.num_segments(),
+                tight.num_segments()
+            );
+        }
+    }
+}
+
+#[test]
+fn max_error_metric_matches_bound_checker() {
+    let data = DatasetGenerator::for_kind(DatasetKind::SerCar, 77).generate_sized(1, 600);
+    let traj = &data[0];
+    for algo in algorithms() {
+        let out = algo.simplify(traj, 25.0).expect("valid input");
+        let worst = max_error(traj, &out);
+        assert!(check_error_bound(traj, &out, worst + 1e-9).is_empty());
+        if worst > 1e-9 {
+            assert!(!check_error_bound(traj, &out, worst * 0.5).is_empty());
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! End-to-end ingest → simplify → export pipeline tests across crates:
+//! file parsing, projection, simplification and the lossless delta codec.
+
+use std::io::BufReader;
+
+use trajsimp::baselines::delta::DeltaCodec;
+use trajsimp::data::io::{read_csv, read_plt, write_csv};
+use trajsimp::data::{DatasetGenerator, DatasetKind};
+use trajsimp::metrics::check_error_bound;
+use trajsimp::model::BatchSimplifier;
+use trajsimp::operb::OperbA;
+
+#[test]
+fn csv_roundtrip_then_simplify() {
+    let traj = DatasetGenerator::for_kind(DatasetKind::SerCar, 31).generate_trajectory(0, 600);
+
+    // Write to CSV and read back.
+    let mut buf = Vec::new();
+    write_csv(&mut buf, &traj).expect("in-memory write");
+    let parsed = read_csv(BufReader::new(buf.as_slice())).expect("parse own output");
+    assert_eq!(parsed.len(), traj.len());
+
+    // Simplify the parsed copy; the bound must hold against the parsed data.
+    let zeta = 25.0;
+    let out = OperbA::new().simplify(&parsed, zeta).expect("valid input");
+    assert!(check_error_bound(&parsed, &out, zeta + 1e-9).is_empty());
+    assert!(out.num_segments() < parsed.len());
+}
+
+#[test]
+fn plt_ingest_projects_and_simplifies() {
+    // A synthetic GeoLife-format log around Beijing: a 2-point-per-line
+    // eastbound walk with a northbound turn.
+    let mut plt = String::from("Geolife trajectory\nWGS 84\nAltitude is in Feet\nReserved 3\n0,2,255,My Track,0,0,2,8421376\n0\n");
+    let day = 39744.0;
+    for i in 0..60 {
+        // ~0.0001 deg ≈ 8.5 m eastward per 5 s sample.
+        let lon = 116.3000 + i as f64 * 1e-4;
+        let lat = 39.9000;
+        plt.push_str(&format!(
+            "{lat:.6},{lon:.6},0,160,{:.10},2008-10-23,02:53:04\n",
+            day + i as f64 * 5.0 / 86_400.0
+        ));
+    }
+    for i in 1..60 {
+        let lon = 116.3000 + 59.0 * 1e-4;
+        let lat = 39.9000 + i as f64 * 1e-4;
+        plt.push_str(&format!(
+            "{lat:.6},{lon:.6},0,160,{:.10},2008-10-23,02:58:04\n",
+            day + (59 + i) as f64 * 5.0 / 86_400.0
+        ));
+    }
+    let traj = read_plt(BufReader::new(plt.as_bytes())).expect("valid synthetic plt");
+    assert_eq!(traj.len(), 119);
+    // The projected track is ~500 m east then ~650 m north.
+    assert!(traj.path_length() > 900.0 && traj.path_length() < 1_500.0);
+
+    let zeta = 10.0;
+    let out = OperbA::new().simplify(&traj, zeta).expect("valid input");
+    // An L-shaped walk compresses to a handful of segments.
+    assert!(out.num_segments() <= 6, "got {}", out.num_segments());
+    assert!(check_error_bound(&traj, &out, zeta + 1e-9).is_empty());
+}
+
+#[test]
+fn lossless_delta_versus_lossy_ls_tradeoff() {
+    // The motivation of the paper's related-work discussion: lossless delta
+    // compression keeps every point (ratio in bytes well above the LS
+    // point ratio), while LS achieves much stronger reduction at a bounded
+    // error.
+    let traj = DatasetGenerator::for_kind(DatasetKind::Truck, 13).generate_trajectory(0, 1_000);
+    let codec = DeltaCodec::default();
+    let decoded = codec.decode(codec.encode(&traj)).expect("roundtrip");
+    assert_eq!(decoded.len(), traj.len());
+
+    let lossy = OperbA::new().simplify(&traj, 40.0).expect("valid input");
+    let lossy_point_ratio = lossy.compression_ratio();
+    let lossless_byte_ratio = codec.byte_compression_ratio(&traj);
+    assert!(
+        lossy_point_ratio < lossless_byte_ratio,
+        "LS at ζ=40 m should reduce the data more ({lossy_point_ratio:.3}) than lossless delta ({lossless_byte_ratio:.3})"
+    );
+}

