@@ -1,4 +1,4 @@
-//! Lossless delta encoding of trajectories (related work [19] of the
+//! Lossless delta encoding of trajectories (related work \[19\] of the
 //! paper).
 //!
 //! Line simplification is *lossy*; the paper contrasts it with lossless
@@ -14,9 +14,10 @@
 //! * decoding restores the points exactly up to the quantization step, and
 //!   a round-trip after the first encode is bit-exact.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-use traj_geo::Point;
-use traj_model::{Trajectory, TrajectoryError};
+use traj_geo::{DirectedSegment, Point};
+use traj_model::{
+    BatchSimplifier, SimplifiedSegment, SimplifiedTrajectory, Trajectory, TrajectoryError,
+};
 
 /// Default spatial quantization step: 1 cm.
 pub const DEFAULT_SPATIAL_RESOLUTION: f64 = 0.01;
@@ -69,26 +70,42 @@ fn zigzag_decode(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
-fn put_varint(buf: &mut BytesMut, mut v: u64) {
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
         if v == 0 {
-            buf.put_u8(byte);
+            buf.push(byte);
             return;
         }
-        buf.put_u8(byte | 0x80);
+        buf.push(byte | 0x80);
     }
 }
 
-fn get_varint(buf: &mut Bytes) -> Result<u64, DeltaError> {
+/// A read cursor over an encoded byte slice (replaces the `bytes::Buf`
+/// dependency with plain std).
+struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn get_u8(&mut self) -> Result<u8, DeltaError> {
+        let b = *self.bytes.get(self.pos).ok_or(DeltaError::UnexpectedEof)?;
+        self.pos += 1;
+        Ok(b)
+    }
+}
+
+fn get_varint(buf: &mut ByteReader<'_>) -> Result<u64, DeltaError> {
     let mut value: u64 = 0;
     let mut shift = 0;
     loop {
-        if !buf.has_remaining() {
-            return Err(DeltaError::UnexpectedEof);
-        }
-        let byte = buf.get_u8();
+        let byte = buf.get_u8()?;
         if shift >= 64 {
             return Err(DeltaError::VarintOverflow);
         }
@@ -124,9 +141,9 @@ impl DeltaCodec {
     }
 
     /// Encodes a trajectory into a compact delta byte stream.
-    pub fn encode(&self, traj: &Trajectory) -> Bytes {
+    pub fn encode(&self, traj: &Trajectory) -> Vec<u8> {
         let q = self.quantize(traj);
-        let mut buf = BytesMut::with_capacity(q.len() * 6 + 16);
+        let mut buf = Vec::with_capacity(q.len() * 6 + 16);
         put_varint(&mut buf, q.len() as u64);
         let mut prev = (0i64, 0i64, 0i64);
         for &(x, y, t) in &q {
@@ -135,11 +152,12 @@ impl DeltaCodec {
             put_varint(&mut buf, zigzag_encode(t - prev.2));
             prev = (x, y, t);
         }
-        buf.freeze()
+        buf
     }
 
     /// Decodes a delta byte stream back into a trajectory.
-    pub fn decode(&self, mut bytes: Bytes) -> Result<Trajectory, DeltaError> {
+    pub fn decode(&self, bytes: &[u8]) -> Result<Trajectory, DeltaError> {
+        let mut bytes = ByteReader::new(bytes);
         let n = get_varint(&mut bytes)? as usize;
         let mut points = Vec::with_capacity(n);
         let mut prev = (0i64, 0i64, 0i64);
@@ -162,6 +180,12 @@ impl DeltaCodec {
         })
     }
 
+    /// Spatial worst-case error introduced by quantization (half a step per
+    /// axis, combined over x and y).
+    pub fn max_quantization_error(&self) -> f64 {
+        (self.spatial_resolution / 2.0) * std::f64::consts::SQRT_2
+    }
+
     /// Compression ratio in bytes: encoded size divided by the raw size
     /// (3 × f64 per point).
     pub fn byte_compression_ratio(&self, traj: &Trajectory) -> f64 {
@@ -172,6 +196,41 @@ impl DeltaCodec {
         } else {
             encoded / raw
         }
+    }
+}
+
+/// The delta codec viewed through the unified simplifier interface: a
+/// *lossless* "simplification" that keeps every point (one directed line
+/// segment per consecutive pair, exactly the piecewise representation of
+/// the round-tripped quantized trajectory).
+///
+/// This lets the fleet pipeline and the benchmarks put lossless delta
+/// compression side by side with the lossy line-simplification algorithms:
+/// its point-count compression ratio is 1.0 (nothing dropped) and its error
+/// is the quantization error, far below any practical `ζ`.  The `epsilon`
+/// argument is validated but otherwise unused — delta encoding has no
+/// error/size trade-off knob.
+impl BatchSimplifier for DeltaCodec {
+    fn name(&self) -> &'static str {
+        "Delta"
+    }
+
+    fn simplify(
+        &self,
+        trajectory: &Trajectory,
+        epsilon: f64,
+    ) -> Result<SimplifiedTrajectory, TrajectoryError> {
+        traj_model::traits::validate_epsilon(epsilon)?;
+        let decoded = self
+            .decode(&self.encode(trajectory))
+            .map_err(|_| TrajectoryError::Empty)?;
+        let points = decoded.points();
+        let segments = points
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| SimplifiedSegment::new(DirectedSegment::new(w[0], w[1]), i, i + 1))
+            .collect();
+        Ok(SimplifiedTrajectory::new(segments, trajectory.len()))
     }
 }
 
@@ -201,11 +260,11 @@ mod tests {
     #[test]
     fn varint_roundtrip() {
         let values = [0u64, 1, 127, 128, 300, 1 << 20, u64::MAX];
-        let mut buf = BytesMut::new();
+        let mut buf = Vec::new();
         for &v in &values {
             put_varint(&mut buf, v);
         }
-        let mut bytes = buf.freeze();
+        let mut bytes = ByteReader::new(&buf);
         for &v in &values {
             assert_eq!(get_varint(&mut bytes).unwrap(), v);
         }
@@ -213,7 +272,7 @@ mod tests {
 
     #[test]
     fn varint_eof_detection() {
-        let mut bytes = Bytes::from_static(&[0x80]);
+        let mut bytes = ByteReader::new(&[0x80]);
         assert_eq!(get_varint(&mut bytes), Err(DeltaError::UnexpectedEof));
     }
 
@@ -222,7 +281,7 @@ mod tests {
         let traj = sample_trajectory();
         let codec = DeltaCodec::default();
         let encoded = codec.encode(&traj);
-        let decoded = codec.decode(encoded).unwrap();
+        let decoded = codec.decode(&encoded).unwrap();
         assert_eq!(decoded.len(), traj.len());
         for (a, b) in traj.points().iter().zip(decoded.points()) {
             assert!((a.x - b.x).abs() <= codec.spatial_resolution / 2.0 + 1e-12);
@@ -235,8 +294,8 @@ mod tests {
     fn second_roundtrip_is_exact() {
         let traj = sample_trajectory();
         let codec = DeltaCodec::default();
-        let once = codec.decode(codec.encode(&traj)).unwrap();
-        let twice = codec.decode(codec.encode(&once)).unwrap();
+        let once = codec.decode(&codec.encode(&traj)).unwrap();
+        let twice = codec.decode(&codec.encode(&once)).unwrap();
         assert_eq!(once, twice);
     }
 
@@ -260,6 +319,6 @@ mod tests {
     #[test]
     fn empty_stream_is_an_error() {
         let codec = DeltaCodec::default();
-        assert!(codec.decode(Bytes::new()).is_err());
+        assert!(codec.decode(&[]).is_err());
     }
 }

@@ -3,7 +3,7 @@
 //! `DP` (paper §3.2, Figure 3) picks the point with the maximum distance to
 //! the segment between the first and last point; if that distance exceeds ζ
 //! the trajectory is split there and both halves are compressed recursively,
-//! otherwise the single segment is emitted.  `TD-TR` (related work [15]) is
+//! otherwise the single segment is emitted.  `TD-TR` (related work \[15\]) is
 //! the same algorithm with the *synchronous Euclidean distance*.
 //!
 //! The implementation uses an explicit work stack (no recursion) so that

@@ -7,7 +7,7 @@
 //! * [`DouglasPeucker`] — the classic batch top-down algorithm DP
 //!   (Douglas & Peucker 1973; paper §3.2, Figure 3), `O(n²)` time.
 //! * [`TdTr`] — DP with the *synchronous Euclidean distance* instead of the
-//!   perpendicular distance (Meratnia & de By, related work [15]).
+//!   perpendicular distance (Meratnia & de By, related work \[15\]).
 //! * [`OpeningWindow`] — the online opening-window algorithm OPW
 //!   (paper §3.2), `O(n²)` time.
 //! * [`Bqs`] — the Bounded Quadrant System (Liu et al., ICDE 2015): an
@@ -20,7 +20,7 @@
 //! * [`UniformSampling`], [`DeadReckoning`] — simple non-error-bounded /
 //!   prediction-based baselines used in examples.
 //! * [`delta`] — a lossless delta encoding of trajectories (related work
-//!   [19]) to contrast lossy and lossless compression ratios.
+//!   \[19\]) to contrast lossy and lossless compression ratios.
 //!
 //! All lossy algorithms implement [`traj_model::BatchSimplifier`]; the
 //! online ones also implement [`traj_model::StreamingSimplifier`].
@@ -36,6 +36,7 @@ pub mod sampling;
 pub mod window;
 
 pub use bqs::{Bqs, BqsStream, Fbqs, FbqsStream};
+pub use delta::DeltaCodec;
 pub use dp::{DistanceKind, DouglasPeucker, TdTr};
 pub use opw::{OpeningWindow, OpeningWindowStream};
 pub use sampling::{DeadReckoning, UniformSampling};

@@ -99,10 +99,14 @@ fn main() -> ExitCode {
         let stats = table1::run(&repo, scale);
         println!("{}", table1::render(&stats));
         if let Some(dir) = json_dir {
+            let rows = stats
+                .iter()
+                .map(traj_data::DatasetStats::to_json_value)
+                .collect::<Vec<_>>();
             write_json(
                 dir,
                 "table1",
-                &serde_json::to_string_pretty(&stats).expect("stats serialize"),
+                &traj_model::json::JsonValue::Array(rows).to_string_pretty(),
             );
         }
     };

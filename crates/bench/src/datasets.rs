@@ -4,7 +4,7 @@
 //! share the same workload, so the repository memoizes generated datasets
 //! per (kind, scale) behind a mutex.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -45,10 +45,13 @@ impl Scale {
     }
 }
 
+/// The memoization table: one generated dataset per (kind, scale).
+type DatasetCache = Arc<Mutex<HashMap<(DatasetKind, Scale), Arc<Vec<Trajectory>>>>>;
+
 /// Memoizing dataset repository.
 #[derive(Clone, Default)]
 pub struct DatasetRepository {
-    cache: Arc<Mutex<HashMap<(DatasetKind, Scale), Arc<Vec<Trajectory>>>>>,
+    cache: DatasetCache,
     seed: u64,
 }
 
@@ -69,7 +72,7 @@ impl DatasetRepository {
 
     /// The dataset for `kind` at `scale`, generated on first use and cached.
     pub fn dataset(&self, kind: DatasetKind, scale: Scale) -> Arc<Vec<Trajectory>> {
-        let mut cache = self.cache.lock();
+        let mut cache = self.cache.lock().expect("dataset cache poisoned");
         cache
             .entry((kind, scale))
             .or_insert_with(|| {
@@ -83,15 +86,14 @@ impl DatasetRepository {
     /// thread.  Useful before the `all` experiment run so that dataset
     /// construction does not pollute the first experiment's wall-clock.
     pub fn prewarm(&self, scale: Scale) {
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for kind in DatasetKind::ALL {
                 let repo = self.clone();
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let _ = repo.dataset(kind, scale);
                 });
             }
-        })
-        .expect("dataset generation threads do not panic");
+        });
     }
 
     /// Trajectories of a given size for the scaling experiment (Figure 12):

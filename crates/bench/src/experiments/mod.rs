@@ -23,11 +23,11 @@ pub mod patching;
 pub mod table1;
 
 use crate::table::TextTable;
-use serde::{Deserialize, Serialize};
+use traj_model::json::JsonValue;
 
 /// One data point of a sweep experiment: a (dataset, algorithm, parameter)
 /// triple and the measured value.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepRecord {
     /// Dataset name (Taxi, Truck, SerCar, GeoLife).
     pub dataset: String,
@@ -41,7 +41,7 @@ pub struct SweepRecord {
 }
 
 /// A complete experiment result: metadata plus all sweep records.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentReport {
     /// Short identifier, e.g. `"fig12"`.
     pub id: String,
@@ -86,7 +86,7 @@ impl ExperimentReport {
     pub fn parameters(&self) -> Vec<f64> {
         let mut out: Vec<f64> = Vec::new();
         for r in &self.records {
-            if !out.iter().any(|&p| p == r.parameter) {
+            if !out.contains(&r.parameter) {
                 out.push(r.parameter);
             }
         }
@@ -193,9 +193,52 @@ impl ExperimentReport {
         out
     }
 
+    /// Converts the report to a JSON value.
+    pub fn to_json_value(&self) -> JsonValue {
+        let records = self
+            .records
+            .iter()
+            .map(|r| {
+                JsonValue::object([
+                    ("dataset", JsonValue::from(r.dataset.clone())),
+                    ("algorithm", JsonValue::from(r.algorithm.clone())),
+                    ("parameter", JsonValue::from(r.parameter)),
+                    ("value", JsonValue::from(r.value)),
+                ])
+            })
+            .collect::<Vec<_>>();
+        JsonValue::object([
+            ("id", JsonValue::from(self.id.clone())),
+            ("title", JsonValue::from(self.title.clone())),
+            ("parameter_name", JsonValue::from(self.parameter_name.clone())),
+            ("value_name", JsonValue::from(self.value_name.clone())),
+            ("records", JsonValue::Array(records)),
+        ])
+    }
+
+    /// Reconstructs a report from the JSON produced by
+    /// [`ExperimentReport::to_json_value`].
+    pub fn from_json_value(v: &JsonValue) -> Option<Self> {
+        let mut report = Self::new(
+            v.get("id")?.as_str()?,
+            v.get("title")?.as_str()?,
+            v.get("parameter_name")?.as_str()?,
+            v.get("value_name")?.as_str()?,
+        );
+        for r in v.get("records")?.as_array()? {
+            report.push(
+                r.get("dataset")?.as_str()?,
+                r.get("algorithm")?.as_str()?,
+                r.get("parameter")?.as_f64()?,
+                r.get("value")?.as_f64()?,
+            );
+        }
+        Some(report)
+    }
+
     /// Serializes the report to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report serializes")
+        self.to_json_value().to_string_pretty()
     }
 }
 
@@ -258,7 +301,8 @@ mod tests {
     fn json_roundtrip() {
         let r = sample_report();
         let json = r.to_json();
-        let back: ExperimentReport = serde_json::from_str(&json).unwrap();
+        let back =
+            ExperimentReport::from_json_value(&JsonValue::parse(&json).unwrap()).unwrap();
         assert_eq!(back, r);
     }
 

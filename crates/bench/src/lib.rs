@@ -12,9 +12,9 @@
 //!
 //! or a single experiment (`table1`, `fig12`, …, `fig19b`); add
 //! `--scale full` for larger workloads (the default `quick` scale finishes
-//! in a couple of minutes on a laptop).  See `EXPERIMENTS.md` at the
-//! repository root for the paper-vs-measured comparison produced by this
-//! harness.
+//! in a couple of minutes on a laptop).  See `docs/ARCHITECTURE.md` at the
+//! repository root for the paper-section → module map this harness
+//! follows.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

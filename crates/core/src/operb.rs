@@ -5,7 +5,7 @@ use crate::engine::SegmentEngine;
 use traj_geo::Point;
 use traj_model::{
     traits::validate_epsilon, BatchSimplifier, SimplifiedSegment, SimplifiedTrajectory,
-    StreamingSimplifier, Trajectory, TrajectoryError,
+    StreamingFactory, StreamingSimplifier, Trajectory, TrajectoryError,
 };
 
 /// Streaming (push-based) OPERB simplifier.
@@ -105,6 +105,15 @@ impl Operb {
     /// The configuration in use.
     pub fn config(&self) -> &OperbConfig {
         &self.config
+    }
+
+    /// A thread-shareable factory producing one fresh [`OperbStream`] (with
+    /// this instance's configuration) per trajectory stream — the adapter
+    /// that plugs OPERB into the parallel fleet pipeline
+    /// (`traj-pipeline`).
+    pub fn streaming_factory(&self) -> StreamingFactory {
+        let config = self.config;
+        std::sync::Arc::new(move |epsilon| Box::new(OperbStream::with_config(epsilon, config)))
     }
 }
 

@@ -21,7 +21,7 @@ use traj_geo::line::{Line, LineIntersection};
 use traj_geo::{DirectedSegment, Point};
 use traj_model::{
     traits::validate_epsilon, BatchSimplifier, SimplifiedSegment, SimplifiedTrajectory,
-    StreamingSimplifier, Trajectory, TrajectoryError,
+    StreamingFactory, StreamingSimplifier, Trajectory, TrajectoryError,
 };
 
 /// Patching statistics collected by OPERB-A (used by Figure 19 of the
@@ -278,6 +278,15 @@ impl OperbA {
     /// The configuration in use.
     pub fn config(&self) -> &OperbAConfig {
         &self.config
+    }
+
+    /// A thread-shareable factory producing one fresh [`OperbAStream`]
+    /// (with this instance's configuration) per trajectory stream — the
+    /// adapter that plugs OPERB-A into the parallel fleet pipeline
+    /// (`traj-pipeline`).
+    pub fn streaming_factory(&self) -> StreamingFactory {
+        let config = self.config;
+        std::sync::Arc::new(move |epsilon| Box::new(OperbAStream::with_config(epsilon, config)))
     }
 
     /// Simplifies and also returns the patching statistics (`Na`, `Np`)

@@ -1,6 +1,11 @@
 //! Property-based tests of the fitting function and the OPERB engine on
 //! randomly generated inputs.
 
+// Quarantined: needs the external `proptest` crate, which is not
+// vendored in this offline workspace (see CHANGES.md).  Enable with
+// `--features proptest` after vendoring the dependency.
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use operb::config::OperbConfig;
 use operb::fitting::{zone_index, FittedLine, PointClass};

@@ -3,8 +3,7 @@
 use crate::motion::{MotionConfig, VehicleSimulator};
 use crate::profiles::{DatasetKind, DatasetProfile};
 use crate::road_network::GridNetwork;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::{Rng, SmallRng};
 use traj_model::Trajectory;
 
 /// Deterministic synthetic dataset generator.

@@ -24,6 +24,7 @@ pub mod generator;
 pub mod io;
 pub mod motion;
 pub mod profiles;
+pub mod rng;
 pub mod road_network;
 pub mod stats;
 

@@ -8,7 +8,7 @@
 //! line-simplification algorithm's behaviour: sampling density along the
 //! road, deviation amplitude (noise) and turn sharpness.
 
-use rand::Rng;
+use crate::rng::Rng;
 use traj_geo::Point;
 use traj_model::Trajectory;
 
@@ -172,8 +172,7 @@ fn position_on(route: &[Point], seg: usize, offset: f64, forward: bool) -> Point
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use crate::rng::SmallRng;
 
     fn straight_route() -> Vec<Point> {
         (0..20).map(|i| Point::xy(i as f64 * 500.0, 0.0)).collect()

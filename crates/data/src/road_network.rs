@@ -7,7 +7,7 @@
 //! "crossroads"), and the turn frequency is what differentiates the paper's
 //! datasets qualitatively.
 
-use rand::Rng;
+use crate::rng::Rng;
 use traj_geo::Point;
 
 /// The kind of route sampled from the network.
@@ -147,8 +147,7 @@ impl GridNetwork {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use crate::rng::SmallRng;
 
     #[test]
     fn route_has_requested_length() {

@@ -1,12 +1,13 @@
 //! Dataset statistics — the numbers reported in Table 1 of the paper.
 
 use crate::profiles::DatasetKind;
+use traj_model::json::JsonValue;
 use traj_model::Trajectory;
 
 /// Summary statistics of a (synthetic or real) trajectory dataset, matching
 /// the columns of Table 1: number of trajectories, sampling rate, points per
 /// trajectory and total point count.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatasetStats {
     /// Dataset display name.
     pub name: String,
@@ -71,6 +72,43 @@ impl DatasetStats {
     /// Computes statistics labelled with a paper dataset kind.
     pub fn for_kind(kind: DatasetKind, trajectories: &[Trajectory]) -> Self {
         Self::compute(kind.name(), trajectories)
+    }
+
+    /// Converts the statistics to a JSON object (one Table 1 row).
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::object([
+            ("name", JsonValue::from(self.name.clone())),
+            ("num_trajectories", JsonValue::from(self.num_trajectories)),
+            (
+                "min_sampling_interval",
+                JsonValue::from(self.min_sampling_interval),
+            ),
+            (
+                "max_sampling_interval",
+                JsonValue::from(self.max_sampling_interval),
+            ),
+            (
+                "mean_points_per_trajectory",
+                JsonValue::from(self.mean_points_per_trajectory),
+            ),
+            ("total_points", JsonValue::from(self.total_points)),
+            ("mean_path_length_m", JsonValue::from(self.mean_path_length_m)),
+        ])
+    }
+
+    /// Reconstructs statistics from the JSON produced by
+    /// [`DatasetStats::to_json_value`]; `None` when a field is missing or
+    /// has the wrong type.
+    pub fn from_json_value(v: &JsonValue) -> Option<Self> {
+        Some(Self {
+            name: v.get("name")?.as_str()?.to_string(),
+            num_trajectories: v.get("num_trajectories")?.as_usize()?,
+            min_sampling_interval: v.get("min_sampling_interval")?.as_f64()?,
+            max_sampling_interval: v.get("max_sampling_interval")?.as_f64()?,
+            mean_points_per_trajectory: v.get("mean_points_per_trajectory")?.as_f64()?,
+            total_points: v.get("total_points")?.as_usize()?,
+            mean_path_length_m: v.get("mean_path_length_m")?.as_f64()?,
+        })
     }
 
     /// Formats one row of a Table-1-like report.
@@ -139,9 +177,9 @@ mod tests {
     #[test]
     fn serializes_to_json() {
         let stats = DatasetStats::compute("Test", &[traj(10, 1.0)]);
-        let json = serde_json::to_string(&stats).unwrap();
+        let json = stats.to_json_value().to_string();
         assert!(json.contains("\"name\":\"Test\""));
-        let back: DatasetStats = serde_json::from_str(&json).unwrap();
+        let back = DatasetStats::from_json_value(&JsonValue::parse(&json).unwrap()).unwrap();
         assert_eq!(back, stats);
     }
 }

@@ -206,7 +206,7 @@ mod tests {
             inc.extend(p);
         }
         assert_eq!(bb, inc);
-        assert_eq!(BoundingBox::from_points(&[]).is_empty(), true);
+        assert!(BoundingBox::from_points(&[]).is_empty());
     }
 
     #[test]

@@ -88,7 +88,7 @@ impl DirectedSegment {
     /// The point the trajectory *would* be at, had the object moved from
     /// `start` to `end` at constant speed, is interpolated at `p.t`; the SED
     /// is the distance from `p` to that time-synchronized position.  This is
-    /// the distance used by the TD-TR baseline (related work [15]).
+    /// the distance used by the TD-TR baseline (related work \[15\]).
     #[inline]
     pub fn synchronous_distance(&self, p: &Point) -> f64 {
         let dt = self.end.t - self.start.t;

@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 use traj_model::SimplifiedTrajectory;
 
 /// The histogram `Z(k)` over one or more simplified trajectories.
-#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct SegmentDistribution {
     counts: BTreeMap<usize, usize>,
 }

@@ -133,7 +133,9 @@ mod tests {
     use traj_geo::DirectedSegment;
     use traj_model::SimplifiedSegment;
 
-    fn make_simplified(segs: &[((f64, f64), (f64, f64), usize, usize)], n: usize) -> SimplifiedTrajectory {
+    type SegSpec = ((f64, f64), (f64, f64), usize, usize);
+
+    fn make_simplified(segs: &[SegSpec], n: usize) -> SimplifiedTrajectory {
         SimplifiedTrajectory::new(
             segs.iter()
                 .map(|&((x0, y0), (x1, y1), a, b)| {

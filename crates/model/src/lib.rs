@@ -15,14 +15,54 @@
 //!   once; online/one-pass algorithms (OPW, BQS, FBQS, OPERB, OPERB-A)
 //!   consume points one at a time through the streaming interface and can be
 //!   used in both modes through the [`StreamingAdapter`].
+//! * [`Simplifier`] — the unified, thread-safe interface over all of the
+//!   above (blanket-implemented for every `Send + Sync` batch simplifier),
+//!   which is what the parallel fleet pipeline (`traj-pipeline`) consumes.
 //! * [`CountingSource`] — an instrumented point source used by tests to
 //!   verify the *one-pass* property (each point handed to the algorithm
 //!   exactly once).
+//! * [`json`] — a dependency-free JSON reader/writer used by the
+//!   experiment harness (this workspace builds offline, without serde).
+//!
+//! ## Example
+//!
+//! A trajectory, its single-segment piecewise representation, and the
+//! bookkeeping the metrics rely on:
+//!
+//! ```
+//! use traj_geo::DirectedSegment;
+//! use traj_model::{SimplifiedSegment, SimplifiedTrajectory, Trajectory};
+//!
+//! // Four GPS fixes on an almost-straight path (x, y in meters).
+//! let trajectory = Trajectory::from_xy(&[
+//!     (0.0, 0.0), (10.0, 0.4), (20.0, -0.3), (30.0, 0.1),
+//! ]);
+//! assert_eq!(trajectory.len(), 4);
+//!
+//! // Represent all of it by one directed line segment P0 → P3 that is
+//! // "responsible" for the original points 0..=3.
+//! let segment = SimplifiedSegment::new(
+//!     DirectedSegment::new(trajectory.first(), trajectory.last()),
+//!     0,
+//!     3,
+//! );
+//! let simplified = SimplifiedTrajectory::new(vec![segment], trajectory.len());
+//!
+//! assert_eq!(simplified.validate(), Ok(()));
+//! assert_eq!(simplified.num_segments(), 1);
+//! assert_eq!(simplified.compression_ratio(), 0.25); // 1 segment / 4 points
+//!
+//! // Every original point stays close to the representation.
+//! for p in trajectory.points() {
+//!     assert!(simplified.segments()[0].distance_to_line(p) < 0.5);
+//! }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod json;
 pub mod simplified;
 pub mod source;
 pub mod traits;
@@ -31,5 +71,8 @@ pub mod trajectory;
 pub use error::TrajectoryError;
 pub use simplified::{SimplifiedSegment, SimplifiedTrajectory};
 pub use source::CountingSource;
-pub use traits::{BatchSimplifier, StreamingAdapter, StreamingSimplifier};
+pub use traits::{
+    BatchSimplifier, BoxedStreamingSimplifier, Simplifier, StreamingAdapter, StreamingFactory,
+    StreamingSimplifier,
+};
 pub use trajectory::Trajectory;

@@ -111,6 +111,56 @@ where
     }
 }
 
+/// The unified, thread-safe simplifier interface consumed by the parallel
+/// fleet pipeline (`traj-pipeline`).
+///
+/// Every [`BatchSimplifier`] that is `Send + Sync` (in practice: all of
+/// them — DP, TD-TR, OPW, BQS, FBQS, OPERB, OPERB-A, the sampling
+/// baselines and the delta codec) implements `Simplifier` automatically
+/// through a blanket impl, so an `Arc<dyn Simplifier>` can be shared across
+/// worker threads and the pipeline stays algorithm-agnostic.
+pub trait Simplifier: Send + Sync {
+    /// Human-readable algorithm name.
+    fn name(&self) -> &'static str;
+
+    /// Simplifies `trajectory` under the error bound `epsilon`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrajectoryError::InvalidErrorBound`] when `epsilon` is not
+    /// finite and positive.
+    fn simplify(
+        &self,
+        trajectory: &Trajectory,
+        epsilon: f64,
+    ) -> Result<SimplifiedTrajectory, TrajectoryError>;
+}
+
+impl<T: BatchSimplifier + Send + Sync> Simplifier for T {
+    fn name(&self) -> &'static str {
+        BatchSimplifier::name(self)
+    }
+
+    fn simplify(
+        &self,
+        trajectory: &Trajectory,
+        epsilon: f64,
+    ) -> Result<SimplifiedTrajectory, TrajectoryError> {
+        BatchSimplifier::simplify(self, trajectory, epsilon)
+    }
+}
+
+/// A boxed streaming simplifier that can be moved onto a worker thread.
+pub type BoxedStreamingSimplifier = Box<dyn StreamingSimplifier + Send>;
+
+/// A shareable factory producing a fresh streaming simplifier per
+/// trajectory stream, configured with the requested error bound.  This is
+/// how online algorithms (OPERB, OPERB-A, OPW, BQS, FBQS) plug into the
+/// fleet pipeline: each concurrent device stream gets its own simplifier
+/// state from the factory.
+pub type StreamingFactory =
+    std::sync::Arc<dyn Fn(f64) -> BoxedStreamingSimplifier + Send + Sync>;
+
 /// Validates an error bound `ζ`.
 pub fn validate_epsilon(epsilon: f64) -> Result<(), TrajectoryError> {
     if !epsilon.is_finite() || epsilon <= 0.0 {
@@ -183,10 +233,11 @@ mod tests {
     fn adapter_runs_streaming_simplifier() {
         let adapter = StreamingAdapter::new("pairs", PairEmitter::new);
         let traj = Trajectory::from_xy(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
-        let out = adapter.simplify(&traj, 1.0).unwrap();
+        let out = BatchSimplifier::simplify(&adapter, &traj, 1.0).unwrap();
         assert_eq!(out.num_segments(), 2);
         assert_eq!(out.original_len(), 3);
-        assert_eq!(adapter.name(), "pairs");
+        assert_eq!(BatchSimplifier::name(&adapter), "pairs");
+        assert_eq!(Simplifier::name(&adapter), "pairs");
         assert_eq!(out.validate(), Ok(()));
     }
 
@@ -195,15 +246,15 @@ mod tests {
         let adapter = StreamingAdapter::new("pairs", PairEmitter::new);
         let traj = Trajectory::from_xy(&[(0.0, 0.0), (1.0, 0.0)]);
         assert!(matches!(
-            adapter.simplify(&traj, 0.0),
+            BatchSimplifier::simplify(&adapter, &traj, 0.0),
             Err(TrajectoryError::InvalidErrorBound { .. })
         ));
         assert!(matches!(
-            adapter.simplify(&traj, f64::NAN),
+            Simplifier::simplify(&adapter, &traj, f64::NAN),
             Err(TrajectoryError::InvalidErrorBound { .. })
         ));
         assert!(matches!(
-            adapter.simplify(&traj, -3.0),
+            BatchSimplifier::simplify(&adapter, &traj, -3.0),
             Err(TrajectoryError::InvalidErrorBound { .. })
         ));
     }

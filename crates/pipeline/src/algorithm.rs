@@ -1,0 +1,145 @@
+//! The algorithm registry: every simplifier in the workspace behind one
+//! pipeline-ready handle.
+//!
+//! The executor itself is algorithm-agnostic — it only needs either a
+//! [`StreamingFactory`] (one fresh simplifier per device stream; the
+//! one-pass algorithms) or a shared [`Simplifier`] (batch algorithms,
+//! driven once per closed stream).  [`FleetAlgorithm`] is that either-or,
+//! and [`FleetAlgorithm::by_name`] resolves every algorithm the workspace
+//! implements.
+
+use std::sync::Arc;
+
+use operb::{Operb, OperbA};
+use traj_baselines::{
+    Bqs, DeadReckoning, DeltaCodec, DouglasPeucker, Fbqs, OpeningWindow, TdTr, UniformSampling,
+};
+use traj_model::{Simplifier, StreamingFactory};
+
+/// An algorithm as consumed by the fleet pipeline.
+#[derive(Clone)]
+pub enum FleetAlgorithm {
+    /// A one-pass / online algorithm: each device stream gets a fresh
+    /// simplifier from the factory and points are fed as they arrive —
+    /// O(stream state) memory per device.
+    Streaming {
+        /// Display name (e.g. `"OPERB"`).
+        name: &'static str,
+        /// Per-stream simplifier factory.
+        factory: StreamingFactory,
+    },
+    /// A batch algorithm: the worker buffers each device's points and runs
+    /// the simplifier when the stream closes — O(trajectory) memory per
+    /// device, but any [`Simplifier`] works.
+    Batch(Arc<dyn Simplifier>),
+}
+
+impl std::fmt::Debug for FleetAlgorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetAlgorithm")
+            .field("name", &self.name())
+            .field("streaming", &matches!(self, FleetAlgorithm::Streaming { .. }))
+            .finish()
+    }
+}
+
+impl FleetAlgorithm {
+    /// Display name of the wrapped algorithm.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FleetAlgorithm::Streaming { name, .. } => name,
+            FleetAlgorithm::Batch(s) => s.name(),
+        }
+    }
+
+    /// `true` when the algorithm runs one-pass over each stream (constant
+    /// memory per device).
+    pub fn is_streaming(&self) -> bool {
+        matches!(self, FleetAlgorithm::Streaming { .. })
+    }
+
+    /// Wraps a streaming factory.
+    pub fn streaming(name: &'static str, factory: StreamingFactory) -> Self {
+        FleetAlgorithm::Streaming { name, factory }
+    }
+
+    /// Wraps a shared batch simplifier.
+    pub fn batch(simplifier: Arc<dyn Simplifier>) -> Self {
+        FleetAlgorithm::Batch(simplifier)
+    }
+
+    /// Resolves an algorithm by name (case-insensitive).  Online
+    /// algorithms are returned in streaming form; batch-only algorithms
+    /// (DP, TD-TR, the sampling baselines, the lossless delta codec) in
+    /// batch form.
+    ///
+    /// Accepted names: `operb`, `raw-operb`, `operb-a`, `raw-operb-a`,
+    /// `opw`, `bqs`, `fbqs`, `dp` (alias `douglas-peucker`), `td-tr`
+    /// (alias `tdtr`), `uniform`, `dead-reckoning`, `delta`.
+    pub fn by_name(name: &str) -> Option<FleetAlgorithm> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "operb" => Self::streaming("OPERB", Operb::new().streaming_factory()),
+            "raw-operb" => Self::streaming("Raw-OPERB", Operb::raw().streaming_factory()),
+            "operb-a" => Self::streaming("OPERB-A", OperbA::new().streaming_factory()),
+            "raw-operb-a" => Self::streaming("Raw-OPERB-A", OperbA::raw().streaming_factory()),
+            "opw" => Self::streaming("OPW", Arc::new(|eps| Box::new(OpeningWindow::stream(eps)))),
+            "bqs" => Self::streaming("BQS", Arc::new(|eps| Box::new(Bqs::stream(eps)))),
+            "fbqs" => Self::streaming("FBQS", Arc::new(|eps| Box::new(Fbqs::stream(eps)))),
+            "dp" | "douglas-peucker" => Self::batch(Arc::new(DouglasPeucker::new())),
+            "td-tr" | "tdtr" => Self::batch(Arc::new(TdTr::new())),
+            "uniform" | "uniform-sampling" => Self::batch(Arc::new(UniformSampling::default())),
+            "dead-reckoning" => Self::batch(Arc::new(DeadReckoning::new())),
+            "delta" => Self::batch(Arc::new(DeltaCodec::default())),
+            _ => return None,
+        })
+    }
+
+    /// Every name [`FleetAlgorithm::by_name`] resolves (canonical forms).
+    pub fn all_names() -> &'static [&'static str] {
+        &[
+            "operb",
+            "raw-operb",
+            "operb-a",
+            "raw-operb-a",
+            "opw",
+            "bqs",
+            "fbqs",
+            "dp",
+            "td-tr",
+            "uniform",
+            "dead-reckoning",
+            "delta",
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_every_listed_name() {
+        for name in FleetAlgorithm::all_names() {
+            let algo = FleetAlgorithm::by_name(name)
+                .unwrap_or_else(|| panic!("{name} should resolve"));
+            assert!(!algo.name().is_empty());
+        }
+        assert!(FleetAlgorithm::by_name("no-such-algorithm").is_none());
+    }
+
+    #[test]
+    fn online_algorithms_are_streaming() {
+        for name in ["operb", "operb-a", "opw", "bqs", "fbqs"] {
+            assert!(FleetAlgorithm::by_name(name).unwrap().is_streaming(), "{name}");
+        }
+        for name in ["dp", "td-tr", "uniform", "dead-reckoning", "delta"] {
+            assert!(!FleetAlgorithm::by_name(name).unwrap().is_streaming(), "{name}");
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert_eq!(FleetAlgorithm::by_name("OPERB-A").unwrap().name(), "OPERB-A");
+        assert_eq!(FleetAlgorithm::by_name("Dp").unwrap().name(), "DP");
+    }
+}

@@ -1,0 +1,85 @@
+//! Pipeline tuning knobs: worker count, queue capacity, batch size and the
+//! error bound shared by every stream.
+
+/// Configuration of a [`crate::FleetPipeline`].
+///
+/// The defaults are sensible for throughput work: one worker per available
+/// CPU, point chunks of 256 (large enough to amortize dispatch, small
+/// enough to keep per-stream latency low) and per-worker queues of 64
+/// chunks (bounded, so a slow worker exerts backpressure on the producer
+/// instead of buffering unboundedly).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineConfig {
+    /// Number of worker threads. Clamped to at least 1.
+    pub workers: usize,
+    /// Capacity of each worker's job queue, in chunks. When a queue is
+    /// full, submission blocks — this is the pipeline's backpressure.
+    pub queue_capacity: usize,
+    /// Number of points per dispatched chunk. Submitted points are
+    /// buffered per device until a full chunk accumulates (the batching
+    /// layer that amortizes channel traffic over many points).
+    pub batch_size: usize,
+    /// The error bound `ζ` handed to every simplifier instance, in the
+    /// same length unit as the point coordinates (meters by convention).
+    pub epsilon: f64,
+}
+
+impl PipelineConfig {
+    /// A configuration with the given error bound and default parallelism.
+    pub fn new(epsilon: f64) -> Self {
+        Self {
+            workers: std::thread::available_parallelism().map_or(4, usize::from),
+            queue_capacity: 64,
+            batch_size: 256,
+            epsilon,
+        }
+    }
+
+    /// Overrides the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Overrides the per-worker queue capacity (in chunks).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Overrides the chunk size (in points).
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
+        self
+    }
+}
+
+impl Default for PipelineConfig {
+    /// Defaults to the paper's most common error bound, ζ = 30 m.
+    fn default() -> Self {
+        Self::new(30.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = PipelineConfig::default();
+        assert!(c.workers >= 1);
+        assert!(c.queue_capacity >= 1);
+        assert!(c.batch_size >= 1);
+        assert_eq!(c.epsilon, 30.0);
+    }
+
+    #[test]
+    fn builders_clamp_to_one() {
+        let c = PipelineConfig::new(10.0)
+            .with_workers(0)
+            .with_queue_capacity(0)
+            .with_batch_size(0);
+        assert_eq!((c.workers, c.queue_capacity, c.batch_size), (1, 1, 1));
+    }
+}

@@ -1,0 +1,66 @@
+//! # traj-pipeline
+//!
+//! A parallel **fleet-compression pipeline** for the `trajsimp`
+//! workspace: a worker-pool executor that drives any error-bounded
+//! simplifier (OPERB, OPERB-A and every baseline) over thousands of
+//! concurrent trajectory streams — the vehicle-to-cloud ingest scenario
+//! that motivates the OPERB paper's introduction, scaled past one
+//! trajectory at a time.
+//!
+//! Three layers:
+//!
+//! * [`FleetAlgorithm`] — the algorithm registry.  Online algorithms plug
+//!   in through [`traj_model::StreamingFactory`] (one simplifier instance
+//!   per stream, O(1) state); batch algorithms through the unified
+//!   [`traj_model::Simplifier`] trait (buffer per stream, simplify on
+//!   close).
+//! * [`FleetPipeline`] — the executor: sticky hash routing (every device's
+//!   points reach the same worker, in order), bounded per-worker queues
+//!   (backpressure instead of unbounded buffering) and a batching front
+//!   end that amortizes channel traffic over point chunks.
+//! * [`compress_fleet`] / [`compress_fleet_sequential`] — high-level
+//!   drivers used by `trajsimp fleet`, the throughput bench and the stress
+//!   tests; the sequential variant is the reference a speedup is measured
+//!   against.
+//!
+//! ## Example
+//!
+//! ```
+//! use traj_model::Trajectory;
+//! use traj_pipeline::{FleetAlgorithm, FleetPipeline, PipelineConfig};
+//!
+//! // Two devices streaming positions concurrently.
+//! let a = Trajectory::from_xy(&[(0.0, 0.0), (10.0, 0.1), (20.0, 0.3), (30.0, 8.0)]);
+//! let b = Trajectory::from_xy(&[(0.0, 5.0), (10.0, 5.2), (20.0, 4.9), (30.0, 5.1)]);
+//!
+//! let config = PipelineConfig::new(2.0).with_workers(2).with_batch_size(2);
+//! let algorithm = FleetAlgorithm::by_name("operb").unwrap();
+//! let mut pipeline = FleetPipeline::spawn(&config, &algorithm);
+//!
+//! // Interleaved ingest: chunks of both streams arrive in any order.
+//! pipeline.push_points(1, a.points());
+//! pipeline.push_points(2, b.points());
+//! pipeline.close(1);
+//! pipeline.close(2);
+//!
+//! let (results, report) = pipeline.finish();
+//! assert_eq!(results.len(), 2);
+//! assert_eq!(report.total_points, 8);
+//! for result in &results {
+//!     let simplified = result.output.as_ref().unwrap();
+//!     assert!(simplified.num_segments() >= 1);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod config;
+pub mod executor;
+pub mod fleet;
+
+pub use algorithm::FleetAlgorithm;
+pub use config::PipelineConfig;
+pub use executor::{DeviceId, FleetPipeline, FleetResult, PipelineReport};
+pub use fleet::{compress_fleet, compress_fleet_sequential, FleetRun, Speedup};

@@ -1,0 +1,108 @@
+//! Stress tests: many concurrent synthetic streams through the parallel
+//! pipeline, asserting that **every** stream's output respects the
+//! configured error bound and matches the stream's input size.
+
+use traj_data::{DatasetGenerator, DatasetKind};
+use traj_model::Trajectory;
+use traj_pipeline::fleet::verify_error_bound;
+use traj_pipeline::{
+    compress_fleet, compress_fleet_sequential, DeviceId, FleetAlgorithm, PipelineConfig,
+};
+
+fn synthetic_fleet(
+    kind: DatasetKind,
+    count: usize,
+    points: usize,
+    seed: u64,
+) -> Vec<(DeviceId, Trajectory)> {
+    let generator = DatasetGenerator::for_kind(kind, seed);
+    (0..count)
+        .map(|i| (i as DeviceId, generator.generate_trajectory(i, points)))
+        .collect()
+}
+
+/// Runs `fleet` through the pipeline with `algorithm` and asserts, per
+/// stream: the error bound holds, the representation validates, and the
+/// point count matches the input.
+fn assert_fleet_error_bounded(
+    fleet: &[(DeviceId, Trajectory)],
+    algorithm_name: &str,
+    epsilon: f64,
+    workers: usize,
+) {
+    let algorithm = FleetAlgorithm::by_name(algorithm_name).expect("known algorithm");
+    let config = PipelineConfig::new(epsilon)
+        .with_workers(workers)
+        .with_batch_size(128)
+        .with_queue_capacity(16);
+    let mut run = compress_fleet(fleet, &config, &algorithm);
+    // The shared verification: result-per-stream, per-stream ζ bound.
+    let worst = verify_error_bound(fleet, &mut run.results, epsilon)
+        .unwrap_or_else(|e| panic!("{algorithm_name}: {e}"));
+    assert!(worst >= 0.0);
+    for ((device, traj), result) in fleet.iter().zip(&run.results) {
+        assert_eq!(*device, result.device);
+        assert_eq!(result.points, traj.len(), "device {device} point count");
+        let simplified = result.output.as_ref().expect("verified above");
+        assert_eq!(simplified.validate(), Ok(()), "device {device}");
+    }
+    assert_eq!(run.report.total_streams, fleet.len());
+    assert_eq!(
+        run.report.total_points,
+        fleet.iter().map(|(_, t)| t.len()).sum::<usize>()
+    );
+}
+
+#[test]
+fn operb_two_hundred_concurrent_taxi_streams() {
+    let fleet = synthetic_fleet(DatasetKind::Taxi, 200, 300, 20170401);
+    assert_fleet_error_bounded(&fleet, "operb", 30.0, 4);
+}
+
+#[test]
+fn operb_a_concurrent_streams_respect_bound() {
+    let fleet = synthetic_fleet(DatasetKind::Truck, 100, 400, 7);
+    assert_fleet_error_bounded(&fleet, "operb-a", 25.0, 4);
+}
+
+#[test]
+fn fbqs_concurrent_streams_respect_bound() {
+    let fleet = synthetic_fleet(DatasetKind::SerCar, 80, 250, 11);
+    assert_fleet_error_bounded(&fleet, "fbqs", 20.0, 3);
+}
+
+#[test]
+fn batch_dp_through_the_pipeline_respects_bound() {
+    let fleet = synthetic_fleet(DatasetKind::GeoLife, 60, 200, 13);
+    assert_fleet_error_bounded(&fleet, "dp", 15.0, 4);
+}
+
+#[test]
+fn a_thousand_concurrent_streams() {
+    // The headline scenario: 1,000 devices streaming concurrently.  Small
+    // per-stream point counts keep the test fast; the concurrency (all
+    // 1,000 streams open at once — compress_fleet interleaves round-robin)
+    // is what is being exercised.
+    let fleet = synthetic_fleet(DatasetKind::Taxi, 1_000, 60, 99);
+    assert_fleet_error_bounded(&fleet, "operb", 35.0, 8);
+}
+
+#[test]
+fn parallel_equals_sequential_on_a_mixed_fleet() {
+    let fleet = synthetic_fleet(DatasetKind::SerCar, 50, 300, 23);
+    for name in ["operb", "operb-a", "fbqs", "dp"] {
+        let algorithm = FleetAlgorithm::by_name(name).unwrap();
+        let config = PipelineConfig::new(18.0).with_workers(4).with_batch_size(64);
+        let mut par = compress_fleet(&fleet, &config, &algorithm);
+        let seq = compress_fleet_sequential(&fleet, 18.0, &algorithm);
+        par.results.sort_by_key(|r| r.device);
+        for (p, s) in par.results.iter().zip(&seq.results) {
+            assert_eq!(
+                p.output.as_ref().unwrap(),
+                s.output.as_ref().unwrap(),
+                "{name}: device {}",
+                p.device
+            );
+        }
+    }
+}

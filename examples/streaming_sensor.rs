@@ -36,7 +36,7 @@ fn main() {
         // from memory.
         for seg in emitted.drain(..) {
             transmitted_segments += 1;
-            if transmitted_segments <= 10 || transmitted_segments % 25 == 0 {
+            if transmitted_segments <= 10 || transmitted_segments.is_multiple_of(25) {
                 println!(
                     "t = {:7.0}s  fix #{i:>5}  → transmit segment #{:<4} ({:8.1}, {:8.1}) → ({:8.1}, {:8.1}) covering {} fixes",
                     fix.t,

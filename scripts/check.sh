@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The full workspace gate: release build, tests, rustdoc, clippy.
+# Usage: ./scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo doc --no-deps --workspace (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+echo "==> cargo clippy --workspace --all-targets (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> all checks passed"

@@ -2,13 +2,19 @@
 //!
 //! ```text
 //! trajsimp <input.csv|input.plt> [--algorithm operb-a] [--epsilon 30] [--output out.csv]
+//! trajsimp fleet [--trajectories 1000] [--points 500] [--workers N] [--algorithm operb]
 //! ```
 //!
-//! Reads a trajectory file (planar `x,y,t` CSV or a GeoLife `.plt` log),
-//! simplifies it with the selected error-bounded algorithm and writes the
-//! retained shape points as CSV, printing the compression statistics the
-//! paper's evaluation reports (ratio, average error, maximum error,
-//! throughput).
+//! The single-file mode reads a trajectory file (planar `x,y,t` CSV or a
+//! GeoLife `.plt` log), simplifies it with the selected error-bounded
+//! algorithm and writes the retained shape points as CSV, printing the
+//! compression statistics the paper's evaluation reports (ratio, average
+//! error, maximum error, throughput).
+//!
+//! The `fleet` subcommand generates a synthetic fleet of trajectory
+//! streams, compresses it through the parallel pipeline of
+//! `traj-pipeline`, verifies the error bound on every output and reports
+//! the measured speedup over the sequential loop.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
@@ -17,11 +23,18 @@ use std::time::Instant;
 
 use trajsimp::baselines::{Bqs, DouglasPeucker, Fbqs, OpeningWindow, TdTr};
 use trajsimp::data::io::{read_csv, read_plt};
+use trajsimp::data::{DatasetGenerator, DatasetKind};
 use trajsimp::metrics::{average_error, max_error};
 use trajsimp::model::{BatchSimplifier, Trajectory};
 use trajsimp::operb::{Operb, OperbA};
+use trajsimp::pipeline::fleet::verify_error_bound;
+use trajsimp::pipeline::{
+    compress_fleet, compress_fleet_sequential, DeviceId, FleetAlgorithm, PipelineConfig, Speedup,
+};
 
 const USAGE: &str = "usage: trajsimp <input.csv|input.plt> [--algorithm NAME] [--epsilon METERS] [--output FILE]\n\
+       trajsimp fleet [--trajectories N] [--points N] [--workers N] [--batch N]\n\
+                      [--algorithm NAME] [--epsilon METERS] [--dataset taxi|truck|sercar|geolife] [--seed N]\n\
                      algorithms: operb (default: operb-a), operb-a, raw-operb, raw-operb-a, dp, td-tr, opw, bqs, fbqs";
 
 struct Options {
@@ -88,8 +101,173 @@ fn load(path: &str) -> Result<Trajectory, String> {
     }
 }
 
+struct FleetOptions {
+    trajectories: usize,
+    points: usize,
+    workers: usize,
+    batch: usize,
+    algorithm: String,
+    epsilon: f64,
+    dataset: DatasetKind,
+    seed: u64,
+}
+
+impl Default for FleetOptions {
+    fn default() -> Self {
+        Self {
+            trajectories: 1000,
+            points: 500,
+            workers: std::thread::available_parallelism().map_or(4, usize::from),
+            batch: 256,
+            algorithm: "operb".to_string(),
+            epsilon: 30.0,
+            dataset: DatasetKind::Taxi,
+            seed: 20170401,
+        }
+    }
+}
+
+fn parse_fleet_args(args: &[String]) -> Result<FleetOptions, String> {
+    let mut o = FleetOptions::default();
+    let mut it = args.iter();
+    fn value<'a>(
+        it: &mut std::slice::Iter<'a, String>,
+        flag: &str,
+    ) -> Result<&'a String, String> {
+        it.next().ok_or_else(|| format!("{flag} needs a value"))
+    }
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trajectories" | "-n" => {
+                let v = value(&mut it, arg)?;
+                o.trajectories = v.parse().map_err(|_| format!("invalid count '{v}'"))?;
+            }
+            "--points" | "-p" => {
+                let v = value(&mut it, arg)?;
+                o.points = v.parse().map_err(|_| format!("invalid count '{v}'"))?;
+            }
+            "--workers" | "-w" => {
+                let v = value(&mut it, arg)?;
+                o.workers = v.parse().map_err(|_| format!("invalid count '{v}'"))?;
+            }
+            "--batch" | "-b" => {
+                let v = value(&mut it, arg)?;
+                o.batch = v.parse().map_err(|_| format!("invalid count '{v}'"))?;
+            }
+            "--algorithm" | "-a" => {
+                o.algorithm = value(&mut it, arg)?.to_lowercase();
+            }
+            "--epsilon" | "-e" => {
+                let v = value(&mut it, arg)?;
+                o.epsilon = v.parse().map_err(|_| format!("invalid epsilon '{v}'"))?;
+            }
+            "--dataset" | "-d" => {
+                let v = value(&mut it, arg)?;
+                o.dataset = match v.to_ascii_lowercase().as_str() {
+                    "taxi" => DatasetKind::Taxi,
+                    "truck" => DatasetKind::Truck,
+                    "sercar" => DatasetKind::SerCar,
+                    "geolife" => DatasetKind::GeoLife,
+                    _ => return Err(format!("unknown dataset '{v}'")),
+                };
+            }
+            "--seed" | "-s" => {
+                let v = value(&mut it, arg)?;
+                o.seed = v.parse().map_err(|_| format!("invalid seed '{v}'"))?;
+            }
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    if o.trajectories == 0 || o.points < 2 {
+        return Err("fleet needs --trajectories >= 1 and --points >= 2".to_string());
+    }
+    if !o.epsilon.is_finite() || o.epsilon <= 0.0 {
+        return Err(format!(
+            "--epsilon must be a positive finite bound, got {}",
+            o.epsilon
+        ));
+    }
+    Ok(o)
+}
+
+fn run_fleet(options: &FleetOptions) -> Result<(), String> {
+    let Some(algorithm) = FleetAlgorithm::by_name(&options.algorithm) else {
+        return Err(format!("unknown algorithm '{}'", options.algorithm));
+    };
+    eprintln!(
+        "generating {} {} trajectories of {} points each (seed {}) …",
+        options.trajectories, options.dataset, options.points, options.seed
+    );
+    let generator = DatasetGenerator::for_kind(options.dataset, options.seed);
+    let fleet: Vec<(DeviceId, Trajectory)> = (0..options.trajectories)
+        .map(|i| (i as DeviceId, generator.generate_trajectory(i, options.points)))
+        .collect();
+    let total_points: usize = fleet.iter().map(|(_, t)| t.len()).sum();
+
+    eprintln!("sequential reference ({}) …", algorithm.name());
+    let sequential = compress_fleet_sequential(&fleet, options.epsilon, &algorithm);
+
+    eprintln!("parallel pipeline ({} workers) …", options.workers);
+    let config = PipelineConfig::new(options.epsilon)
+        .with_workers(options.workers)
+        .with_batch_size(options.batch);
+    let mut parallel = compress_fleet(&fleet, &config, &algorithm);
+
+    // Verify the error bound on every parallel output.
+    let worst = verify_error_bound(&fleet, &mut parallel.results, options.epsilon)?;
+
+    let total_segments: usize = parallel
+        .results
+        .iter()
+        .filter_map(|r| r.output.as_ref().ok())
+        .map(|s| s.num_segments())
+        .sum();
+    let speedup = Speedup {
+        sequential: sequential.report.elapsed,
+        parallel: parallel.report.elapsed,
+    };
+    println!("fleet        : {} trajectories, {} points ({})", options.trajectories, total_points, options.dataset);
+    println!("algorithm    : {} (ζ = {} m)", algorithm.name(), options.epsilon);
+    println!("segments     : {total_segments}");
+    println!(
+        "ratio        : {:.4}",
+        total_segments as f64 / total_points.max(1) as f64
+    );
+    println!("max error    : {worst:.2} m (bound holds on all {} streams)", fleet.len());
+    println!(
+        "sequential   : {:.2} ms ({:.0} points/s)",
+        sequential.report.elapsed.as_secs_f64() * 1e3,
+        sequential.report.points_per_sec()
+    );
+    println!(
+        "parallel     : {:.2} ms ({:.0} points/s, {} workers, batch {})",
+        parallel.report.elapsed.as_secs_f64() * 1e3,
+        parallel.report.points_per_sec(),
+        parallel.report.workers,
+        options.batch
+    );
+    println!("speedup      : {:.2}x", speedup.factor());
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("fleet") {
+        let options = match parse_fleet_args(&args[1..]) {
+            Ok(o) => o,
+            Err(msg) => {
+                eprintln!("{msg}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match run_fleet(&options) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let options = match parse_args(&args) {
         Ok(o) => o,
         Err(msg) => {

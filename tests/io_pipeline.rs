@@ -70,7 +70,7 @@ fn lossless_delta_versus_lossy_ls_tradeoff() {
     // error.
     let traj = DatasetGenerator::for_kind(DatasetKind::Truck, 13).generate_trajectory(0, 1_000);
     let codec = DeltaCodec::default();
-    let decoded = codec.decode(codec.encode(&traj)).expect("roundtrip");
+    let decoded = codec.decode(&codec.encode(&traj)).expect("roundtrip");
     assert_eq!(decoded.len(), traj.len());
 
     let lossy = OperbA::new().simplify(&traj, 40.0).expect("valid input");
