@@ -304,7 +304,10 @@ mod tests {
         let traj = sample_trajectory();
         let codec = DeltaCodec::default();
         let ratio = codec.byte_compression_ratio(&traj);
-        assert!(ratio < 0.8, "delta encoding should beat raw f64, got {ratio}");
+        assert!(
+            ratio < 0.8,
+            "delta encoding should beat raw f64, got {ratio}"
+        );
         assert!(ratio > 0.0);
     }
 

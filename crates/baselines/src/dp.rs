@@ -13,8 +13,8 @@
 
 use traj_geo::{DirectedSegment, Point};
 use traj_model::{
-    traits::validate_epsilon, BatchSimplifier, SimplifiedSegment, SimplifiedTrajectory,
-    Trajectory, TrajectoryError,
+    traits::validate_epsilon, BatchSimplifier, SimplifiedSegment, SimplifiedTrajectory, Trajectory,
+    TrajectoryError,
 };
 
 /// Which point-to-segment distance the splitting criterion uses.
@@ -77,7 +77,11 @@ impl TdTr {
 
 /// Runs Douglas-Peucker over `points`, returning the sorted indices of the
 /// retained points (always includes the first and last index).
-pub fn douglas_peucker_indices(points: &[Point], epsilon: f64, distance: DistanceKind) -> Vec<usize> {
+pub fn douglas_peucker_indices(
+    points: &[Point],
+    epsilon: f64,
+    distance: DistanceKind,
+) -> Vec<usize> {
     let n = points.len();
     if n <= 2 {
         return (0..n).collect();
@@ -120,11 +124,7 @@ pub fn douglas_peucker_indices(points: &[Point], epsilon: f64, distance: Distanc
 pub fn segments_from_indices(points: &[Point], kept: &[usize]) -> Vec<SimplifiedSegment> {
     kept.windows(2)
         .map(|w| {
-            SimplifiedSegment::new(
-                DirectedSegment::new(points[w[0]], points[w[1]]),
-                w[0],
-                w[1],
-            )
+            SimplifiedSegment::new(DirectedSegment::new(points[w[0]], points[w[1]]), w[0], w[1])
         })
         .collect()
 }
@@ -239,9 +239,13 @@ mod tests {
         // Deterministic pseudo-random walk (no rand dependency needed).
         let mut state = 0x12345678u64;
         for i in 0..500 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let dx = ((state >> 33) % 100) as f64 / 10.0 - 5.0;
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let dy = ((state >> 33) % 100) as f64 / 10.0 - 5.0;
             x += dx;
             y += dy;
@@ -310,7 +314,11 @@ mod tests {
         let dp = DouglasPeucker::new().simplify(&traj, 5.0).unwrap();
         let tdtr = TdTr::new().simplify(&traj, 5.0).unwrap();
         assert_eq!(dp.num_segments(), 1);
-        assert_eq!(tdtr.num_segments(), 2, "TD-TR must split at the early point");
+        assert_eq!(
+            tdtr.num_segments(),
+            2,
+            "TD-TR must split at the early point"
+        );
         assert_eq!(TdTr::new().name(), "TD-TR");
     }
 

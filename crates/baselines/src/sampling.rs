@@ -9,8 +9,8 @@
 
 use traj_geo::{DirectedSegment, Point};
 use traj_model::{
-    traits::validate_epsilon, BatchSimplifier, SimplifiedSegment, SimplifiedTrajectory,
-    Trajectory, TrajectoryError,
+    traits::validate_epsilon, BatchSimplifier, SimplifiedSegment, SimplifiedTrajectory, Trajectory,
+    TrajectoryError,
 };
 
 /// Keeps every `k`-th data point (always keeping the first and last one).
@@ -57,11 +57,7 @@ impl BatchSimplifier for UniformSampling {
         let segments = kept
             .windows(2)
             .map(|w| {
-                SimplifiedSegment::new(
-                    DirectedSegment::new(points[w[0]], points[w[1]]),
-                    w[0],
-                    w[1],
-                )
+                SimplifiedSegment::new(DirectedSegment::new(points[w[0]], points[w[1]]), w[0], w[1])
             })
             .collect();
         Ok(SimplifiedTrajectory::new(segments, n))
@@ -141,11 +137,7 @@ impl BatchSimplifier for DeadReckoning {
         let segments = kept
             .windows(2)
             .map(|w| {
-                SimplifiedSegment::new(
-                    DirectedSegment::new(points[w[0]], points[w[1]]),
-                    w[0],
-                    w[1],
-                )
+                SimplifiedSegment::new(DirectedSegment::new(points[w[0]], points[w[1]]), w[0], w[1])
             })
             .collect();
         Ok(SimplifiedTrajectory::new(segments, n))

@@ -5,7 +5,7 @@
 //! O(1) time").
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use operb::{OperbStream, OperbAStream};
+use operb::{OperbAStream, OperbStream};
 use traj_baselines::{Fbqs, OpeningWindow};
 use traj_bench::datasets::DatasetRepository;
 use traj_data::DatasetKind;

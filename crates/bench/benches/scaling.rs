@@ -16,13 +16,9 @@ fn bench_scaling(c: &mut Criterion) {
         let traj = &data[0];
         group.throughput(Throughput::Elements(size as u64));
         for algo in standard_algorithms() {
-            group.bench_with_input(
-                BenchmarkId::new(algo.name(), size),
-                traj,
-                |b, traj| {
-                    b.iter(|| algo.simplify(traj, 40.0).expect("valid input"));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(algo.name(), size), traj, |b, traj| {
+                b.iter(|| algo.simplify(traj, 40.0).expect("valid input"));
+            });
         }
     }
     group.finish();

@@ -18,7 +18,8 @@ use traj_bench::experiments::{
     effectiveness, efficiency, errors, patching, table1, ExperimentReport,
 };
 
-const USAGE: &str = "usage: experiments <all|table1|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19a|fig19b> \
+const USAGE: &str =
+    "usage: experiments <all|table1|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19a|fig19b> \
                      [--scale quick|full] [--json DIR] [--seed N]";
 
 struct Options {

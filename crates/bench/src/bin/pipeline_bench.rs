@@ -67,7 +67,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 o.trajectories = value()?.parse().map_err(|e| format!("{arg}: {e}"))?
             }
             "--points" | "-p" => o.points = value()?.parse().map_err(|e| format!("{arg}: {e}"))?,
-            "--epsilon" | "-e" => o.epsilon = value()?.parse().map_err(|e| format!("{arg}: {e}"))?,
+            "--epsilon" | "-e" => {
+                o.epsilon = value()?.parse().map_err(|e| format!("{arg}: {e}"))?
+            }
             "--batch" | "-b" => o.batch = value()?.parse().map_err(|e| format!("{arg}: {e}"))?,
             "--seed" | "-s" => o.seed = value()?.parse().map_err(|e| format!("{arg}: {e}"))?,
             "--algorithms" | "-a" => {
@@ -101,7 +103,12 @@ fn main() -> ExitCode {
     );
     let generator = DatasetGenerator::for_kind(DatasetKind::Taxi, options.seed);
     let fleet: Vec<(DeviceId, Trajectory)> = (0..options.trajectories)
-        .map(|i| (i as DeviceId, generator.generate_trajectory(i, options.points)))
+        .map(|i| {
+            (
+                i as DeviceId,
+                generator.generate_trajectory(i, options.points),
+            )
+        })
         .collect();
     let total_points: usize = fleet.iter().map(|(_, t)| t.len()).sum();
     println!(

@@ -1,0 +1,299 @@
+//! Storage-engine benchmark: bytes per point and query latency with data
+//! skipping, over a pipeline-compressed synthetic fleet.
+//!
+//! ```text
+//! cargo run --release -p traj-bench --bin store_bench
+//! cargo run --release -p traj-bench --bin store_bench -- --devices 500 --points 1000 \
+//!     --epsilon 30 --windows 32
+//! ```
+//!
+//! The bench generates a fleet of ≥ 100 devices, compresses it through
+//! the parallel pipeline straight into a [`traj_store::TrajStore`]
+//! (exercising the `StoreSink` ingest path), then measures:
+//!
+//! * storage: bytes/point versus the 24-byte raw representation;
+//! * spatial window queries: latency and the block skip ratio (each
+//!   window must decode strictly fewer blocks than a full scan);
+//! * per-device time slices and point-in-time lookups: latency and skip
+//!   ratio.
+//!
+//! Every window query is verified against the original points: any point
+//! inside the window must be within `ζ + quantization slack` of a
+//! returned segment of its device.  A violation fails the run.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use traj_bench::table::TextTable;
+use traj_data::{DatasetGenerator, DatasetKind};
+use traj_geo::BoundingBox;
+use traj_model::Trajectory;
+use traj_pipeline::{DeviceId, FleetAlgorithm, PipelineConfig};
+use traj_store::{compress_fleet_into_store, StoreConfig, TrajStore};
+
+const USAGE: &str = "usage: store_bench [--devices N>=100] [--points N] [--epsilon METERS] \
+                     [--algorithm NAME] [--windows N] [--window-size METERS] [--seed N]";
+
+struct Options {
+    devices: usize,
+    points: usize,
+    epsilon: f64,
+    algorithm: String,
+    windows: usize,
+    window_size: f64,
+    seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            devices: 128,
+            points: 500,
+            epsilon: 30.0,
+            algorithm: "operb".to_string(),
+            windows: 16,
+            window_size: 600.0,
+            seed: 20170401,
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut o = Options::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{arg} needs a value"))
+        };
+        match arg.as_str() {
+            "--devices" | "-n" => {
+                o.devices = value()?.parse().map_err(|e| format!("{arg}: {e}"))?
+            }
+            "--points" | "-p" => o.points = value()?.parse().map_err(|e| format!("{arg}: {e}"))?,
+            "--epsilon" | "-e" => {
+                o.epsilon = value()?.parse().map_err(|e| format!("{arg}: {e}"))?
+            }
+            "--algorithm" | "-a" => o.algorithm = value()?.to_lowercase(),
+            "--windows" | "-w" => {
+                o.windows = value()?.parse().map_err(|e| format!("{arg}: {e}"))?
+            }
+            "--window-size" => {
+                o.window_size = value()?.parse().map_err(|e| format!("{arg}: {e}"))?
+            }
+            "--seed" | "-s" => o.seed = value()?.parse().map_err(|e| format!("{arg}: {e}"))?,
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    if o.devices < 100 {
+        return Err("store_bench needs --devices >= 100 (the fleet-scale scenario)".into());
+    }
+    if o.points < 2 || o.windows == 0 {
+        return Err("store_bench needs --points >= 2 and --windows >= 1".into());
+    }
+    Ok(o)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&options) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("store_bench: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(options: &Options) -> Result<(), String> {
+    let Some(algorithm) = FleetAlgorithm::by_name(&options.algorithm) else {
+        return Err(format!("unknown algorithm '{}'", options.algorithm));
+    };
+    eprintln!(
+        "generating {} taxi trajectories of {} points (seed {}) …",
+        options.devices, options.points, options.seed
+    );
+    let generator = DatasetGenerator::for_kind(DatasetKind::Taxi, options.seed);
+    let fleet: Vec<(DeviceId, Trajectory)> = (0..options.devices)
+        .map(|i| {
+            (
+                i as DeviceId,
+                generator.generate_trajectory(i, options.points),
+            )
+        })
+        .collect();
+
+    // ── Ingest: pipeline → StoreSink → TrajStore ─────────────────────────
+    let pipeline_config = PipelineConfig::new(options.epsilon).with_batch_size(256);
+    let mut store = TrajStore::new(StoreConfig::default().with_block_segments(32));
+    let ingest_started = Instant::now();
+    let (report, ingested) =
+        compress_fleet_into_store(&fleet, &pipeline_config, &algorithm, &mut store)?;
+    let ingest_elapsed = ingest_started.elapsed();
+    if ingested != fleet.len() {
+        return Err(format!("only {ingested}/{} streams ingested", fleet.len()));
+    }
+
+    let stats = store.stats();
+    let bound = options.epsilon + store.config().codec.spatial_slack();
+    println!("── ingest ──────────────────────────────────────────────");
+    println!(
+        "algorithm        : {} (ζ = {} m)",
+        algorithm.name(),
+        options.epsilon
+    );
+    println!("devices          : {}", stats.devices);
+    println!("points           : {}", stats.points);
+    println!(
+        "blocks           : {} ({} segments)",
+        stats.blocks, stats.segments
+    );
+    println!("stored bytes     : {}", stats.stored_bytes);
+    println!(
+        "bytes/point      : {:.2} (raw: 24.00)",
+        stats.bytes_per_point()
+    );
+    println!(
+        "compression      : {:.1}x vs raw",
+        stats.compression_factor()
+    );
+    println!(
+        "ingest throughput: {:.0} points/s ({} workers, {:.0} ms wall)",
+        stats.points as f64 / ingest_elapsed.as_secs_f64().max(1e-12),
+        report.workers,
+        ingest_elapsed.as_secs_f64() * 1e3
+    );
+
+    // ── Spatial window queries ───────────────────────────────────────────
+    // Windows centred on actual data points, so each window contains real
+    // traffic and the no-false-negative verification bites.
+    let mut table = TextTable::new(vec![
+        "window", "devices", "segments", "decoded", "in scope", "skip", "latency",
+    ]);
+    let mut worst_skip: f64 = 1.0;
+    let half = options.window_size / 2.0;
+    for w in 0..options.windows {
+        let (_, probe_traj) = &fleet[(w * 37) % fleet.len()];
+        let centre = probe_traj.point((probe_traj.len() / (w + 2)).min(probe_traj.len() - 1));
+        let window = BoundingBox {
+            min_x: centre.x - half,
+            min_y: centre.y - half,
+            max_x: centre.x + half,
+            max_y: centre.y + half,
+        };
+        let started = Instant::now();
+        let q = store.window_query(&window, None);
+        let elapsed = started.elapsed();
+
+        // Acceptance: strictly fewer blocks decoded than a full scan.
+        if q.stats.blocks_decoded >= q.stats.blocks_in_scope {
+            return Err(format!(
+                "window {w}: decoded {}/{} blocks — no skipping happened",
+                q.stats.blocks_decoded, q.stats.blocks_in_scope
+            ));
+        }
+        worst_skip = worst_skip.min(q.stats.skip_ratio());
+
+        // ζ verification: every original point inside the window is within
+        // the stored bound of a returned segment of its device.
+        for (device, traj) in &fleet {
+            let returned = q.matches.iter().find(|m| m.device == *device);
+            for p in traj.points().iter().filter(|p| window.contains(p)) {
+                let best = returned
+                    .map(|m| {
+                        m.segments
+                            .iter()
+                            .map(|s| s.distance_to_line(p))
+                            .fold(f64::INFINITY, f64::min)
+                    })
+                    .unwrap_or(f64::INFINITY);
+                if best > bound {
+                    return Err(format!(
+                        "window {w}: device {device} point at t={} is {best:.2} m from the \
+                         result (bound {bound:.2}) — ζ violated",
+                        p.t
+                    ));
+                }
+            }
+        }
+        table.row(vec![
+            format!("{w}"),
+            format!("{}", q.matches.len()),
+            format!("{}", q.stats.segments_returned),
+            format!("{}", q.stats.blocks_decoded),
+            format!("{}", q.stats.blocks_in_scope),
+            format!("{:.1}%", q.stats.skip_ratio() * 100.0),
+            format!("{:.0} µs", elapsed.as_secs_f64() * 1e6),
+        ]);
+    }
+    println!(
+        "\n── spatial window queries ({} m × {0} m, ζ verified) ──",
+        options.window_size
+    );
+    println!("{}", table.render());
+    println!(
+        "all {} windows decoded strictly fewer blocks than a full scan (worst skip ratio {:.1}%)",
+        options.windows,
+        worst_skip * 100.0
+    );
+
+    // ── Per-device time slices ───────────────────────────────────────────
+    let slice_started = Instant::now();
+    let mut slice_decoded = 0usize;
+    let mut slice_scope = 0usize;
+    let mut slice_segments = 0usize;
+    for (device, traj) in &fleet {
+        let duration = traj.duration();
+        let slice = store.time_slice(*device, duration * 0.4, duration * 0.6);
+        slice_decoded += slice.stats.blocks_decoded;
+        slice_scope += slice.stats.blocks_in_scope;
+        slice_segments += slice.stats.segments_returned;
+    }
+    let slice_elapsed = slice_started.elapsed();
+    println!("\n── per-device time slices (middle 20% of each stream) ──");
+    println!(
+        "{} slices: {} segments, {}/{} blocks decoded (skip {:.1}%), {:.1} µs/slice",
+        fleet.len(),
+        slice_segments,
+        slice_decoded,
+        slice_scope,
+        (1.0 - slice_decoded as f64 / slice_scope.max(1) as f64) * 100.0,
+        slice_elapsed.as_secs_f64() * 1e6 / fleet.len() as f64
+    );
+
+    // ── Point-in-time lookups ────────────────────────────────────────────
+    let lookup_started = Instant::now();
+    let mut hits = 0usize;
+    let probes_per_device = 16usize;
+    for (device, traj) in &fleet {
+        let duration = traj.duration();
+        for k in 0..probes_per_device {
+            let t = duration * (k as f64 + 0.5) / probes_per_device as f64;
+            if store.position_at(*device, t).is_some() {
+                hits += 1;
+            }
+        }
+    }
+    let lookup_elapsed = lookup_started.elapsed();
+    let lookups = fleet.len() * probes_per_device;
+    println!("\n── point-in-time lookups ───────────────────────────────");
+    println!(
+        "{} lookups ({} hits): {:.1} µs/lookup",
+        lookups,
+        hits,
+        lookup_elapsed.as_secs_f64() * 1e6 / lookups as f64
+    );
+    if hits < lookups * 9 / 10 {
+        return Err(format!(
+            "only {hits}/{lookups} position lookups hit stored coverage"
+        ));
+    }
+    println!("\nζ bound respected on every query result.");
+    Ok(())
+}

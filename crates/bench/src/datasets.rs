@@ -4,9 +4,9 @@
 //! share the same workload, so the repository memoizes generated datasets
 //! per (kind, scale) behind a mutex.
 
-use std::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::sync::Mutex;
 
 use traj_data::{DatasetGenerator, DatasetKind, DatasetProfile};
 use traj_model::Trajectory;

@@ -18,7 +18,9 @@ fn compression_sweep(
     let mut report = ExperimentReport::new(id, title, "ζ (m)", "compression ratio");
     let zetas: Vec<f64> = match scale {
         Scale::Quick => vec![5.0, 10.0, 20.0, 40.0, 70.0, 100.0],
-        Scale::Full => vec![5.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0],
+        Scale::Full => vec![
+            5.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0,
+        ],
     };
     for kind in DatasetKind::ALL {
         let data = repo.dataset(kind, scale);

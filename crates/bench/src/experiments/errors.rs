@@ -17,7 +17,9 @@ pub fn fig18(repo: &DatasetRepository, scale: Scale) -> ExperimentReport {
     );
     let zetas: Vec<f64> = match scale {
         Scale::Quick => vec![5.0, 10.0, 20.0, 40.0, 70.0, 100.0],
-        Scale::Full => vec![5.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0],
+        Scale::Full => vec![
+            5.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0,
+        ],
     };
     let algorithms = standard_algorithms();
     for kind in DatasetKind::ALL {

@@ -210,7 +210,10 @@ impl ExperimentReport {
         JsonValue::object([
             ("id", JsonValue::from(self.id.clone())),
             ("title", JsonValue::from(self.title.clone())),
-            ("parameter_name", JsonValue::from(self.parameter_name.clone())),
+            (
+                "parameter_name",
+                JsonValue::from(self.parameter_name.clone()),
+            ),
             ("value_name", JsonValue::from(self.value_name.clone())),
             ("records", JsonValue::Array(records)),
         ])
@@ -301,8 +304,7 @@ mod tests {
     fn json_roundtrip() {
         let r = sample_report();
         let json = r.to_json();
-        let back =
-            ExperimentReport::from_json_value(&JsonValue::parse(&json).unwrap()).unwrap();
+        let back = ExperimentReport::from_json_value(&JsonValue::parse(&json).unwrap()).unwrap();
         assert_eq!(back, r);
     }
 

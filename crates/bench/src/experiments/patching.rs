@@ -76,11 +76,7 @@ mod tests {
     fn patching_ratio_is_a_ratio_and_decreases_with_gamma() {
         let repo = DatasetRepository::with_seed(8);
         let data = repo.sized_dataset(DatasetKind::SerCar, 2, 600);
-        let relaxed = dataset_patch_stats(
-            &data,
-            OperbAConfig::optimized().with_gamma_m(0.0),
-            40.0,
-        );
+        let relaxed = dataset_patch_stats(&data, OperbAConfig::optimized().with_gamma_m(0.0), 40.0);
         let strict = dataset_patch_stats(
             &data,
             OperbAConfig::optimized().with_gamma_m(std::f64::consts::PI),

@@ -32,7 +32,10 @@ pub fn render(stats: &[DatasetStats]) -> String {
         table.row(vec![
             s.name.clone(),
             s.num_trajectories.to_string(),
-            format!("{:.0}-{:.0}", s.min_sampling_interval, s.max_sampling_interval),
+            format!(
+                "{:.0}-{:.0}",
+                s.min_sampling_interval, s.max_sampling_interval
+            ),
             format!("{:.0}", s.mean_points_per_trajectory),
             s.total_points.to_string(),
             format!("{:.1}", s.mean_path_length_m / 1000.0),

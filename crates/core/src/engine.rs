@@ -406,10 +406,7 @@ mod tests {
         assert_eq!(segs[0].first_index, 0);
         assert_eq!(segs[0].last_index, 49);
         assert!(segs[0].segment.start.approx_eq(&Point::xy(0.0, 0.0), 1e-9));
-        assert!(segs[0]
-            .segment
-            .end
-            .approx_eq(&Point::xy(490.0, 0.0), 1e-9));
+        assert!(segs[0].segment.end.approx_eq(&Point::xy(490.0, 0.0), 1e-9));
     }
 
     #[test]

@@ -112,7 +112,10 @@ fn try_patch(
     next2.interpolated_start = true;
     // The anomalous segment's responsibility is split between its
     // neighbours: its start stays with `prev`, its end moves to `next`.
-    next2.first_index = next2.first_index.min(anom.first_index + 1).min(anom.last_index);
+    next2.first_index = next2
+        .first_index
+        .min(anom.first_index + 1)
+        .min(anom.last_index);
 
     Some((prev2, next2))
 }
@@ -304,10 +307,7 @@ impl OperbA {
         }
         stream.finish(&mut segments);
         let stats = stream.stats();
-        Ok((
-            SimplifiedTrajectory::new(segments, trajectory.len()),
-            stats,
-        ))
+        Ok((SimplifiedTrajectory::new(segments, trajectory.len()), stats))
     }
 }
 
@@ -325,7 +325,8 @@ impl BatchSimplifier for OperbA {
         trajectory: &Trajectory,
         epsilon: f64,
     ) -> Result<SimplifiedTrajectory, TrajectoryError> {
-        self.simplify_with_stats(trajectory, epsilon).map(|(s, _)| s)
+        self.simplify_with_stats(trajectory, epsilon)
+            .map(|(s, _)| s)
     }
 }
 
@@ -451,7 +452,8 @@ mod tests {
     #[test]
     fn gamma_m_pi_disables_most_patching() {
         let traj = l_shaped();
-        let strict = OperbA::with_config(OperbAConfig::optimized().with_gamma_m(std::f64::consts::PI));
+        let strict =
+            OperbA::with_config(OperbAConfig::optimized().with_gamma_m(std::f64::consts::PI));
         let (_, stats_strict) = strict.simplify_with_stats(&traj, 10.0).unwrap();
         let relaxed = OperbA::new();
         let (_, stats_relaxed) = relaxed.simplify_with_stats(&traj, 10.0).unwrap();

@@ -6,10 +6,10 @@
 // `--features proptest` after vendoring the dependency.
 #![cfg(feature = "proptest")]
 
-use proptest::prelude::*;
 use operb::config::OperbConfig;
 use operb::fitting::{zone_index, FittedLine, PointClass};
 use operb::{Operb, OperbA};
+use proptest::prelude::*;
 use traj_geo::Point;
 use traj_model::{BatchSimplifier, Trajectory};
 

@@ -2,8 +2,8 @@
 
 use crate::motion::{MotionConfig, VehicleSimulator};
 use crate::profiles::{DatasetKind, DatasetProfile};
-use crate::road_network::GridNetwork;
 use crate::rng::{Rng, SmallRng};
+use crate::road_network::GridNetwork;
 use traj_model::Trajectory;
 
 /// Deterministic synthetic dataset generator.

@@ -123,8 +123,8 @@ mod tests {
 
     #[test]
     fn csv_roundtrip() {
-        let traj = Trajectory::from_xyt(&[(0.0, 0.0, 0.0), (10.0, 5.0, 1.0), (20.0, 3.0, 2.0)])
-            .unwrap();
+        let traj =
+            Trajectory::from_xyt(&[(0.0, 0.0, 0.0), (10.0, 5.0, 1.0), (20.0, 3.0, 2.0)]).unwrap();
         let mut buf = Vec::new();
         write_csv(&mut buf, &traj).unwrap();
         let parsed = read_csv(BufReader::new(buf.as_slice())).unwrap();

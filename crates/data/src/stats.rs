@@ -92,7 +92,10 @@ impl DatasetStats {
                 JsonValue::from(self.mean_points_per_trajectory),
             ),
             ("total_points", JsonValue::from(self.total_points)),
-            ("mean_path_length_m", JsonValue::from(self.mean_path_length_m)),
+            (
+                "mean_path_length_m",
+                JsonValue::from(self.mean_path_length_m),
+            ),
         ])
     }
 
@@ -167,8 +170,8 @@ mod tests {
 
     #[test]
     fn mixed_sampling_intervals() {
-        let a = Trajectory::from_xyt(&[(0.0, 0.0, 0.0), (1.0, 0.0, 1.0), (2.0, 0.0, 61.0)])
-            .unwrap();
+        let a =
+            Trajectory::from_xyt(&[(0.0, 0.0, 0.0), (1.0, 0.0, 1.0), (2.0, 0.0, 61.0)]).unwrap();
         let stats = DatasetStats::compute("Mixed", &[a]);
         assert!((stats.min_sampling_interval - 1.0).abs() < 1e-9);
         assert!((stats.max_sampling_interval - 60.0).abs() < 1e-9);

@@ -15,8 +15,14 @@ pub fn compression_ratio(simplified: &SimplifiedTrajectory) -> f64 {
 /// Dataset-level compression ratio: total segments over total points, as
 /// defined in the paper (not the mean of per-trajectory ratios).
 pub fn dataset_compression_ratio(simplified: &[SimplifiedTrajectory]) -> f64 {
-    let total_segments: usize = simplified.iter().map(SimplifiedTrajectory::num_segments).sum();
-    let total_points: usize = simplified.iter().map(SimplifiedTrajectory::original_len).sum();
+    let total_segments: usize = simplified
+        .iter()
+        .map(SimplifiedTrajectory::num_segments)
+        .sum();
+    let total_points: usize = simplified
+        .iter()
+        .map(SimplifiedTrajectory::original_len)
+        .sum();
     if total_points == 0 {
         0.0
     } else {
@@ -34,10 +40,7 @@ mod tests {
         let segs = (0..segments)
             .map(|i| {
                 SimplifiedSegment::new(
-                    DirectedSegment::new(
-                        Point::xy(i as f64, 0.0),
-                        Point::xy(i as f64 + 1.0, 0.0),
-                    ),
+                    DirectedSegment::new(Point::xy(i as f64, 0.0), Point::xy(i as f64 + 1.0, 0.0)),
                     i,
                     i + 1,
                 )

@@ -176,7 +176,10 @@ mod tests {
         // absorbed trailing points are covered by the previous segment).
         let traj = Trajectory::from_xy(&[(0.0, 0.0), (10.0, 0.0), (20.0, 0.1), (20.0, 30.0)]);
         let simp = make_simplified(
-            &[((0.0, 0.0), (10.0, 0.0), 0, 1), ((10.0, 0.0), (20.0, 30.0), 1, 3)],
+            &[
+                ((0.0, 0.0), (10.0, 0.0), 0, 1),
+                ((10.0, 0.0), (20.0, 30.0), 1, 3),
+            ],
             4,
         );
         // Point 2 is 0.1 m from the first segment's line but ~9.5 m from the

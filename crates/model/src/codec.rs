@@ -1,0 +1,585 @@
+//! Compact binary encoding of piecewise line representations.
+//!
+//! The storage engine (`traj-store`) keeps simplified trajectories on disk
+//! and in memory in this format: coordinates and timestamps are quantized
+//! to a configurable resolution (default 1 cm / 1 ms, far below GPS
+//! accuracy and the error bounds ζ the algorithms run with) and stored as
+//! zig-zag + varint encoded deltas between consecutive shape points, with
+//! responsibility index ranges delta-encoded alongside.  A typical OPERB
+//! output segment costs a handful of bytes instead of the 56 bytes of its
+//! in-memory form.
+//!
+//! Quantization moves each shape point by at most half a resolution step
+//! per axis, so a decoded segment's supporting line is within
+//! [`SegmentCodec::spatial_slack`] of the encoded one; consumers that
+//! guarantee an error bound ζ on the stored data must account for
+//! `ζ + spatial_slack()`.  Encoding is lossy exactly once: re-encoding a
+//! decoded representation is bit-identical.
+//!
+//! ```
+//! use traj_geo::DirectedSegment;
+//! use traj_model::codec::SegmentCodec;
+//! use traj_model::{SimplifiedSegment, SimplifiedTrajectory, Trajectory};
+//!
+//! let trajectory = Trajectory::from_xy(&[(0.0, 0.0), (10.0, 0.2), (20.0, 0.1)]);
+//! let simplified = SimplifiedTrajectory::new(
+//!     vec![SimplifiedSegment::new(
+//!         DirectedSegment::new(trajectory.first(), trajectory.last()),
+//!         0,
+//!         2,
+//!     )],
+//!     trajectory.len(),
+//! );
+//!
+//! let codec = SegmentCodec::default();
+//! let bytes = codec.encode(&simplified).unwrap();
+//! let back = codec.decode(&bytes).unwrap();
+//! assert_eq!(back.num_segments(), 1);
+//! assert_eq!(back.segments()[0].first_index, 0);
+//! assert_eq!(back.segments()[0].last_index, 2);
+//! // Shape points moved by at most the quantization slack.
+//! assert!(back.segments()[0].segment.start.distance(&trajectory.first()) <= codec.spatial_slack());
+//! ```
+
+use crate::simplified::{SimplifiedSegment, SimplifiedTrajectory};
+use traj_geo::{DirectedSegment, Point};
+
+/// Default spatial quantization step: 1 cm.
+pub const DEFAULT_SPATIAL_RESOLUTION: f64 = 0.01;
+/// Default temporal quantization step: 1 ms.
+pub const DEFAULT_TIME_RESOLUTION: f64 = 0.001;
+
+/// Errors produced when encoding or decoding a segment block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// A coordinate or timestamp is too large for the configured
+    /// resolution (the quantized value does not fit a 63-bit integer).
+    ValueOutOfRange,
+    /// The byte stream ended in the middle of a record.
+    UnexpectedEof,
+    /// A varint exceeded the maximum encodable length.
+    VarintOverflow,
+    /// A decoded responsibility index is negative or implausibly large
+    /// (corrupted input).
+    InvalidIndex,
+    /// Bytes were left over after the last segment.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::ValueOutOfRange => {
+                write!(f, "coordinate out of range for the codec resolution")
+            }
+            CodecError::UnexpectedEof => write!(f, "unexpected end of encoded block"),
+            CodecError::VarintOverflow => write!(f, "varint longer than 10 bytes"),
+            CodecError::InvalidIndex => write!(f, "corrupt responsibility index"),
+            CodecError::TrailingBytes => write!(f, "trailing bytes after the last segment"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Maps a signed integer to an unsigned one with small absolute values
+/// staying small (protobuf's zig-zag transform).
+#[inline]
+pub fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+#[inline]
+pub fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends `v` to `buf` as a base-128 varint (7 payload bits per byte).
+pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// A read cursor over an encoded byte slice.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Creates a cursor at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        let b = *self.bytes.get(self.pos).ok_or(CodecError::UnexpectedEof)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.checked_add(n).ok_or(CodecError::UnexpectedEof)?;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or(CodecError::UnexpectedEof)?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Number of unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+}
+
+/// Reads a base-128 varint.
+pub fn get_varint(buf: &mut ByteReader<'_>) -> Result<u64, CodecError> {
+    let mut value: u64 = 0;
+    let mut shift = 0;
+    loop {
+        let byte = buf.get_u8()?;
+        if shift >= 64 {
+            return Err(CodecError::VarintOverflow);
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+/// Largest responsibility index the decoder accepts (2⁴⁸ points is far
+/// beyond any real trajectory; anything larger is corruption).
+const MAX_INDEX: i64 = 1 << 48;
+
+/// Validates a decoded responsibility index or span.
+#[inline]
+fn checked_index(v: i64) -> Result<usize, CodecError> {
+    if (0..=MAX_INDEX).contains(&v) {
+        Ok(v as usize)
+    } else {
+        Err(CodecError::InvalidIndex)
+    }
+}
+
+/// Flag bit: the segment's start point is an interpolated patch point.
+const FLAG_INTERPOLATED_START: u8 = 1 << 0;
+/// Flag bit: the segment's end point is an interpolated patch point.
+const FLAG_INTERPOLATED_END: u8 = 1 << 1;
+/// Flag bit: the segment's start is not the previous segment's end (a
+/// discontinuity; always set on the first segment, whose start is encoded
+/// as a delta from the origin).
+const FLAG_RESTART: u8 = 1 << 2;
+
+/// Quantized representation of a point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct QPoint {
+    x: i64,
+    y: i64,
+    t: i64,
+}
+
+/// The block codec: quantization resolutions plus the encode/decode logic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentCodec {
+    /// Spatial quantization step in coordinate units (meters).
+    pub spatial_resolution: f64,
+    /// Temporal quantization step in seconds.
+    pub time_resolution: f64,
+}
+
+impl Default for SegmentCodec {
+    fn default() -> Self {
+        Self {
+            spatial_resolution: DEFAULT_SPATIAL_RESOLUTION,
+            time_resolution: DEFAULT_TIME_RESOLUTION,
+        }
+    }
+}
+
+impl SegmentCodec {
+    /// A codec with explicit resolutions (both must be finite and
+    /// positive; callers configure these once per store).
+    pub fn new(spatial_resolution: f64, time_resolution: f64) -> Self {
+        assert!(
+            spatial_resolution.is_finite() && spatial_resolution > 0.0,
+            "spatial resolution must be finite and positive"
+        );
+        assert!(
+            time_resolution.is_finite() && time_resolution > 0.0,
+            "time resolution must be finite and positive"
+        );
+        Self {
+            spatial_resolution,
+            time_resolution,
+        }
+    }
+
+    /// Upper bound on the planar displacement quantization applies to any
+    /// shape point: half a step per axis, `√2/2 · res` combined — reported
+    /// as a full `√2 · res` to also cover the induced supporting-line
+    /// rotation for responsibility points near the endpoints.
+    pub fn spatial_slack(&self) -> f64 {
+        self.spatial_resolution * std::f64::consts::SQRT_2
+    }
+
+    fn quantize(&self, p: &Point) -> Result<QPoint, CodecError> {
+        let q = |v: f64, res: f64| -> Result<i64, CodecError> {
+            let scaled = (v / res).round();
+            if scaled.abs() > (1i64 << 62) as f64 {
+                return Err(CodecError::ValueOutOfRange);
+            }
+            Ok(scaled as i64)
+        };
+        Ok(QPoint {
+            x: q(p.x, self.spatial_resolution)?,
+            y: q(p.y, self.spatial_resolution)?,
+            t: q(p.t, self.time_resolution)?,
+        })
+    }
+
+    fn dequantize(&self, q: QPoint) -> Point {
+        Point::new(
+            q.x as f64 * self.spatial_resolution,
+            q.y as f64 * self.spatial_resolution,
+            q.t as f64 * self.time_resolution,
+        )
+    }
+
+    /// Encodes a piecewise line representation into a compact byte block.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::ValueOutOfRange`] when a coordinate is too large for
+    /// the configured resolution.
+    pub fn encode(&self, simplified: &SimplifiedTrajectory) -> Result<Vec<u8>, CodecError> {
+        let segments = simplified.segments();
+        let mut buf = Vec::with_capacity(8 + segments.len() * 8);
+        put_varint(&mut buf, simplified.original_len() as u64);
+        put_varint(&mut buf, segments.len() as u64);
+        let mut prev_end = QPoint::default();
+        let mut prev_last_index = 0u64;
+        for (i, s) in segments.iter().enumerate() {
+            let start = self.quantize(&s.segment.start)?;
+            let end = self.quantize(&s.segment.end)?;
+            let restart = i == 0 || start != prev_end;
+            let mut flags = 0u8;
+            if s.interpolated_start {
+                flags |= FLAG_INTERPOLATED_START;
+            }
+            if s.interpolated_end {
+                flags |= FLAG_INTERPOLATED_END;
+            }
+            if restart {
+                flags |= FLAG_RESTART;
+            }
+            buf.push(flags);
+            if restart {
+                put_varint(&mut buf, zigzag_encode(start.x.wrapping_sub(prev_end.x)));
+                put_varint(&mut buf, zigzag_encode(start.y.wrapping_sub(prev_end.y)));
+                put_varint(&mut buf, zigzag_encode(start.t.wrapping_sub(prev_end.t)));
+            }
+            put_varint(&mut buf, zigzag_encode(end.x.wrapping_sub(start.x)));
+            put_varint(&mut buf, zigzag_encode(end.y.wrapping_sub(start.y)));
+            put_varint(&mut buf, zigzag_encode(end.t.wrapping_sub(start.t)));
+            if i == 0 {
+                put_varint(&mut buf, s.first_index as u64);
+            } else {
+                put_varint(
+                    &mut buf,
+                    zigzag_encode(s.first_index as i64 - prev_last_index as i64),
+                );
+            }
+            put_varint(&mut buf, (s.last_index - s.first_index) as u64);
+            prev_end = end;
+            prev_last_index = s.last_index as u64;
+        }
+        Ok(buf)
+    }
+
+    /// Decodes a block produced by [`SegmentCodec::encode`] with the same
+    /// resolutions.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CodecError`] for truncated, overlong or trailing input.
+    pub fn decode(&self, bytes: &[u8]) -> Result<SimplifiedTrajectory, CodecError> {
+        let mut r = ByteReader::new(bytes);
+        let original_len = get_varint(&mut r)? as usize;
+        let num_segments = get_varint(&mut r)? as usize;
+        // Each segment costs at least 5 bytes (flags + 4 varints); reject
+        // counts the input cannot possibly hold before allocating.
+        if num_segments > r.remaining() {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let mut segments = Vec::with_capacity(num_segments);
+        let mut prev_end = QPoint::default();
+        let mut prev_last_index = 0u64;
+        for i in 0..num_segments {
+            let flags = r.get_u8()?;
+            let start = if flags & FLAG_RESTART != 0 {
+                QPoint {
+                    x: prev_end.x.wrapping_add(zigzag_decode(get_varint(&mut r)?)),
+                    y: prev_end.y.wrapping_add(zigzag_decode(get_varint(&mut r)?)),
+                    t: prev_end.t.wrapping_add(zigzag_decode(get_varint(&mut r)?)),
+                }
+            } else {
+                prev_end
+            };
+            let end = QPoint {
+                x: start.x.wrapping_add(zigzag_decode(get_varint(&mut r)?)),
+                y: start.y.wrapping_add(zigzag_decode(get_varint(&mut r)?)),
+                t: start.t.wrapping_add(zigzag_decode(get_varint(&mut r)?)),
+            };
+            // Index arithmetic on untrusted input: cap everything at
+            // MAX_INDEX so a corrupted delta becomes an error instead of
+            // an overflow panic (debug) or a silent wrap (release).
+            let first_index = if i == 0 {
+                checked_index(get_varint(&mut r)? as i64)?
+            } else {
+                let delta = zigzag_decode(get_varint(&mut r)?);
+                checked_index((prev_last_index as i64).checked_add(delta).unwrap_or(-1))?
+            };
+            let span = checked_index(get_varint(&mut r)? as i64)?;
+            let last_index = first_index + span; // both ≤ MAX_INDEX: no overflow
+            let mut segment = SimplifiedSegment::new(
+                DirectedSegment::new(self.dequantize(start), self.dequantize(end)),
+                first_index,
+                last_index,
+            );
+            segment.interpolated_start = flags & FLAG_INTERPOLATED_START != 0;
+            segment.interpolated_end = flags & FLAG_INTERPOLATED_END != 0;
+            segments.push(segment);
+            prev_end = end;
+            prev_last_index = last_index as u64;
+        }
+        if r.remaining() != 0 {
+            return Err(CodecError::TrailingBytes);
+        }
+        Ok(SimplifiedTrajectory::new(segments, original_len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[allow(clippy::too_many_arguments)]
+    fn seg(
+        x0: f64,
+        y0: f64,
+        t0: f64,
+        x1: f64,
+        y1: f64,
+        t1: f64,
+        a: usize,
+        b: usize,
+    ) -> SimplifiedSegment {
+        SimplifiedSegment::new(
+            DirectedSegment::new(Point::new(x0, y0, t0), Point::new(x1, y1, t1)),
+            a,
+            b,
+        )
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 123456789] {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut r = ByteReader::new(&buf);
+            assert_eq!(get_varint(&mut r).unwrap(), v);
+            assert_eq!(r.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn empty_representation_roundtrips() {
+        let codec = SegmentCodec::default();
+        let empty = SimplifiedTrajectory::new(vec![], 1);
+        let bytes = codec.encode(&empty).unwrap();
+        let back = codec.decode(&bytes).unwrap();
+        assert_eq!(back.num_segments(), 0);
+        assert_eq!(back.original_len(), 1);
+    }
+
+    #[test]
+    fn continuous_segments_share_endpoints() {
+        let codec = SegmentCodec::default();
+        let st = SimplifiedTrajectory::new(
+            vec![
+                seg(0.0, 0.0, 0.0, 10.0, 2.0, 5.0, 0, 5),
+                seg(10.0, 2.0, 5.0, 22.0, -1.0, 11.0, 5, 11),
+            ],
+            12,
+        );
+        let bytes = codec.encode(&st).unwrap();
+        let back = codec.decode(&bytes).unwrap();
+        assert_eq!(back.num_segments(), 2);
+        assert_eq!(
+            back.segments()[0].segment.end,
+            back.segments()[1].segment.start
+        );
+        assert_eq!(back.segments()[0].first_index, 0);
+        assert_eq!(back.segments()[1].last_index, 11);
+        // A continuous follow-up segment does not re-encode its start.
+        let discontinuous = SimplifiedTrajectory::new(
+            vec![
+                seg(0.0, 0.0, 0.0, 10.0, 2.0, 5.0, 0, 5),
+                seg(10.5, 2.5, 5.0, 22.0, -1.0, 11.0, 5, 11),
+            ],
+            12,
+        );
+        let longer = codec.encode(&discontinuous).unwrap();
+        assert!(longer.len() > bytes.len());
+    }
+
+    #[test]
+    fn quantization_error_is_bounded() {
+        let codec = SegmentCodec::default();
+        let st = SimplifiedTrajectory::new(
+            vec![seg(
+                0.004, -0.004, 0.0004, 1234.5678, -9876.5432, 12345.6789, 0, 9,
+            )],
+            10,
+        );
+        let back = codec.decode(&codec.encode(&st).unwrap()).unwrap();
+        let s = back.segments()[0].segment;
+        let orig = st.segments()[0].segment;
+        assert!(s.start.distance(&orig.start) <= codec.spatial_slack());
+        assert!(s.end.distance(&orig.end) <= codec.spatial_slack());
+        assert!((s.start.t - orig.start.t).abs() <= codec.time_resolution);
+        // Re-encoding the decoded representation is bit-identical.
+        let again = codec.encode(&back).unwrap();
+        assert_eq!(again, codec.encode(&st).unwrap());
+        let twice = codec.decode(&again).unwrap();
+        assert_eq!(twice, back);
+    }
+
+    #[test]
+    fn interpolation_flags_survive() {
+        let codec = SegmentCodec::default();
+        let mut s = seg(0.0, 0.0, 0.0, 5.0, 5.0, 5.0, 0, 4);
+        s.interpolated_start = true;
+        s.interpolated_end = true;
+        let st = SimplifiedTrajectory::new(vec![s], 5);
+        let back = codec.decode(&codec.encode(&st).unwrap()).unwrap();
+        assert!(back.segments()[0].interpolated_start);
+        assert!(back.segments()[0].interpolated_end);
+    }
+
+    #[test]
+    fn rejects_out_of_range_coordinates() {
+        let codec = SegmentCodec::default();
+        let st = SimplifiedTrajectory::new(vec![seg(1e300, 0.0, 0.0, 1.0, 1.0, 1.0, 0, 1)], 2);
+        assert_eq!(codec.encode(&st), Err(CodecError::ValueOutOfRange));
+    }
+
+    #[test]
+    fn rejects_truncated_and_trailing_input() {
+        let codec = SegmentCodec::default();
+        let st = SimplifiedTrajectory::new(vec![seg(0.0, 0.0, 0.0, 5.0, 1.0, 3.0, 0, 3)], 4);
+        let bytes = codec.encode(&st).unwrap();
+        for cut in 1..bytes.len() {
+            assert!(
+                codec.decode(&bytes[..cut]).is_err(),
+                "truncation at {cut} must error"
+            );
+        }
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert_eq!(codec.decode(&extended), Err(CodecError::TrailingBytes));
+        // A segment count far beyond the buffer errors instead of allocating.
+        let mut bomb = Vec::new();
+        put_varint(&mut bomb, 10);
+        put_varint(&mut bomb, u64::MAX);
+        assert!(codec.decode(&bomb).is_err());
+    }
+
+    #[test]
+    fn rejects_corrupt_indices() {
+        let codec = SegmentCodec::default();
+        // Segment 1's first-index delta pulls the running index negative.
+        let mut b = Vec::new();
+        put_varint(&mut b, 5); // original_len
+        put_varint(&mut b, 2); // num_segments
+        b.push(4); // seg 0: FLAG_RESTART
+        for v in [0i64, 0, 0, 1, 1, 1] {
+            put_varint(&mut b, zigzag_encode(v));
+        }
+        put_varint(&mut b, 0); // first_index
+        put_varint(&mut b, 1); // span
+        b.push(0); // seg 1: continuous
+        for v in [1i64, 1, 1] {
+            put_varint(&mut b, zigzag_encode(v));
+        }
+        put_varint(&mut b, zigzag_encode(-5)); // index 1 - 5 = -4
+        put_varint(&mut b, 1);
+        assert_eq!(codec.decode(&b), Err(CodecError::InvalidIndex));
+
+        // An implausibly large span is rejected instead of overflowing.
+        let mut b = Vec::new();
+        put_varint(&mut b, 5);
+        put_varint(&mut b, 1);
+        b.push(4);
+        for v in [0i64, 0, 0, 1, 1, 1] {
+            put_varint(&mut b, zigzag_encode(v));
+        }
+        put_varint(&mut b, 0);
+        put_varint(&mut b, u64::MAX); // span
+        assert_eq!(codec.decode(&b), Err(CodecError::InvalidIndex));
+    }
+
+    #[test]
+    fn compactness_beats_raw_representation() {
+        // 100 continuous segments on a wavy path: raw in-memory form is
+        // 56 bytes per segment; the codec should stay far below that.
+        let mut segments = Vec::new();
+        let mut prev = Point::new(0.0, 0.0, 0.0);
+        for i in 0..100usize {
+            let next = Point::new(
+                prev.x + 35.0 + (i as f64).sin(),
+                prev.y + 10.0 * (i as f64 * 0.7).cos(),
+                prev.t + 15.0,
+            );
+            segments.push(SimplifiedSegment::new(
+                DirectedSegment::new(prev, next),
+                i * 10,
+                (i + 1) * 10,
+            ));
+            prev = next;
+        }
+        let st = SimplifiedTrajectory::new(segments, 1001);
+        let codec = SegmentCodec::default();
+        let bytes = codec.encode(&st).unwrap();
+        assert!(
+            bytes.len() < 56 * 100 / 3,
+            "expected < 1867 bytes, got {}",
+            bytes.len()
+        );
+        let back = codec.decode(&bytes).unwrap();
+        assert_eq!(back.num_segments(), 100);
+        assert_eq!(back.validate(), Ok(()));
+    }
+}

@@ -55,7 +55,11 @@ pub struct JsonParseError {
 
 impl fmt::Display for JsonParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -74,8 +78,16 @@ impl From<String> for JsonValue {
 }
 
 impl From<f64> for JsonValue {
+    /// Non-finite values become [`JsonValue::Null`]: JSON cannot represent
+    /// NaN or the infinities, and mapping them at construction keeps the
+    /// writer and parser consistent (what is written as `null` parses back
+    /// as `Null`).
     fn from(v: f64) -> Self {
-        JsonValue::Number(v)
+        if v.is_finite() {
+            JsonValue::Number(v)
+        } else {
+            JsonValue::Null
+        }
     }
 }
 
@@ -254,7 +266,9 @@ fn format_number(v: f64) -> String {
         // JSON cannot represent NaN/Infinity; null is the least-bad option.
         return "null".to_string();
     }
-    if v.fract() == 0.0 && v.abs() < (1u64 << 53) as f64 {
+    // Negative zero must not take the integer fast path: `-0.0 as i64`
+    // is `0`, which would silently drop the sign on a round-trip.
+    if v.fract() == 0.0 && v.abs() < (1u64 << 53) as f64 && (v != 0.0 || v.is_sign_positive()) {
         format!("{}", v as i64)
     } else {
         let mut s = format!("{v}");
@@ -354,9 +368,15 @@ impl<'a> Parser<'a> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
-        text.parse::<f64>()
-            .map(JsonValue::Number)
-            .map_err(|_| self.error(&format!("invalid number '{text}'")))
+        let value: f64 = text
+            .parse()
+            .map_err(|_| self.error(&format!("invalid number '{text}'")))?;
+        // `str::parse` maps out-of-range literals like `1e999` to the
+        // infinities; a parsed `Number` must always be finite.
+        if !value.is_finite() {
+            return Err(self.error(&format!("number '{text}' out of range")));
+        }
+        Ok(JsonValue::Number(value))
     }
 
     fn parse_string(&mut self) -> Result<String, JsonParseError> {
@@ -521,7 +541,10 @@ mod tests {
         assert_eq!(v.get("a").and_then(JsonValue::as_usize), Some(2));
         assert_eq!(v.get("a").and_then(JsonValue::as_f64), Some(2.0));
         assert_eq!(v.get("b").and_then(JsonValue::as_str), Some("x"));
-        assert_eq!(v.get("c").and_then(JsonValue::as_array).map(<[_]>::len), Some(2));
+        assert_eq!(
+            v.get("c").and_then(JsonValue::as_array).map(<[_]>::len),
+            Some(2)
+        );
         assert_eq!(v.get("d").and_then(JsonValue::as_bool), Some(false));
         assert_eq!(v.get("missing"), None);
         assert_eq!(JsonValue::Null.get("a"), None);
@@ -529,7 +552,16 @@ mod tests {
 
     #[test]
     fn rejects_malformed_input() {
-        for bad in ["", "{", "[1,", "{\"a\":}", "tru", "1..2", "\"unterminated", "{} extra"] {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "1..2",
+            "\"unterminated",
+            "{} extra",
+        ] {
             assert!(JsonValue::parse(bad).is_err(), "should reject {bad:?}");
         }
     }
@@ -553,12 +585,64 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_numbers_are_consistent() {
+        // Construction maps non-finite to Null, matching what the writer
+        // emits and the parser returns.
+        assert_eq!(JsonValue::from(f64::NAN), JsonValue::Null);
+        assert_eq!(JsonValue::from(f64::INFINITY), JsonValue::Null);
+        assert_eq!(JsonValue::from(f64::NEG_INFINITY), JsonValue::Null);
+        let v = JsonValue::object([("x", JsonValue::from(f64::NAN))]);
+        let text = v.to_string();
+        assert_eq!(text, r#"{"x":null}"#);
+        assert_eq!(JsonValue::parse(&text).unwrap(), v);
+        // A directly constructed non-finite Number still writes as null.
+        assert_eq!(JsonValue::Number(f64::INFINITY).to_string(), "null");
+        // Out-of-range literals are rejected instead of overflowing to
+        // infinity.
+        for bad in ["1e999", "-1e999", "1e400"] {
+            let err = JsonValue::parse(bad).unwrap_err();
+            assert!(err.message.contains("out of range"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    #[allow(clippy::excessive_precision)] // over-long literals are the point here
+    fn high_precision_numbers_roundtrip_exactly() {
+        let tricky = [
+            0.1 + 0.2,
+            1.0 / 3.0,
+            f64::MAX,
+            f64::MIN,
+            f64::MIN_POSITIVE,
+            5e-324, // smallest subnormal
+            -0.0,
+            9007199254740993.0, // 2^53 + 1 (rounds to 2^53, still exact as f64)
+            1.7976931348623155e308,
+            2.2250738585072011e-308,
+            std::f64::consts::PI,
+        ];
+        for &v in &tricky {
+            let text = JsonValue::Number(v).to_string();
+            let back = JsonValue::parse(&text).unwrap();
+            let got = back
+                .as_f64()
+                .unwrap_or_else(|| panic!("{text} not a number"));
+            assert_eq!(got.to_bits(), v.to_bits(), "{v:?} → {text} → {got:?}");
+        }
+    }
+
+    #[test]
+    fn negative_zero_keeps_its_sign() {
+        let text = JsonValue::Number(-0.0).to_string();
+        assert_eq!(text, "-0.0");
+        let back = JsonValue::parse(&text).unwrap().as_f64().unwrap();
+        assert!(back == 0.0 && back.is_sign_negative());
+    }
+
+    #[test]
     fn unicode_roundtrip() {
         let v = JsonValue::from("héllo ☃");
         assert_eq!(JsonValue::parse(&v.to_string()).unwrap(), v);
-        assert_eq!(
-            JsonValue::parse(r#""A☃""#).unwrap(),
-            JsonValue::from("A☃")
-        );
+        assert_eq!(JsonValue::parse(r#""A☃""#).unwrap(), JsonValue::from("A☃"));
     }
 }

@@ -23,6 +23,9 @@
 //!   exactly once).
 //! * [`json`] — a dependency-free JSON reader/writer used by the
 //!   experiment harness (this workspace builds offline, without serde).
+//! * [`codec`] — a compact binary encoding of piecewise representations
+//!   (quantized delta/varint), the on-disk format of the `traj-store`
+//!   storage engine.
 //!
 //! ## Example
 //!
@@ -61,6 +64,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod error;
 pub mod json;
 pub mod simplified;
@@ -68,6 +72,7 @@ pub mod source;
 pub mod traits;
 pub mod trajectory;
 
+pub use codec::{CodecError, SegmentCodec};
 pub use error::TrajectoryError;
 pub use simplified::{SimplifiedSegment, SimplifiedTrajectory};
 pub use source::CountingSource;

@@ -102,7 +102,9 @@ mod tests {
     use super::*;
 
     fn pts(n: usize) -> Vec<Point> {
-        (0..n).map(|i| Point::new(i as f64, 0.0, i as f64)).collect()
+        (0..n)
+            .map(|i| Point::new(i as f64, 0.0, i as f64))
+            .collect()
     }
 
     #[test]

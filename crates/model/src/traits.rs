@@ -158,8 +158,7 @@ pub type BoxedStreamingSimplifier = Box<dyn StreamingSimplifier + Send>;
 /// how online algorithms (OPERB, OPERB-A, OPW, BQS, FBQS) plug into the
 /// fleet pipeline: each concurrent device stream gets its own simplifier
 /// state from the factory.
-pub type StreamingFactory =
-    std::sync::Arc<dyn Fn(f64) -> BoxedStreamingSimplifier + Send + Sync>;
+pub type StreamingFactory = std::sync::Arc<dyn Fn(f64) -> BoxedStreamingSimplifier + Send + Sync>;
 
 /// Validates an error bound `ζ`.
 pub fn validate_epsilon(epsilon: f64) -> Result<(), TrajectoryError> {

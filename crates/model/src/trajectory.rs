@@ -52,7 +52,12 @@ impl Trajectory {
 
     /// Convenience constructor from `(x, y, t)` tuples (validated).
     pub fn from_xyt(coords: &[(f64, f64, f64)]) -> Result<Self, TrajectoryError> {
-        Self::new(coords.iter().map(|&(x, y, t)| Point::new(x, y, t)).collect())
+        Self::new(
+            coords
+                .iter()
+                .map(|&(x, y, t)| Point::new(x, y, t))
+                .collect(),
+        )
     }
 
     /// Convenience constructor from `(x, y)` pairs, assigning timestamps
@@ -112,10 +117,7 @@ impl Trajectory {
     /// Total travelled (polyline) length in the planar unit, i.e. the sum of
     /// consecutive point distances.
     pub fn path_length(&self) -> f64 {
-        self.points
-            .windows(2)
-            .map(|w| w[0].distance(&w[1]))
-            .sum()
+        self.points.windows(2).map(|w| w[0].distance(&w[1])).sum()
     }
 
     /// Duration covered by the trajectory in seconds (0 for a single point).
@@ -181,9 +183,11 @@ mod tests {
     #[test]
     fn new_rejects_empty_and_non_finite() {
         assert_eq!(Trajectory::new(vec![]).unwrap_err(), TrajectoryError::Empty);
-        let err =
-            Trajectory::new(vec![Point::new(0.0, 0.0, 0.0), Point::new(f64::NAN, 0.0, 1.0)])
-                .unwrap_err();
+        let err = Trajectory::new(vec![
+            Point::new(0.0, 0.0, 0.0),
+            Point::new(f64::NAN, 0.0, 1.0),
+        ])
+        .unwrap_err();
         assert_eq!(err, TrajectoryError::NonFinitePoint { index: 1 });
     }
 

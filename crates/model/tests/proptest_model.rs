@@ -10,18 +10,21 @@ use traj_geo::{DirectedSegment, Point};
 use traj_model::{CountingSource, SimplifiedSegment, SimplifiedTrajectory, Trajectory};
 
 fn monotone_trajectory(max_len: usize) -> impl Strategy<Value = Trajectory> {
-    prop::collection::vec((-1.0e4..1.0e4f64, -1.0e4..1.0e4f64, 0.01f64..10.0), 2..max_len)
-        .prop_map(|tuples| {
-            let mut t = 0.0;
-            let points = tuples
-                .into_iter()
-                .map(|(x, y, dt)| {
-                    t += dt;
-                    Point::new(x, y, t)
-                })
-                .collect();
-            Trajectory::new(points).expect("timestamps strictly increase by construction")
-        })
+    prop::collection::vec(
+        (-1.0e4..1.0e4f64, -1.0e4..1.0e4f64, 0.01f64..10.0),
+        2..max_len,
+    )
+    .prop_map(|tuples| {
+        let mut t = 0.0;
+        let points = tuples
+            .into_iter()
+            .map(|(x, y, dt)| {
+                t += dt;
+                Point::new(x, y, t)
+            })
+            .collect();
+        Trajectory::new(points).expect("timestamps strictly increase by construction")
+    })
 }
 
 proptest! {

@@ -38,7 +38,10 @@ impl std::fmt::Debug for FleetAlgorithm {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FleetAlgorithm")
             .field("name", &self.name())
-            .field("streaming", &matches!(self, FleetAlgorithm::Streaming { .. }))
+            .field(
+                "streaming",
+                &matches!(self, FleetAlgorithm::Streaming { .. }),
+            )
             .finish()
     }
 }
@@ -120,8 +123,8 @@ mod tests {
     #[test]
     fn resolves_every_listed_name() {
         for name in FleetAlgorithm::all_names() {
-            let algo = FleetAlgorithm::by_name(name)
-                .unwrap_or_else(|| panic!("{name} should resolve"));
+            let algo =
+                FleetAlgorithm::by_name(name).unwrap_or_else(|| panic!("{name} should resolve"));
             assert!(!algo.name().is_empty());
         }
         assert!(FleetAlgorithm::by_name("no-such-algorithm").is_none());
@@ -130,16 +133,25 @@ mod tests {
     #[test]
     fn online_algorithms_are_streaming() {
         for name in ["operb", "operb-a", "opw", "bqs", "fbqs"] {
-            assert!(FleetAlgorithm::by_name(name).unwrap().is_streaming(), "{name}");
+            assert!(
+                FleetAlgorithm::by_name(name).unwrap().is_streaming(),
+                "{name}"
+            );
         }
         for name in ["dp", "td-tr", "uniform", "dead-reckoning", "delta"] {
-            assert!(!FleetAlgorithm::by_name(name).unwrap().is_streaming(), "{name}");
+            assert!(
+                !FleetAlgorithm::by_name(name).unwrap().is_streaming(),
+                "{name}"
+            );
         }
     }
 
     #[test]
     fn lookup_is_case_insensitive() {
-        assert_eq!(FleetAlgorithm::by_name("OPERB-A").unwrap().name(), "OPERB-A");
+        assert_eq!(
+            FleetAlgorithm::by_name("OPERB-A").unwrap().name(),
+            "OPERB-A"
+        );
         assert_eq!(FleetAlgorithm::by_name("Dp").unwrap().name(), "DP");
     }
 }

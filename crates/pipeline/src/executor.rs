@@ -29,8 +29,7 @@ use std::time::{Duration, Instant};
 
 use traj_geo::Point;
 use traj_model::{
-    BoxedStreamingSimplifier, SimplifiedSegment, SimplifiedTrajectory, Trajectory,
-    TrajectoryError,
+    BoxedStreamingSimplifier, SimplifiedSegment, SimplifiedTrajectory, Trajectory, TrajectoryError,
 };
 
 use crate::algorithm::FleetAlgorithm;
@@ -192,7 +191,10 @@ impl FleetPipeline {
             let need = self.batch_size - buffered;
             if points.len() < need {
                 if !points.is_empty() {
-                    self.pending.entry(device).or_default().extend_from_slice(points);
+                    self.pending
+                        .entry(device)
+                        .or_default()
+                        .extend_from_slice(points);
                 }
                 return;
             }
@@ -409,8 +411,9 @@ mod tests {
     fn parallel_output_matches_batch_per_stream() {
         // Whatever the worker count or chunk size, each stream's output
         // must equal the single-threaded batch run of the same algorithm.
-        let trajectories: Vec<(DeviceId, Trajectory)> =
-            (0..20).map(|i| (i as DeviceId, wave(500 + i * 37, i as u64))).collect();
+        let trajectories: Vec<(DeviceId, Trajectory)> = (0..20)
+            .map(|i| (i as DeviceId, wave(500 + i * 37, i as u64)))
+            .collect();
         for workers in [1, 4] {
             let algo = FleetAlgorithm::by_name("operb").unwrap();
             let mut pipe = FleetPipeline::spawn(&pipeline_config(workers), &algo);
@@ -460,7 +463,9 @@ mod tests {
         pipe.submit(9, &traj);
         let (results, _) = pipe.finish();
         assert_eq!(results.len(), 1);
-        let expected = traj_baselines::DouglasPeucker::new().simplify(&traj, 15.0).unwrap();
+        let expected = traj_baselines::DouglasPeucker::new()
+            .simplify(&traj, 15.0)
+            .unwrap();
         assert_eq!(results[0].output.as_ref().unwrap(), &expected);
     }
 
@@ -507,6 +512,52 @@ mod tests {
         assert_eq!(report.total_points, 128);
         let expected = operb::Operb::new().simplify(&traj, 15.0).unwrap();
         assert_eq!(results[0].output.as_ref().unwrap(), &expected);
+    }
+
+    #[test]
+    fn producer_drop_mid_stream_flushes_dispatched_points() {
+        // When the producer side goes away without closing its streams
+        // (process shutdown, dropped pipeline), the workers' receive loops
+        // end and every still-open stream must be finalized and emitted —
+        // no dispatched point may be silently lost.  The batching layer's
+        // *undispatched* buffers are the producer's own state and die with
+        // it, which is why this test pushes exact chunk multiples for the
+        // streams it asserts on.
+        let traj = wave(256, 8); // batch_size 64 → exactly four full chunks
+        let partial = wave(100, 9); // 64 dispatched + 36 still in the buffer
+        let algo = FleetAlgorithm::by_name("operb").unwrap();
+        let mut pipe = FleetPipeline::spawn(&pipeline_config(2), &algo);
+        pipe.push_points(1, traj.points());
+        pipe.push_points(2, traj.points());
+        pipe.push_points(3, partial.points());
+        // Simulate the producer dropping mid-stream: tear the pipeline
+        // apart without close()/finish().  Dropping the senders ends the
+        // worker loops; the results channel stays alive so the flush is
+        // observable.
+        let FleetPipeline {
+            senders,
+            results,
+            handles,
+            pending,
+            ..
+        } = pipe;
+        assert_eq!(pending.get(&3).map(Vec::len), Some(36));
+        drop(senders);
+        let mut total_worker_points = 0;
+        for handle in handles {
+            total_worker_points += handle.join().expect("worker must not panic").points;
+        }
+        assert_eq!(total_worker_points, 256 + 256 + 64);
+        let mut flushed: Vec<FleetResult> = results.iter().collect();
+        flushed.sort_by_key(|r| r.device);
+        assert_eq!(flushed.len(), 3, "every open stream must be flushed");
+        for r in &flushed[..2] {
+            assert_eq!(r.points, 256, "device {}", r.device);
+            let simplified = r.output.as_ref().unwrap();
+            assert_eq!(simplified.original_len(), 256);
+            assert_eq!(simplified.validate(), Ok(()));
+        }
+        assert_eq!(flushed[2].points, 64);
     }
 
     #[test]

@@ -26,6 +26,24 @@ pub struct FleetRun {
     pub report: PipelineReport,
 }
 
+/// A consumer of per-stream compression results.
+///
+/// The fleet drivers hand every finished stream to a sink as soon as it
+/// becomes available, which is how downstream systems (the `traj-store`
+/// storage engine, metrics collectors) receive pipeline output without
+/// buffering the whole fleet in memory first.  `Vec<FleetResult>`
+/// implements the trait for callers that do want the plain collection.
+pub trait ResultSink {
+    /// Consumes one closed stream's result.
+    fn accept(&mut self, result: FleetResult);
+}
+
+impl ResultSink for Vec<FleetResult> {
+    fn accept(&mut self, result: FleetResult) {
+        self.push(result);
+    }
+}
+
 /// Compresses a fleet through the parallel pipeline, interleaving chunks
 /// across all devices (round-robin) so every stream is concurrently open.
 ///
@@ -36,6 +54,20 @@ pub fn compress_fleet(
     config: &PipelineConfig,
     algorithm: &FleetAlgorithm,
 ) -> FleetRun {
+    let mut results = Vec::with_capacity(fleet.len());
+    let report = compress_fleet_with_sink(fleet, config, algorithm, &mut results);
+    FleetRun { results, report }
+}
+
+/// [`compress_fleet`], but streaming every finished result into `sink` as
+/// soon as it is available instead of collecting a `Vec` — the ingest path
+/// of the `traj-store` storage engine.
+pub fn compress_fleet_with_sink(
+    fleet: &[(DeviceId, Trajectory)],
+    config: &PipelineConfig,
+    algorithm: &FleetAlgorithm,
+    sink: &mut dyn ResultSink,
+) -> PipelineReport {
     let mut pipe = FleetPipeline::spawn(config, algorithm);
     let chunk = config.batch_size.max(1);
     let mut offsets: Vec<usize> = vec![0; fleet.len()];
@@ -43,7 +75,6 @@ pub fn compress_fleet(
     // streams) — a few closed-early streams must not make every later
     // round rescan the whole fleet.
     let mut open: Vec<usize> = (0..fleet.len()).collect();
-    let mut results = Vec::with_capacity(fleet.len());
     while !open.is_empty() {
         let mut i = 0;
         while i < open.len() {
@@ -60,12 +91,16 @@ pub fn compress_fleet(
                 i += 1;
             }
         }
-        // Keep memory bounded on very large fleets.
-        results.extend(pipe.drain_ready());
+        // Keep memory bounded on very large fleets: hand off what is done.
+        for result in pipe.drain_ready() {
+            sink.accept(result);
+        }
     }
     let (rest, report) = pipe.finish();
-    results.extend(rest);
-    FleetRun { results, report }
+    for result in rest {
+        sink.accept(result);
+    }
+    report
 }
 
 /// The sequential reference: the same algorithm over the same fleet on the
@@ -203,7 +238,9 @@ mod tests {
     fn parallel_and_sequential_agree() {
         let fleet = fleet(30, 400);
         let algo = FleetAlgorithm::by_name("operb").unwrap();
-        let config = PipelineConfig::new(12.0).with_workers(4).with_batch_size(50);
+        let config = PipelineConfig::new(12.0)
+            .with_workers(4)
+            .with_batch_size(50);
         let mut par = compress_fleet(&fleet, &config, &algo);
         let seq = compress_fleet_sequential(&fleet, 12.0, &algo);
         par.results.sort_by_key(|r| r.device);

@@ -63,4 +63,7 @@ pub mod fleet;
 pub use algorithm::FleetAlgorithm;
 pub use config::PipelineConfig;
 pub use executor::{DeviceId, FleetPipeline, FleetResult, PipelineReport};
-pub use fleet::{compress_fleet, compress_fleet_sequential, FleetRun, Speedup};
+pub use fleet::{
+    compress_fleet, compress_fleet_sequential, compress_fleet_with_sink, FleetRun, ResultSink,
+    Speedup,
+};

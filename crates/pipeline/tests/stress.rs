@@ -88,11 +88,58 @@ fn a_thousand_concurrent_streams() {
 }
 
 #[test]
+fn graceful_shutdown_mid_stream_loses_no_points() {
+    // Feed 150 streams with deliberately awkward sizes — none a multiple
+    // of the batch size, so every device has a partial chunk sitting in
+    // the batching layer — and never close any of them.  finish() is the
+    // graceful-shutdown path: it must flush every buffer, close every
+    // stream and account for every single point.
+    let fleet = synthetic_fleet(DatasetKind::Taxi, 150, 173, 31);
+    for name in ["operb", "dp"] {
+        let algorithm = FleetAlgorithm::by_name(name).expect("known algorithm");
+        let config = PipelineConfig::new(30.0)
+            .with_workers(4)
+            .with_batch_size(64)
+            .with_queue_capacity(8);
+        let mut pipe = traj_pipeline::FleetPipeline::spawn(&config, &algorithm);
+        for (device, traj) in &fleet {
+            // Mid-stream: points pushed, stream left open.
+            pipe.push_points(*device, traj.points());
+        }
+        let (mut results, report) = pipe.finish();
+        assert_eq!(report.total_streams, fleet.len(), "{name}");
+        assert_eq!(
+            report.total_points,
+            150 * 173,
+            "{name}: every point accounted for"
+        );
+        let worst = verify_error_bound(&fleet, &mut results, 30.0)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(worst <= 30.0 + 1e-9);
+        for ((device, traj), result) in fleet.iter().zip(&results) {
+            assert_eq!(result.device, *device);
+            assert_eq!(
+                result.points,
+                traj.len(),
+                "{name}: device {device} lost points"
+            );
+            assert_eq!(
+                result.output.as_ref().unwrap().original_len(),
+                traj.len(),
+                "{name}: device {device}"
+            );
+        }
+    }
+}
+
+#[test]
 fn parallel_equals_sequential_on_a_mixed_fleet() {
     let fleet = synthetic_fleet(DatasetKind::SerCar, 50, 300, 23);
     for name in ["operb", "operb-a", "fbqs", "dp"] {
         let algorithm = FleetAlgorithm::by_name(name).unwrap();
-        let config = PipelineConfig::new(18.0).with_workers(4).with_batch_size(64);
+        let config = PipelineConfig::new(18.0)
+            .with_workers(4)
+            .with_batch_size(64);
         let mut par = compress_fleet(&fleet, &config, &algorithm);
         let seq = compress_fleet_sequential(&fleet, 18.0, &algorithm);
         par.results.sort_by_key(|r| r.device);

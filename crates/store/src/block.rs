@@ -1,0 +1,296 @@
+//! Sealed blocks: the unit of storage, skipping and decoding.
+//!
+//! A device's ingested representation is chopped into blocks of at most
+//! [`crate::StoreConfig::block_segments`] segments.  Each block carries the
+//! encoded payload (see [`traj_model::codec`]) plus the coarse metadata a
+//! query needs to decide whether the block can be **skipped without
+//! decoding**: its time interval, its spatial bounding box, and the error
+//! bound its content was produced under.
+
+use traj_geo::BoundingBox;
+use traj_model::codec::{get_varint, put_varint, ByteReader, CodecError};
+use traj_model::SimplifiedSegment;
+use traj_pipeline::DeviceId;
+
+/// Coarse per-block metadata — everything a query consults before paying
+/// for a decode (the data-skipping principle: prune on metadata, decode
+/// only what overlaps).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockMeta {
+    /// The device stream this block belongs to.
+    pub device: DeviceId,
+    /// Earliest shape-point timestamp in the block.
+    pub t_min: f64,
+    /// Latest shape-point timestamp in the block.
+    pub t_max: f64,
+    /// Bounding box over the block's shape points (not expanded by ζ;
+    /// queries expand by [`BlockMeta::slack_radius`] themselves).
+    pub bbox: BoundingBox,
+    /// The error bound ζ the content was simplified under.
+    pub zeta: f64,
+    /// Additional slack introduced by codec quantization.
+    pub quant_slack: f64,
+    /// Number of segments in the block.
+    pub num_segments: usize,
+    /// Index of the first original point the block is responsible for
+    /// (within its source trajectory).
+    pub first_index: usize,
+    /// Index of the last original point the block is responsible for.
+    pub last_index: usize,
+}
+
+impl BlockMeta {
+    /// Builds the metadata for a run of segments (must be non-empty).
+    pub fn from_segments(
+        device: DeviceId,
+        segments: &[SimplifiedSegment],
+        zeta: f64,
+        quant_slack: f64,
+    ) -> Self {
+        debug_assert!(!segments.is_empty());
+        let mut bbox = BoundingBox::empty();
+        let mut t_min = f64::INFINITY;
+        let mut t_max = f64::NEG_INFINITY;
+        for s in segments {
+            bbox.extend(&s.segment.start);
+            bbox.extend(&s.segment.end);
+            t_min = t_min.min(s.segment.start.t).min(s.segment.end.t);
+            t_max = t_max.max(s.segment.start.t).max(s.segment.end.t);
+        }
+        Self {
+            device,
+            t_min,
+            t_max,
+            bbox,
+            zeta,
+            quant_slack,
+            num_segments: segments.len(),
+            first_index: segments.first().expect("non-empty").first_index,
+            last_index: segments.last().expect("non-empty").last_index,
+        }
+    }
+
+    /// Extends the metadata over the original data points the block is
+    /// responsible for (indices [`BlockMeta::first_index`] ..=
+    /// [`BlockMeta::last_index`] of `points`).
+    ///
+    /// Shape-point metadata alone can under-cover: OPERB's optimization 5
+    /// absorbs trailing points into a segment's responsibility *past its
+    /// geometric end*, so an absorbed point's position and timestamp may
+    /// lie outside the shape-point extents.  Extending over the originals
+    /// makes the skipping metadata exact — the min/max-over-actual-data
+    /// principle of data-skipping systems.
+    pub fn extend_with_points(&mut self, points: &[traj_geo::Point]) {
+        if points.is_empty() {
+            return;
+        }
+        let last = self.last_index.min(points.len() - 1);
+        for p in &points[self.first_index.min(last)..=last] {
+            self.bbox.extend(p);
+            self.t_min = self.t_min.min(p.t);
+            self.t_max = self.t_max.max(p.t);
+        }
+    }
+
+    /// How far an *original* point may lie from the block's stored
+    /// geometry: the error bound plus the codec's quantization slack.
+    /// Queries that must not miss data expand boxes by this radius.
+    #[inline]
+    pub fn slack_radius(&self) -> f64 {
+        self.zeta + self.quant_slack
+    }
+
+    /// Number of original points this block is responsible for.
+    #[inline]
+    pub fn point_count(&self) -> usize {
+        self.last_index - self.first_index + 1
+    }
+
+    /// Whether the block's time interval intersects `[t0, t1]`.
+    #[inline]
+    pub fn overlaps_time(&self, t0: f64, t1: f64) -> bool {
+        self.t_min <= t1 && t0 <= self.t_max
+    }
+
+    /// Whether the block's bounding box, expanded by
+    /// [`BlockMeta::slack_radius`], intersects `window`.  `true` means the
+    /// block *may* contain data relevant to the window and must be
+    /// decoded; `false` is a proof that it cannot.
+    #[inline]
+    pub fn may_intersect_window(&self, window: &BoundingBox) -> bool {
+        expanded_intersects(&self.bbox, self.slack_radius(), window)
+    }
+}
+
+/// Whether `covered`, expanded by `radius` on every side, intersects
+/// `window` — the single conservative-intersection predicate behind both
+/// block-level and segment-level window matching (the no-false-negative
+/// guarantee needs the two levels to agree).
+#[inline]
+pub fn expanded_intersects(covered: &BoundingBox, radius: f64, window: &BoundingBox) -> bool {
+    !covered.is_empty()
+        && covered.min_x - radius <= window.max_x
+        && window.min_x <= covered.max_x + radius
+        && covered.min_y - radius <= window.max_y
+        && window.min_y <= covered.max_y + radius
+}
+
+/// A sealed block: coarse metadata plus the encoded payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// The skipping metadata.
+    pub meta: BlockMeta,
+    /// The codec-encoded segment run.
+    pub payload: Vec<u8>,
+}
+
+impl Block {
+    /// Approximate storage footprint: payload plus the serialized metadata
+    /// record.
+    pub fn stored_bytes(&self) -> usize {
+        self.payload.len() + META_RECORD_BYTES
+    }
+
+    /// Serializes the block as one log record (metadata then
+    /// length-prefixed payload) onto `out`.
+    pub fn write_record(&self, out: &mut Vec<u8>) {
+        put_varint(out, self.meta.device);
+        for v in [
+            self.meta.t_min,
+            self.meta.t_max,
+            self.meta.bbox.min_x,
+            self.meta.bbox.min_y,
+            self.meta.bbox.max_x,
+            self.meta.bbox.max_y,
+            self.meta.zeta,
+            self.meta.quant_slack,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        put_varint(out, self.meta.num_segments as u64);
+        put_varint(out, self.meta.first_index as u64);
+        put_varint(out, (self.meta.last_index - self.meta.first_index) as u64);
+        put_varint(out, self.payload.len() as u64);
+        out.extend_from_slice(&self.payload);
+    }
+
+    /// Reads one record written by [`Block::write_record`].
+    pub fn read_record(r: &mut ByteReader<'_>) -> Result<Block, CodecError> {
+        let device = get_varint(r)?;
+        let mut floats = [0.0f64; 8];
+        for f in &mut floats {
+            let raw: [u8; 8] = r.get_bytes(8)?.try_into().expect("8 bytes");
+            *f = f64::from_le_bytes(raw);
+        }
+        let num_segments = get_varint(r)? as usize;
+        let first_index = get_varint(r)? as usize;
+        let last_index = first_index + get_varint(r)? as usize;
+        let payload_len = get_varint(r)? as usize;
+        let payload = r.get_bytes(payload_len)?.to_vec();
+        Ok(Block {
+            meta: BlockMeta {
+                device,
+                t_min: floats[0],
+                t_max: floats[1],
+                bbox: BoundingBox {
+                    min_x: floats[2],
+                    min_y: floats[3],
+                    max_x: floats[4],
+                    max_y: floats[5],
+                },
+                zeta: floats[6],
+                quant_slack: floats[7],
+                num_segments,
+                first_index,
+                last_index,
+            },
+            payload,
+        })
+    }
+}
+
+/// Nominal metadata record size used for byte accounting (varints make the
+/// real figure slightly smaller).
+pub const META_RECORD_BYTES: usize = 8 * 8 + 8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_geo::{DirectedSegment, Point};
+
+    fn sample_segments() -> Vec<SimplifiedSegment> {
+        vec![
+            SimplifiedSegment::new(
+                DirectedSegment::new(Point::new(0.0, 0.0, 0.0), Point::new(100.0, 10.0, 60.0)),
+                0,
+                9,
+            ),
+            SimplifiedSegment::new(
+                DirectedSegment::new(
+                    Point::new(100.0, 10.0, 60.0),
+                    Point::new(180.0, -40.0, 150.0),
+                ),
+                9,
+                24,
+            ),
+        ]
+    }
+
+    #[test]
+    fn meta_covers_segments() {
+        let meta = BlockMeta::from_segments(7, &sample_segments(), 20.0, 0.014);
+        assert_eq!(meta.device, 7);
+        assert_eq!(meta.t_min, 0.0);
+        assert_eq!(meta.t_max, 150.0);
+        assert_eq!(meta.bbox.min_y, -40.0);
+        assert_eq!(meta.bbox.max_x, 180.0);
+        assert_eq!(meta.num_segments, 2);
+        assert_eq!((meta.first_index, meta.last_index), (0, 24));
+        assert_eq!(meta.point_count(), 25);
+        assert!((meta.slack_radius() - 20.014).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_and_window_overlap() {
+        let meta = BlockMeta::from_segments(1, &sample_segments(), 10.0, 0.0);
+        assert!(meta.overlaps_time(-5.0, 0.0));
+        assert!(meta.overlaps_time(140.0, 500.0));
+        assert!(!meta.overlaps_time(150.1, 500.0));
+        assert!(!meta.overlaps_time(-10.0, -0.1));
+
+        let near_miss = BoundingBox {
+            min_x: 185.0,
+            min_y: 0.0,
+            max_x: 200.0,
+            max_y: 5.0,
+        };
+        // Within ζ of the bbox → may intersect; far outside → provably not.
+        assert!(meta.may_intersect_window(&near_miss));
+        let far = BoundingBox {
+            min_x: 500.0,
+            min_y: 500.0,
+            max_x: 600.0,
+            max_y: 600.0,
+        };
+        assert!(!meta.may_intersect_window(&far));
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let meta = BlockMeta::from_segments(42, &sample_segments(), 15.0, 0.014);
+        let block = Block {
+            meta,
+            payload: vec![1, 2, 3, 4, 5],
+        };
+        let mut out = Vec::new();
+        block.write_record(&mut out);
+        let mut r = ByteReader::new(&out);
+        let back = Block::read_record(&mut r).unwrap();
+        assert_eq!(back, block);
+        assert_eq!(r.remaining(), 0);
+        // Truncations error cleanly.
+        for cut in 1..out.len() {
+            assert!(Block::read_record(&mut ByteReader::new(&out[..cut])).is_err());
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! The in-memory spatio-temporal grid index.
+//!
+//! A uniform grid over the plane maps each cell to the blocks whose
+//! ζ-expanded bounding boxes touch it.  A spatial window query walks only
+//! the cells the window overlaps, collects candidate blocks, and then
+//! filters the candidates on their precise metadata (bbox and time
+//! interval) — the decode cost is paid only for blocks that survive both
+//! levels of pruning.
+
+use std::collections::HashMap;
+
+use traj_geo::BoundingBox;
+use traj_pipeline::DeviceId;
+
+use crate::block::BlockMeta;
+
+/// Identifies one block: the device stream and the block's position in
+/// that device's append-only log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockRef {
+    /// The owning device stream.
+    pub device: DeviceId,
+    /// Index into the device's log.
+    pub block: usize,
+}
+
+/// A uniform spatial grid over block bounding boxes.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    cell_size: f64,
+    cells: HashMap<(i64, i64), Vec<BlockRef>>,
+    blocks: usize,
+}
+
+impl GridIndex {
+    /// Creates an empty index with the given cell edge length (meters).
+    pub fn new(cell_size: f64) -> Self {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "grid cell size must be finite and positive"
+        );
+        Self {
+            cell_size,
+            cells: HashMap::new(),
+            blocks: 0,
+        }
+    }
+
+    /// The configured cell edge length.
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
+    /// Number of blocks inserted.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks
+    }
+
+    /// Number of non-empty grid cells.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    #[inline]
+    fn cell_of(&self, x: f64, y: f64) -> (i64, i64) {
+        (
+            (x / self.cell_size).floor() as i64,
+            (y / self.cell_size).floor() as i64,
+        )
+    }
+
+    /// Cell range covered by a box expanded by `radius`.
+    fn cell_range(&self, bbox: &BoundingBox, radius: f64) -> ((i64, i64), (i64, i64)) {
+        let lo = self.cell_of(bbox.min_x - radius, bbox.min_y - radius);
+        let hi = self.cell_of(bbox.max_x + radius, bbox.max_y + radius);
+        (lo, hi)
+    }
+
+    /// Registers a block under every cell its ζ-expanded bounding box
+    /// touches.  The expansion at insert time means lookups do not have to
+    /// expand the *query* window by a per-block ζ they do not know.
+    pub fn insert(&mut self, block: BlockRef, meta: &BlockMeta) {
+        if meta.bbox.is_empty() {
+            return;
+        }
+        let ((x0, y0), (x1, y1)) = self.cell_range(&meta.bbox, meta.slack_radius());
+        for cx in x0..=x1 {
+            for cy in y0..=y1 {
+                self.cells.entry((cx, cy)).or_default().push(block);
+            }
+        }
+        self.blocks += 1;
+    }
+
+    /// Candidate blocks for a spatial window: every block registered under
+    /// a cell the window overlaps, deduplicated and in deterministic
+    /// order.  Candidates still need the precise
+    /// [`BlockMeta::may_intersect_window`] check — a cell is coarser than
+    /// a bounding box.
+    pub fn candidates(&self, window: &BoundingBox) -> Vec<BlockRef> {
+        if window.is_empty() {
+            return Vec::new();
+        }
+        let ((x0, y0), (x1, y1)) = self.cell_range(window, 0.0);
+        let mut out = Vec::new();
+        for cx in x0..=x1 {
+            for cy in y0..=y1 {
+                if let Some(refs) = self.cells.get(&(cx, cy)) {
+                    out.extend_from_slice(refs);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_geo::{DirectedSegment, Point};
+    use traj_model::SimplifiedSegment;
+
+    fn meta_at(device: DeviceId, x: f64, y: f64, zeta: f64) -> BlockMeta {
+        let seg = SimplifiedSegment::new(
+            DirectedSegment::new(Point::new(x, y, 0.0), Point::new(x + 50.0, y + 20.0, 60.0)),
+            0,
+            5,
+        );
+        BlockMeta::from_segments(device, &[seg], zeta, 0.0)
+    }
+
+    fn window(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> BoundingBox {
+        BoundingBox {
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+        }
+    }
+
+    #[test]
+    fn finds_only_nearby_blocks() {
+        let mut index = GridIndex::new(100.0);
+        for d in 0..10u64 {
+            let meta = meta_at(d, d as f64 * 1000.0, 0.0, 10.0);
+            index.insert(
+                BlockRef {
+                    device: d,
+                    block: 0,
+                },
+                &meta,
+            );
+        }
+        assert_eq!(index.num_blocks(), 10);
+        let hits = index.candidates(&window(2990.0, -10.0, 3060.0, 30.0));
+        assert!(hits.contains(&BlockRef {
+            device: 3,
+            block: 0
+        }));
+        assert!(
+            hits.len() < 10,
+            "distant blocks must be pruned, got {hits:?}"
+        );
+    }
+
+    #[test]
+    fn block_spanning_cells_is_found_once_from_each_side() {
+        let mut index = GridIndex::new(50.0);
+        let meta = meta_at(1, -30.0, -10.0, 5.0); // spans several 50 m cells
+        index.insert(
+            BlockRef {
+                device: 1,
+                block: 4,
+            },
+            &meta,
+        );
+        for w in [
+            window(-40.0, -15.0, -25.0, 0.0),
+            window(10.0, 5.0, 30.0, 15.0),
+        ] {
+            let hits = index.candidates(&w);
+            assert_eq!(
+                hits,
+                vec![BlockRef {
+                    device: 1,
+                    block: 4
+                }]
+            );
+        }
+    }
+
+    #[test]
+    fn expansion_by_zeta_keeps_near_misses() {
+        let mut index = GridIndex::new(100.0);
+        // Block near x=200, ζ=30: a window 20 m away from the bbox must
+        // still see the block as a candidate.
+        let meta = meta_at(2, 200.0, 0.0, 30.0);
+        index.insert(
+            BlockRef {
+                device: 2,
+                block: 0,
+            },
+            &meta,
+        );
+        let hits = index.candidates(&window(155.0, 0.0, 175.0, 10.0));
+        assert_eq!(hits.len(), 1);
+        assert!(meta.may_intersect_window(&window(155.0, 0.0, 175.0, 10.0)));
+    }
+
+    #[test]
+    fn empty_window_or_meta_yields_nothing() {
+        let mut index = GridIndex::new(100.0);
+        let mut meta = meta_at(1, 0.0, 0.0, 5.0);
+        meta.bbox = BoundingBox::empty();
+        index.insert(
+            BlockRef {
+                device: 1,
+                block: 0,
+            },
+            &meta,
+        );
+        assert_eq!(index.num_blocks(), 0);
+        assert!(index.candidates(&BoundingBox::empty()).is_empty());
+    }
+}

@@ -1,0 +1,261 @@
+//! Durable storage: a store directory with a JSON manifest and a binary
+//! segment log.
+//!
+//! ```text
+//! <dir>/manifest.json   configuration + integrity counters
+//! <dir>/segments.log    concatenated block records (see Block::write_record)
+//! ```
+//!
+//! The layout is deliberately dumb: the log is a flat, append-ordered
+//! sequence of self-delimiting records, and the whole spatio-temporal
+//! index is rebuilt in memory while opening — indexes are derived data and
+//! never persisted, so they can evolve without a format change.
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+use traj_model::codec::{ByteReader, SegmentCodec};
+use traj_model::json::JsonValue;
+
+use crate::block::Block;
+use crate::store::{StoreConfig, StoreError, TrajStore};
+
+/// Current on-disk format version.
+pub const FORMAT_VERSION: usize = 1;
+
+const MANIFEST_FILE: &str = "manifest.json";
+const LOG_FILE: &str = "segments.log";
+
+fn io_err(context: &str, e: std::io::Error) -> StoreError {
+    StoreError::Io(format!("{context}: {e}"))
+}
+
+impl TrajStore {
+    /// Persists the store into `dir` (created if missing, contents
+    /// overwritten).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failures.
+    pub fn save(&self, dir: &Path) -> Result<(), StoreError> {
+        fs::create_dir_all(dir).map_err(|e| io_err("create store directory", e))?;
+        let stats = self.stats();
+        let manifest = JsonValue::object([
+            ("version", JsonValue::from(FORMAT_VERSION)),
+            ("cell_size", JsonValue::from(self.config().cell_size)),
+            (
+                "block_segments",
+                JsonValue::from(self.config().block_segments),
+            ),
+            (
+                "spatial_resolution",
+                JsonValue::from(self.config().codec.spatial_resolution),
+            ),
+            (
+                "time_resolution",
+                JsonValue::from(self.config().codec.time_resolution),
+            ),
+            ("devices", JsonValue::from(stats.devices)),
+            ("blocks", JsonValue::from(stats.blocks)),
+            ("points", JsonValue::from(stats.points)),
+        ]);
+        let mut log = Vec::with_capacity(stats.stored_bytes);
+        for block in self.blocks() {
+            block.write_record(&mut log);
+        }
+        // Manifest last: a directory with a manifest is a complete store.
+        let mut log_file =
+            fs::File::create(dir.join(LOG_FILE)).map_err(|e| io_err("create segments.log", e))?;
+        log_file
+            .write_all(&log)
+            .map_err(|e| io_err("write segments.log", e))?;
+        fs::write(dir.join(MANIFEST_FILE), manifest.to_string_pretty() + "\n")
+            .map_err(|e| io_err("write manifest.json", e))?;
+        Ok(())
+    }
+
+    /// Opens a store persisted by [`TrajStore::save`], rebuilding the
+    /// grid index from the log.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failures and
+    /// [`StoreError::Corrupt`] when the manifest or log fails validation.
+    pub fn open(dir: &Path) -> Result<TrajStore, StoreError> {
+        let manifest_text = fs::read_to_string(dir.join(MANIFEST_FILE))
+            .map_err(|e| io_err("read manifest.json", e))?;
+        let manifest = JsonValue::parse(&manifest_text)
+            .map_err(|e| StoreError::Corrupt(format!("manifest: {e}")))?;
+        let field = |key: &str| -> Result<f64, StoreError> {
+            manifest
+                .get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| StoreError::Corrupt(format!("manifest missing '{key}'")))
+        };
+        let version = field("version")? as usize;
+        if version != FORMAT_VERSION {
+            return Err(StoreError::Corrupt(format!(
+                "unsupported format version {version} (supported: {FORMAT_VERSION})"
+            )));
+        }
+        // Validate config values before handing them to constructors that
+        // assert — a bit-rotted manifest must fail as Corrupt, not panic.
+        let positive = |key: &str| -> Result<f64, StoreError> {
+            let v = field(key)?;
+            if !v.is_finite() || v <= 0.0 {
+                return Err(StoreError::Corrupt(format!(
+                    "manifest '{key}' must be finite and positive, got {v}"
+                )));
+            }
+            Ok(v)
+        };
+        let config = StoreConfig::default()
+            .with_cell_size(positive("cell_size")?)
+            .with_block_segments(positive("block_segments")? as usize)
+            .with_codec(SegmentCodec::new(
+                positive("spatial_resolution")?,
+                positive("time_resolution")?,
+            ));
+        let expected_blocks = field("blocks")? as usize;
+        let points = field("points")? as usize;
+
+        let log_bytes = fs::read(dir.join(LOG_FILE)).map_err(|e| io_err("read segments.log", e))?;
+        let mut store = TrajStore::new(config);
+        let mut reader = ByteReader::new(&log_bytes);
+        let mut last_t_min: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
+        while reader.remaining() > 0 {
+            let block = Block::read_record(&mut reader)
+                .map_err(|e| StoreError::Corrupt(format!("segments.log: {e}")))?;
+            // Re-validate the append order on the way in; a log edited or
+            // mis-merged out of order must not open silently.  Consecutive
+            // block *intervals* may overlap (absorbed responsibility tails
+            // extend a block's t_max into its successor), but start times
+            // are non-decreasing along every device's log.
+            if let Some(&t) = last_t_min.get(&block.meta.device) {
+                if block.meta.t_min < t {
+                    return Err(StoreError::Corrupt(format!(
+                        "device {} block out of time order ({} < {})",
+                        block.meta.device, block.meta.t_min, t
+                    )));
+                }
+            }
+            last_t_min.insert(block.meta.device, block.meta.t_min);
+            // Decode once so a truncated or bit-rotted payload surfaces at
+            // open time, not in the middle of a query.
+            store
+                .config()
+                .codec
+                .decode(&block.payload)
+                .map_err(|e| StoreError::Corrupt(format!("block payload: {e}")))?;
+            store.append_block(block);
+        }
+        if store.num_blocks() != expected_blocks {
+            return Err(StoreError::Corrupt(format!(
+                "manifest promises {expected_blocks} blocks, log holds {}",
+                store.num_blocks()
+            )));
+        }
+        store.set_total_points(points);
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_geo::{DirectedSegment, Point};
+    use traj_model::{SimplifiedSegment, SimplifiedTrajectory};
+
+    fn sample_store() -> TrajStore {
+        let mut store = TrajStore::new(StoreConfig::default().with_block_segments(2));
+        for d in 0..5u64 {
+            let mut segments = Vec::new();
+            for i in 0..7usize {
+                let a = Point::new(i as f64 * 40.0, d as f64 * 300.0, i as f64 * 12.0);
+                let b = Point::new(
+                    (i + 1) as f64 * 40.0,
+                    d as f64 * 300.0 + 3.0,
+                    (i + 1) as f64 * 12.0,
+                );
+                segments.push(SimplifiedSegment::new(DirectedSegment::new(a, b), i, i + 1));
+            }
+            let st = SimplifiedTrajectory::new(segments, 8);
+            store.ingest(d, &st, 12.5).unwrap();
+        }
+        store
+    }
+
+    #[test]
+    fn save_open_roundtrip_preserves_everything() {
+        let dir = std::env::temp_dir().join(format!("traj-store-test-{}", std::process::id()));
+        let store = sample_store();
+        store.save(&dir).unwrap();
+        let back = TrajStore::open(&dir).unwrap();
+        assert_eq!(back.stats(), store.stats());
+        assert_eq!(back.config(), store.config());
+        for d in store.devices() {
+            assert_eq!(back.block_metas(d), store.block_metas(d));
+            let a = store.time_slice(d, 0.0, 100.0);
+            let b = back.time_slice(d, 0.0, 100.0);
+            assert_eq!(a, b);
+        }
+        // The rebuilt index answers window queries identically.
+        let w = traj_geo::BoundingBox {
+            min_x: 0.0,
+            min_y: 250.0,
+            max_x: 300.0,
+            max_y: 350.0,
+        };
+        assert_eq!(store.window_query(&w, None), back.window_query(&w, None));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_stores_are_rejected() {
+        let dir = std::env::temp_dir().join(format!("traj-store-corrupt-{}", std::process::id()));
+        let store = sample_store();
+        store.save(&dir).unwrap();
+
+        // Truncated log.
+        let log_path = dir.join("segments.log");
+        let bytes = fs::read(&log_path).unwrap();
+        fs::write(&log_path, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(matches!(TrajStore::open(&dir), Err(StoreError::Corrupt(_))));
+        fs::write(&log_path, &bytes).unwrap();
+        assert!(TrajStore::open(&dir).is_ok());
+
+        // Manifest promising the wrong block count.
+        let manifest_path = dir.join("manifest.json");
+        let manifest = fs::read_to_string(&manifest_path).unwrap();
+        fs::write(
+            &manifest_path,
+            manifest.replace("\"blocks\": 20", "\"blocks\": 7"),
+        )
+        .unwrap();
+        assert!(matches!(TrajStore::open(&dir), Err(StoreError::Corrupt(_))));
+
+        // Invalid config values must fail as Corrupt, not panic in a
+        // constructor assert.
+        fs::write(
+            &manifest_path,
+            manifest.replace("\"cell_size\": 500", "\"cell_size\": 0"),
+        )
+        .unwrap();
+        let err = TrajStore::open(&dir).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(msg) if msg.contains("cell_size")));
+
+        // Unsupported version.
+        fs::write(
+            &manifest_path,
+            manifest.replace("\"version\": 1", "\"version\": 99"),
+        )
+        .unwrap();
+        let err = TrajStore::open(&dir).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(msg) if msg.contains("version")));
+
+        // Missing directory.
+        fs::remove_dir_all(&dir).ok();
+        assert!(matches!(TrajStore::open(&dir), Err(StoreError::Io(_))));
+    }
+}

@@ -1,0 +1,817 @@
+//! The storage engine: per-device segment logs + grid index + queries.
+
+use std::collections::BTreeMap;
+
+use traj_geo::{BoundingBox, Point};
+use traj_model::codec::{CodecError, SegmentCodec};
+use traj_model::{SimplifiedSegment, SimplifiedTrajectory};
+use traj_pipeline::DeviceId;
+
+use crate::block::{expanded_intersects, Block, BlockMeta};
+use crate::index::{BlockRef, GridIndex};
+
+/// Tuning knobs of a [`TrajStore`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoreConfig {
+    /// Maximum number of segments per sealed block.  Smaller blocks skip
+    /// more precisely but pay more per-block metadata; 64 segments ≈ a few
+    /// hundred bytes of payload.
+    pub block_segments: usize,
+    /// Edge length of the spatial grid cells, in the coordinate unit
+    /// (meters).
+    pub cell_size: f64,
+    /// The binary codec (quantization resolutions) blocks are encoded
+    /// with.
+    pub codec: SegmentCodec,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self {
+            block_segments: 64,
+            cell_size: 500.0,
+            codec: SegmentCodec::default(),
+        }
+    }
+}
+
+impl StoreConfig {
+    /// Overrides the block size (clamped to at least 1 segment).
+    pub fn with_block_segments(mut self, block_segments: usize) -> Self {
+        self.block_segments = block_segments.max(1);
+        self
+    }
+
+    /// Overrides the grid cell size.
+    pub fn with_cell_size(mut self, cell_size: f64) -> Self {
+        assert!(cell_size.is_finite() && cell_size > 0.0);
+        self.cell_size = cell_size;
+        self
+    }
+
+    /// Overrides the codec.
+    pub fn with_codec(mut self, codec: SegmentCodec) -> Self {
+        self.codec = codec;
+        self
+    }
+}
+
+/// Errors produced by the storage engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// An ingest for a device starts before the device's last stored
+    /// block ends — per-device logs are append-only in time.
+    OutOfOrder {
+        /// The violating device.
+        device: DeviceId,
+        /// Start time of the rejected ingest.
+        t_new: f64,
+        /// End time of the device's latest stored block.
+        t_last: f64,
+    },
+    /// The binary codec rejected the data.
+    Codec(CodecError),
+    /// Filesystem failure while persisting or opening a store.
+    Io(String),
+    /// A persisted store failed validation while being opened.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::OutOfOrder {
+                device,
+                t_new,
+                t_last,
+            } => write!(
+                f,
+                "out-of-order ingest for device {device}: starts at t={t_new}, log ends at t={t_last}"
+            ),
+            StoreError::Codec(e) => write!(f, "codec error: {e}"),
+            StoreError::Io(msg) => write!(f, "i/o error: {msg}"),
+            StoreError::Corrupt(msg) => write!(f, "corrupt store: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> Self {
+        StoreError::Codec(e)
+    }
+}
+
+/// Decode accounting attached to every query result: how much of the
+/// store the query *could* have touched versus how much it actually
+/// decoded.  The skip ratio is the data-skipping payoff.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QueryStats {
+    /// Blocks in scope for the query (the device's log for per-device
+    /// queries, the whole store for fleet-wide ones).
+    pub blocks_in_scope: usize,
+    /// Blocks whose payload was decoded.
+    pub blocks_decoded: usize,
+    /// Segments returned to the caller.
+    pub segments_returned: usize,
+}
+
+impl QueryStats {
+    /// Fraction of in-scope blocks that were skipped without decoding
+    /// (1.0 = everything skipped, 0.0 = full scan).
+    pub fn skip_ratio(&self) -> f64 {
+        if self.blocks_in_scope == 0 {
+            return 0.0;
+        }
+        1.0 - self.blocks_decoded as f64 / self.blocks_in_scope as f64
+    }
+}
+
+/// Result of a per-device time-range slice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSlice {
+    /// The stored segments whose time span overlaps the queried range, in
+    /// log order.
+    pub segments: Vec<SimplifiedSegment>,
+    /// Decode accounting (scope: the device's log).
+    pub stats: QueryStats,
+}
+
+/// One device's contribution to a spatial window query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceMatch {
+    /// The matching device.
+    pub device: DeviceId,
+    /// Stored segments that may pass through the window (each within
+    /// ζ + quantization slack of it), in log order.
+    pub segments: Vec<SimplifiedSegment>,
+}
+
+/// Result of a fleet-wide spatial window query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowQuery {
+    /// Per-device matches, sorted by device id.
+    pub matches: Vec<DeviceMatch>,
+    /// Decode accounting (scope: every block in the store).
+    pub stats: QueryStats,
+}
+
+/// Aggregate store statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StoreStats {
+    /// Number of device streams.
+    pub devices: usize,
+    /// Number of sealed blocks.
+    pub blocks: usize,
+    /// Number of stored segments.
+    pub segments: usize,
+    /// Number of original trajectory points the stored representations
+    /// are responsible for.
+    pub points: usize,
+    /// Stored bytes (payloads plus nominal per-block metadata).
+    pub stored_bytes: usize,
+}
+
+impl StoreStats {
+    /// Stored bytes per original point (the paper's storage argument in
+    /// one number; raw `(x, y, t)` as three `f64` is 24 bytes/point).
+    pub fn bytes_per_point(&self) -> f64 {
+        if self.points == 0 {
+            return 0.0;
+        }
+        self.stored_bytes as f64 / self.points as f64
+    }
+
+    /// How many times smaller the store is than the raw 24-byte/point
+    /// representation of the original data.
+    pub fn compression_factor(&self) -> f64 {
+        let raw = self.points as f64 * 24.0;
+        if self.stored_bytes == 0 {
+            return 0.0;
+        }
+        raw / self.stored_bytes as f64
+    }
+}
+
+/// A device's append-only block log.
+#[derive(Debug, Clone, Default)]
+struct DeviceLog {
+    blocks: Vec<Block>,
+}
+
+/// The compressed trajectory storage engine.
+///
+/// Simplified trajectories are ingested per device, encoded into compact
+/// binary blocks ([`traj_model::codec`]), appended to per-device logs and
+/// registered in a spatio-temporal grid index.  Queries answer from the
+/// compressed representation, decoding only the blocks whose metadata
+/// overlaps the query — every block that can be proven irrelevant from
+/// its bounding box and time interval is skipped.
+///
+/// ```
+/// use traj_geo::DirectedSegment;
+/// use traj_model::{SimplifiedSegment, SimplifiedTrajectory, Trajectory};
+/// use traj_store::TrajStore;
+///
+/// let trajectory = Trajectory::from_xy(&[(0.0, 0.0), (50.0, 1.0), (100.0, 0.0)]);
+/// let simplified = SimplifiedTrajectory::new(
+///     vec![SimplifiedSegment::new(
+///         DirectedSegment::new(trajectory.first(), trajectory.last()),
+///         0,
+///         2,
+///     )],
+///     trajectory.len(),
+/// );
+///
+/// let mut store = TrajStore::default();
+/// store.ingest(17, &simplified, 5.0).unwrap();
+///
+/// let slice = store.time_slice(17, 0.5, 1.5);
+/// assert_eq!(slice.segments.len(), 1);
+/// let position = store.position_at(17, 1.0).unwrap();
+/// assert!(position.x > 0.0 && position.x < 100.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrajStore {
+    config: StoreConfig,
+    logs: BTreeMap<DeviceId, DeviceLog>,
+    index: GridIndex,
+    total_blocks: usize,
+    total_segments: usize,
+    total_points: usize,
+    stored_bytes: usize,
+}
+
+impl Default for TrajStore {
+    fn default() -> Self {
+        Self::new(StoreConfig::default())
+    }
+}
+
+impl TrajStore {
+    /// Creates an empty store.
+    pub fn new(config: StoreConfig) -> Self {
+        let index = GridIndex::new(config.cell_size);
+        Self {
+            config,
+            logs: BTreeMap::new(),
+            index,
+            total_blocks: 0,
+            total_segments: 0,
+            total_points: 0,
+            stored_bytes: 0,
+        }
+    }
+
+    /// The store's configuration.
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            devices: self.logs.len(),
+            blocks: self.total_blocks,
+            segments: self.total_segments,
+            points: self.total_points,
+            stored_bytes: self.stored_bytes,
+        }
+    }
+
+    /// The device ids present in the store, ascending.
+    pub fn devices(&self) -> impl Iterator<Item = DeviceId> + '_ {
+        self.logs.keys().copied()
+    }
+
+    /// Number of sealed blocks across all devices.
+    pub fn num_blocks(&self) -> usize {
+        self.total_blocks
+    }
+
+    /// The block metadata of one device's log, in append order (empty for
+    /// unknown devices).
+    pub fn block_metas(&self, device: DeviceId) -> Vec<BlockMeta> {
+        self.logs
+            .get(&device)
+            .map(|log| log.blocks.iter().map(|b| b.meta).collect())
+            .unwrap_or_default()
+    }
+
+    /// Ingests one simplified trajectory for `device`, under the error
+    /// bound `zeta` it was simplified with.  The representation is chopped
+    /// into blocks of at most [`StoreConfig::block_segments`] segments,
+    /// encoded, appended to the device's log and indexed.  Returns the
+    /// number of blocks appended.
+    ///
+    /// Block skipping metadata is derived from the shape points alone,
+    /// which under-covers responsibility tails absorbed by OPERB's
+    /// optimization 5; when the original points are still at hand, prefer
+    /// [`TrajStore::ingest_with_original`], whose metadata is exact.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::OutOfOrder`] when the new data starts before the
+    /// device's stored log ends (per-device logs are append-only in
+    /// time); [`StoreError::Codec`] when a coordinate cannot be encoded.
+    pub fn ingest(
+        &mut self,
+        device: DeviceId,
+        simplified: &SimplifiedTrajectory,
+        zeta: f64,
+    ) -> Result<usize, StoreError> {
+        self.ingest_impl(device, None, simplified, zeta)
+    }
+
+    /// [`TrajStore::ingest`], additionally extending every block's
+    /// skipping metadata over the original data points the block is
+    /// responsible for — the exact min/max-over-actual-data metadata the
+    /// no-false-negative query guarantees rest on.  This is the path the
+    /// pipeline sink uses: at ingest time the original points are still
+    /// in memory and extending the metadata is a single pass over them.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TrajStore::ingest`].
+    pub fn ingest_with_original(
+        &mut self,
+        device: DeviceId,
+        original: &[Point],
+        simplified: &SimplifiedTrajectory,
+        zeta: f64,
+    ) -> Result<usize, StoreError> {
+        self.ingest_impl(device, Some(original), simplified, zeta)
+    }
+
+    fn ingest_impl(
+        &mut self,
+        device: DeviceId,
+        original: Option<&[Point]>,
+        simplified: &SimplifiedTrajectory,
+        zeta: f64,
+    ) -> Result<usize, StoreError> {
+        let segments = simplified.segments();
+        if segments.is_empty() {
+            return Ok(0);
+        }
+        let t_new = segments
+            .iter()
+            .map(|s| s.segment.start.t.min(s.segment.end.t))
+            .fold(f64::INFINITY, f64::min);
+        if let Some(log) = self.logs.get(&device) {
+            if let Some(last) = log.blocks.last() {
+                if t_new < last.meta.t_max {
+                    return Err(StoreError::OutOfOrder {
+                        device,
+                        t_new,
+                        t_last: last.meta.t_max,
+                    });
+                }
+            }
+        }
+        let slack = self.config.codec.spatial_slack();
+        let mut appended = 0;
+        for chunk in segments.chunks(self.config.block_segments) {
+            // The chunk is encoded as a stand-alone representation; its
+            // responsibility indices stay absolute within the source
+            // trajectory so a later reconstruction can line blocks up.
+            let fragment = SimplifiedTrajectory::new(
+                chunk.to_vec(),
+                chunk.last().expect("chunks are non-empty").last_index + 1,
+            );
+            let payload = self.config.codec.encode(&fragment)?;
+            let mut meta = BlockMeta::from_segments(device, chunk, zeta, slack);
+            if let Some(points) = original {
+                meta.extend_with_points(points);
+            }
+            self.append_block(Block { meta, payload });
+            appended += 1;
+        }
+        self.total_points += simplified.original_len();
+        Ok(appended)
+    }
+
+    /// Appends an already-sealed block (ingest and the persistence loader
+    /// share this path).  Does **not** touch the point counter.
+    pub(crate) fn append_block(&mut self, block: Block) {
+        let device = block.meta.device;
+        let log = self.logs.entry(device).or_default();
+        self.index.insert(
+            BlockRef {
+                device,
+                block: log.blocks.len(),
+            },
+            &block.meta,
+        );
+        self.total_blocks += 1;
+        self.total_segments += block.meta.num_segments;
+        self.stored_bytes += block.stored_bytes();
+        log.blocks.push(block);
+    }
+
+    /// Restores the original-point counter (persistence loader only).
+    pub(crate) fn set_total_points(&mut self, points: usize) {
+        self.total_points = points;
+    }
+
+    /// Iterates every block in (device, append-order) order —
+    /// persistence and diagnostics.
+    pub(crate) fn blocks(&self) -> impl Iterator<Item = &Block> + '_ {
+        self.logs.values().flat_map(|log| log.blocks.iter())
+    }
+
+    fn decode(&self, block: &Block) -> Result<SimplifiedTrajectory, StoreError> {
+        Ok(self.config.codec.decode(&block.payload)?)
+    }
+
+    /// The stored segments of `device` whose *responsibility* time span
+    /// overlaps `[t0, t1]`.  Only blocks whose time interval overlaps the
+    /// range are decoded; scope for the skip statistics is the device's
+    /// log.
+    ///
+    /// The stored error bound carries through: every original point with
+    /// a timestamp in `[t0, t1]` is within `ζ + quantization slack` of
+    /// some returned segment (for data ingested through
+    /// [`TrajStore::ingest_with_original`], whose block metadata is
+    /// exact).
+    pub fn time_slice(&self, device: DeviceId, t0: f64, t1: f64) -> TimeSlice {
+        let mut slice = TimeSlice {
+            segments: Vec::new(),
+            stats: QueryStats::default(),
+        };
+        let Some(log) = self.logs.get(&device) else {
+            return slice;
+        };
+        slice.stats.blocks_in_scope = log.blocks.len();
+        // Blocks are time-ordered: binary search to the first candidate,
+        // stop at the first block past the range.
+        let start = log.blocks.partition_point(|b| b.meta.t_max < t0);
+        for block in &log.blocks[start..] {
+            if block.meta.t_min > t1 {
+                break;
+            }
+            slice.stats.blocks_decoded += 1;
+            let decoded = self.decode(block).expect("stored blocks decode");
+            let segments = decoded.segments();
+            for (j, s) in segments.iter().enumerate() {
+                let (lo, _) = time_span(s);
+                let hi = effective_t_hi(segments, j, &block.meta);
+                if lo <= t1 && t0 <= hi {
+                    slice.segments.push(*s);
+                }
+            }
+        }
+        slice.stats.segments_returned = slice.segments.len();
+        slice
+    }
+
+    /// Fleet-wide spatial window query, optionally restricted to a time
+    /// range: which devices passed through `window`, and on which stored
+    /// segments?
+    ///
+    /// Candidate blocks come from the grid index; each candidate is
+    /// re-checked against its precise metadata and only survivors are
+    /// decoded (scope for the skip statistics: every block in the store).
+    /// Matching is conservative by `ζ + quantization slack` at both the
+    /// block and the segment level, so for data ingested through
+    /// [`TrajStore::ingest_with_original`] any original point inside the
+    /// window is within `ζ + slack` of some returned segment of its
+    /// device — no false negatives with respect to the stored bound.
+    pub fn window_query(&self, window: &BoundingBox, time: Option<(f64, f64)>) -> WindowQuery {
+        let mut query = WindowQuery {
+            matches: Vec::new(),
+            stats: QueryStats {
+                blocks_in_scope: self.total_blocks,
+                ..QueryStats::default()
+            },
+        };
+        let mut current: Option<DeviceMatch> = None;
+        for candidate in self.index.candidates(window) {
+            let block = &self.logs[&candidate.device].blocks[candidate.block];
+            if !block.meta.may_intersect_window(window) {
+                continue;
+            }
+            if let Some((t0, t1)) = time {
+                if !block.meta.overlaps_time(t0, t1) {
+                    continue;
+                }
+            }
+            query.stats.blocks_decoded += 1;
+            let decoded = self.decode(block).expect("stored blocks decode");
+            let radius = block.meta.slack_radius();
+            let segments = decoded.segments();
+            for (j, s) in segments.iter().enumerate() {
+                // Absorbing segments are responsible for points the
+                // endpoint box cannot see; fall back to the block's exact
+                // metadata box for them.
+                let covered = if is_absorbing(segments, j, &block.meta) {
+                    block.meta.bbox
+                } else {
+                    endpoint_bbox(s)
+                };
+                if !expanded_intersects(&covered, radius, window) {
+                    continue;
+                }
+                if let Some((t0, t1)) = time {
+                    let (lo, _) = time_span(s);
+                    let hi = effective_t_hi(segments, j, &block.meta);
+                    if lo > t1 || t0 > hi {
+                        continue;
+                    }
+                }
+                // Candidates arrive sorted by (device, block), so equal
+                // devices are adjacent.
+                match &mut current {
+                    Some(m) if m.device == candidate.device => m.segments.push(*s),
+                    _ => {
+                        if let Some(done) = current.take() {
+                            query.matches.push(done);
+                        }
+                        current = Some(DeviceMatch {
+                            device: candidate.device,
+                            segments: vec![*s],
+                        });
+                    }
+                }
+            }
+        }
+        if let Some(done) = current.take() {
+            query.matches.push(done);
+        }
+        query.stats.segments_returned = query.matches.iter().map(|m| m.segments.len()).sum();
+        query
+    }
+
+    /// The device's position at time `t`, interpolated in time on the
+    /// stored representation, or `None` when `t` falls outside the
+    /// stored time coverage.  At most one block is decoded.
+    ///
+    /// The returned point lies on the stored piecewise line, which is
+    /// within the stored error bound ζ (+ quantization slack) of the
+    /// original trajectory in the perpendicular sense of the paper's
+    /// error definition; the along-track placement assumes locally
+    /// uniform speed (`t` is mapped linearly between the segment's
+    /// endpoint timestamps).  Timestamps inside an attributed-but-not-
+    /// fitted run (absorbed tails) return the last recorded fix,
+    /// restamped to the queried instant.
+    ///
+    /// Caveat: inside a run absorbed by OPERB's optimization 5 the
+    /// compressed representation no longer records *where along the
+    /// absorber's line* the device was at a given instant, so the
+    /// interpolated position can deviate beyond ζ there.  Stores built
+    /// from `raw-operb` output (optimization 5 off) do not have such
+    /// runs and interpolate within the bound everywhere.
+    pub fn position_at(&self, device: DeviceId, t: f64) -> Option<Point> {
+        let log = self.logs.get(&device)?;
+        let idx = log.blocks.partition_point(|b| b.meta.t_max < t);
+        let block = log.blocks.get(idx)?;
+        if t < block.meta.t_min {
+            return None;
+        }
+        let decoded = self.decode(block).expect("stored blocks decode");
+        let segments = decoded.segments();
+        // Prefer a segment whose geometric span contains t; fall back to
+        // responsibility spans (absorbed tails) with extrapolation.
+        for s in segments {
+            let (lo, hi) = time_span(s);
+            if lo <= t && t <= hi {
+                return Some(position_on(s, t));
+            }
+        }
+        for (j, s) in segments.iter().enumerate() {
+            let (lo, _) = time_span(s);
+            if lo <= t && t <= effective_t_hi(segments, j, &block.meta) {
+                // Inside an attributed-but-not-fitted run the stored data
+                // no longer says how far along the line the device got;
+                // clamping to the segment end returns the last recorded
+                // fix (restamped to the queried instant) instead of
+                // extrapolating at an assumed speed.
+                let mut p = position_on(s, t.min(time_span(s).1));
+                p.t = t;
+                return Some(p);
+            }
+        }
+        None
+    }
+}
+
+/// Time-linear position on a segment's supporting line.
+#[inline]
+fn position_on(s: &SimplifiedSegment, t: f64) -> Point {
+    let duration = s.segment.end.t - s.segment.start.t;
+    if duration.abs() < f64::EPSILON {
+        return s.segment.start;
+    }
+    let alpha = (t - s.segment.start.t) / duration;
+    s.segment.start.lerp(&s.segment.end, alpha)
+}
+
+/// The (min, max) timestamp span of a stored segment's shape points.
+#[inline]
+fn time_span(s: &SimplifiedSegment) -> (f64, f64) {
+    let (a, b) = (s.segment.start.t, s.segment.end.t);
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Upper bound on the timestamps of the original points segment `j` is
+/// responsible for.
+///
+/// OPERB can attribute points past a segment's geometric end to its
+/// responsibility (break attribution, optimization 5 absorption), so the
+/// endpoint timestamp under-covers.  Timestamps are strictly increasing
+/// with point index, which gives a sound bound: the start time of the
+/// first later segment whose responsibility begins at or after `j`'s last
+/// index (its start is an original point with an index ≥ every index `j`
+/// covers), or the block's exact `t_max` when no such witness exists in
+/// the block.
+fn effective_t_hi(segments: &[SimplifiedSegment], j: usize, meta: &BlockMeta) -> f64 {
+    let own_end = time_span(&segments[j]).1;
+    for g in &segments[j + 1..] {
+        if g.first_index >= segments[j].last_index && !g.interpolated_start {
+            return own_end.max(g.segment.start.t);
+        }
+    }
+    own_end.max(meta.t_max)
+}
+
+/// Whether segment `j` may be responsible for points its endpoint box
+/// cannot cover (an absorbed run).  Detected structurally: a later
+/// segment's responsibility starts strictly before `j`'s ends (ranges
+/// overlap beyond the shared boundary point), or `j` is the block's last
+/// segment and the block metadata extends past its end time (a trailing
+/// absorbed tail recorded by exact, original-extended metadata).
+fn is_absorbing(segments: &[SimplifiedSegment], j: usize, meta: &BlockMeta) -> bool {
+    if let Some(next) = segments.get(j + 1) {
+        next.first_index < segments[j].last_index
+    } else {
+        meta.t_max > time_span(&segments[j]).1
+    }
+}
+
+/// Bounding box over a segment's two endpoints.
+#[inline]
+fn endpoint_bbox(s: &SimplifiedSegment) -> BoundingBox {
+    let mut bbox = BoundingBox::from_point(s.segment.start);
+    bbox.extend(&s.segment.end);
+    bbox
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_geo::DirectedSegment;
+
+    /// A straight eastbound drive at 10 m/s sampled every 10 s, one
+    /// segment per sample pair — predictable geometry for the queries.
+    fn straight_line(device_offset_y: f64, start_t: f64, segments: usize) -> SimplifiedTrajectory {
+        let mut out = Vec::with_capacity(segments);
+        for i in 0..segments {
+            let t0 = start_t + i as f64 * 10.0;
+            let a = Point::new(i as f64 * 100.0, device_offset_y, t0);
+            let b = Point::new((i + 1) as f64 * 100.0, device_offset_y, t0 + 10.0);
+            out.push(SimplifiedSegment::new(DirectedSegment::new(a, b), i, i + 1));
+        }
+        SimplifiedTrajectory::new(out, segments + 1)
+    }
+
+    fn window(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> BoundingBox {
+        BoundingBox {
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+        }
+    }
+
+    #[test]
+    fn ingest_splits_into_blocks_and_counts() {
+        let mut store = TrajStore::new(StoreConfig::default().with_block_segments(4));
+        let simplified = straight_line(0.0, 0.0, 10);
+        let blocks = store.ingest(1, &simplified, 5.0).unwrap();
+        assert_eq!(blocks, 3); // 4 + 4 + 2 segments
+        let stats = store.stats();
+        assert_eq!(stats.devices, 1);
+        assert_eq!(stats.blocks, 3);
+        assert_eq!(stats.segments, 10);
+        assert_eq!(stats.points, 11);
+        assert!(stats.stored_bytes > 0);
+        assert!(stats.bytes_per_point() > 0.0);
+        let metas = store.block_metas(1);
+        assert_eq!(metas.len(), 3);
+        assert_eq!(metas[0].num_segments, 4);
+        assert_eq!(metas[2].num_segments, 2);
+        assert_eq!(metas[0].t_min, 0.0);
+        assert_eq!(metas[2].t_max, 100.0);
+    }
+
+    #[test]
+    fn empty_ingest_is_a_noop() {
+        let mut store = TrajStore::default();
+        let n = store
+            .ingest(1, &SimplifiedTrajectory::new(vec![], 1), 5.0)
+            .unwrap();
+        assert_eq!(n, 0);
+        assert_eq!(store.stats().blocks, 0);
+    }
+
+    #[test]
+    fn out_of_order_ingest_is_rejected() {
+        let mut store = TrajStore::default();
+        store.ingest(1, &straight_line(0.0, 100.0, 3), 5.0).unwrap();
+        let err = store
+            .ingest(1, &straight_line(0.0, 0.0, 3), 5.0)
+            .unwrap_err();
+        assert!(matches!(err, StoreError::OutOfOrder { device: 1, .. }));
+        // Later data appends fine; a different device is independent.
+        store.ingest(1, &straight_line(0.0, 130.0, 2), 5.0).unwrap();
+        store.ingest(2, &straight_line(50.0, 0.0, 2), 5.0).unwrap();
+    }
+
+    #[test]
+    fn time_slice_skips_blocks_and_filters_segments() {
+        let mut store = TrajStore::new(StoreConfig::default().with_block_segments(2));
+        store.ingest(1, &straight_line(0.0, 0.0, 12), 5.0).unwrap(); // 6 blocks, t ∈ [0, 120]
+        let slice = store.time_slice(1, 41.0, 59.0);
+        assert_eq!(slice.stats.blocks_in_scope, 6);
+        // t ∈ [41, 59] touches segments [40,50] and [50,60], both in the
+        // block covering t ∈ [40, 60] — one decode, five blocks skipped.
+        assert_eq!(slice.stats.blocks_decoded, 1);
+        assert_eq!(slice.segments.len(), 2);
+        assert!(slice.stats.skip_ratio() > 0.8);
+        for s in &slice.segments {
+            assert!(s.segment.start.t <= 59.0 && s.segment.end.t >= 41.0);
+        }
+        // Out-of-range and unknown-device queries return empty.
+        assert!(store.time_slice(1, 500.0, 600.0).segments.is_empty());
+        assert!(store.time_slice(99, 0.0, 10.0).segments.is_empty());
+    }
+
+    #[test]
+    fn window_query_prunes_far_devices() {
+        // 20 devices on parallel east-west lines 1 km apart.
+        let mut store = TrajStore::new(StoreConfig::default().with_block_segments(4));
+        for d in 0..20u64 {
+            store
+                .ingest(d, &straight_line(d as f64 * 1000.0, 0.0, 12), 5.0)
+                .unwrap();
+        }
+        // A window around y = 3000 m, x ∈ [150, 450]: only device 3.
+        let q = store.window_query(&window(150.0, 2990.0, 450.0, 3010.0), None);
+        assert_eq!(q.matches.len(), 1);
+        assert_eq!(q.matches[0].device, 3);
+        assert!(!q.matches[0].segments.is_empty());
+        assert!(
+            q.stats.blocks_decoded < q.stats.blocks_in_scope,
+            "window query must not decode the whole store"
+        );
+        assert!(q.stats.skip_ratio() > 0.8, "ratio {}", q.stats.skip_ratio());
+        for s in &q.matches[0].segments {
+            assert!(s.segment.start.x <= 450.0 + 5.1 && s.segment.end.x >= 150.0 - 5.1);
+        }
+    }
+
+    #[test]
+    fn window_query_with_time_filter() {
+        let mut store = TrajStore::new(StoreConfig::default().with_block_segments(2));
+        store.ingest(1, &straight_line(0.0, 0.0, 12), 5.0).unwrap();
+        // Spatial window covers the whole path; time filter keeps t ∈ [0, 15].
+        let q = store.window_query(&window(-10.0, -10.0, 1300.0, 10.0), Some((0.0, 15.0)));
+        assert_eq!(q.matches.len(), 1);
+        assert_eq!(q.matches[0].segments.len(), 2);
+        assert!(q.stats.blocks_decoded <= 2);
+    }
+
+    #[test]
+    fn position_interpolates_between_shape_points() {
+        let mut store = TrajStore::new(StoreConfig::default().with_block_segments(3));
+        store.ingest(1, &straight_line(7.0, 0.0, 9), 5.0).unwrap();
+        // At t = 25 the device is halfway through the third segment:
+        // x = 250 m, y = 7.
+        let p = store.position_at(1, 25.0).unwrap();
+        assert!((p.x - 250.0).abs() < 0.1, "{p}");
+        assert!((p.y - 7.0).abs() < 0.1, "{p}");
+        assert!((p.t - 25.0).abs() < 0.01, "{p}");
+        // Exactly on a shape point.
+        let p = store.position_at(1, 30.0).unwrap();
+        assert!((p.x - 300.0).abs() < 0.1, "{p}");
+        // Outside coverage or unknown device → None.
+        assert!(store.position_at(1, -1.0).is_none());
+        assert!(store.position_at(1, 91.0).is_none());
+        assert!(store.position_at(9, 25.0).is_none());
+    }
+
+    #[test]
+    fn skip_ratio_handles_empty_store() {
+        let store = TrajStore::default();
+        let q = store.window_query(&window(0.0, 0.0, 10.0, 10.0), None);
+        assert!(q.matches.is_empty());
+        assert_eq!(q.stats.skip_ratio(), 0.0);
+        assert_eq!(store.stats().bytes_per_point(), 0.0);
+        assert_eq!(store.stats().compression_factor(), 0.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-style round-trip tests for the binary segment codec: for many
+//! synthetic fleets (all four dataset profiles, several seeds, several
+//! error bounds, both OPERB variants and a baseline), encode → decode must
+//! be the identity up to quantization, and a second encode must be
+//! bit-exact.  No external proptest — the generators of `traj_data` are
+//! the property source.
+
+use traj_data::{DatasetGenerator, DatasetKind};
+use traj_model::codec::SegmentCodec;
+use traj_model::{BatchSimplifier, SimplifiedTrajectory};
+
+fn assert_roundtrip(codec: &SegmentCodec, simplified: &SimplifiedTrajectory, context: &str) {
+    let bytes = codec
+        .encode(simplified)
+        .unwrap_or_else(|e| panic!("{context}: encode: {e}"));
+    let decoded = codec
+        .decode(&bytes)
+        .unwrap_or_else(|e| panic!("{context}: decode: {e}"));
+
+    // Structure is preserved exactly.
+    assert_eq!(
+        decoded.num_segments(),
+        simplified.num_segments(),
+        "{context}"
+    );
+    assert_eq!(
+        decoded.original_len(),
+        simplified.original_len(),
+        "{context}"
+    );
+    let slack = codec.spatial_slack();
+    for (i, (a, b)) in simplified
+        .segments()
+        .iter()
+        .zip(decoded.segments())
+        .enumerate()
+    {
+        assert_eq!(a.first_index, b.first_index, "{context}: segment {i}");
+        assert_eq!(a.last_index, b.last_index, "{context}: segment {i}");
+        assert_eq!(
+            a.interpolated_start, b.interpolated_start,
+            "{context}: segment {i}"
+        );
+        assert_eq!(
+            a.interpolated_end, b.interpolated_end,
+            "{context}: segment {i}"
+        );
+        // Geometry moved by at most the quantization slack.
+        let ds = a.segment.start.distance(&b.segment.start);
+        let de = a.segment.end.distance(&b.segment.end);
+        assert!(ds <= slack, "{context}: segment {i} start moved {ds}");
+        assert!(de <= slack, "{context}: segment {i} end moved {de}");
+        assert!(
+            (a.segment.start.t - b.segment.start.t).abs() <= codec.time_resolution,
+            "{context}: segment {i} start time"
+        );
+        assert!(
+            (a.segment.end.t - b.segment.end.t).abs() <= codec.time_resolution,
+            "{context}: segment {i} end time"
+        );
+    }
+
+    // Idempotence: encoding the decoded representation is bit-exact and
+    // decodes to exactly itself (the lossy step happens only once).
+    let again = codec
+        .encode(&decoded)
+        .unwrap_or_else(|e| panic!("{context}: re-encode: {e}"));
+    assert_eq!(again, bytes, "{context}: re-encode must be bit-identical");
+    assert_eq!(
+        codec.decode(&again).unwrap(),
+        decoded,
+        "{context}: second decode must be exact"
+    );
+}
+
+#[test]
+fn roundtrip_over_synthetic_fleets_all_algorithms() {
+    let codec = SegmentCodec::default();
+    let algorithms: Vec<(&str, Box<dyn BatchSimplifier>)> = vec![
+        ("operb", Box::new(operb::Operb::new())),
+        ("operb-a", Box::new(operb::OperbA::new())),
+        ("dp", Box::new(traj_baselines::DouglasPeucker::new())),
+    ];
+    for kind in [
+        DatasetKind::Taxi,
+        DatasetKind::Truck,
+        DatasetKind::SerCar,
+        DatasetKind::GeoLife,
+    ] {
+        for seed in [1u64, 20170401] {
+            let generator = DatasetGenerator::for_kind(kind, seed);
+            for index in 0..4 {
+                let trajectory = generator.generate_trajectory(index, 220);
+                for epsilon in [5.0, 30.0, 120.0] {
+                    for (name, algorithm) in &algorithms {
+                        let simplified = algorithm.simplify(&trajectory, epsilon).unwrap();
+                        let context =
+                            format!("{kind:?}/seed {seed}/traj {index}/ζ {epsilon}/{name}");
+                        assert_roundtrip(&codec, &simplified, &context);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn roundtrip_preserves_error_bound_up_to_slack() {
+    // The decoded representation must still be error-bounded against the
+    // original points, with the quantization slack added to ζ.
+    let codec = SegmentCodec::default();
+    let generator = DatasetGenerator::for_kind(DatasetKind::Taxi, 99);
+    for index in 0..6 {
+        let trajectory = generator.generate_trajectory(index, 300);
+        for epsilon in [10.0, 40.0] {
+            let simplified = operb::OperbA::new().simplify(&trajectory, epsilon).unwrap();
+            let decoded = codec.decode(&codec.encode(&simplified).unwrap()).unwrap();
+            let worst = traj_metrics::max_error(&trajectory, &decoded);
+            assert!(
+                worst <= epsilon + codec.spatial_slack(),
+                "traj {index}, ζ {epsilon}: decoded error {worst}"
+            );
+        }
+    }
+}
+
+#[test]
+fn roundtrip_with_coarse_resolutions() {
+    // Coarser codecs trade bytes for slack; the invariants must hold at
+    // any configured resolution.
+    let generator = DatasetGenerator::for_kind(DatasetKind::Truck, 5);
+    let trajectory = generator.generate_trajectory(0, 250);
+    let simplified = operb::Operb::new().simplify(&trajectory, 20.0).unwrap();
+    let fine = SegmentCodec::new(0.001, 0.0001);
+    let coarse = SegmentCodec::new(1.0, 1.0);
+    assert_roundtrip(&fine, &simplified, "fine");
+    assert_roundtrip(&coarse, &simplified, "coarse");
+    let fine_bytes = fine.encode(&simplified).unwrap().len();
+    let coarse_bytes = coarse.encode(&simplified).unwrap().len();
+    assert!(
+        coarse_bytes < fine_bytes,
+        "coarser quantization must be smaller ({coarse_bytes} vs {fine_bytes})"
+    );
+}

@@ -73,8 +73,7 @@ fn main() {
 
     // Export the simplified shape points as CSV next to the input.
     let out_path = PathBuf::from(format!("{source}.simplified.csv"));
-    let shape = Trajectory::new(simplified.shape_points())
-        .unwrap_or_else(|_| trajectory.clone());
+    let shape = Trajectory::new(simplified.shape_points()).unwrap_or_else(|_| trajectory.clone());
     let mut writer = BufWriter::new(File::create(&out_path).expect("output file"));
     write_csv(&mut writer, &shape).expect("write output");
     println!("wrote simplified shape points to {}", out_path.display());

@@ -17,7 +17,8 @@ use trajsimp::operb::OperbAStream;
 
 fn main() {
     let zeta = 25.0;
-    let trajectory = DatasetGenerator::for_kind(DatasetKind::SerCar, 7).generate_trajectory(0, 2_000);
+    let trajectory =
+        DatasetGenerator::for_kind(DatasetKind::SerCar, 7).generate_trajectory(0, 2_000);
 
     println!(
         "simulating a sensor sampling {} fixes (ζ = {zeta} m) …\n",

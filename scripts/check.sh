@@ -1,14 +1,24 @@
 #!/usr/bin/env bash
-# The full workspace gate: release build, tests, rustdoc, clippy.
+# The full workspace gate: formatting, release build, tests, the storage
+# engine's example + bench smoke runs, rustdoc, clippy.
 # Usage: ./scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
 
 echo "==> cargo build --release --workspace"
 cargo build --release --workspace
 
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
+
+echo "==> store example (pipeline → store → queries)"
+cargo run --release --example store_query
+
+echo "==> store_bench smoke run (100 devices, skip ratio + ζ verification)"
+cargo run --release -p traj-bench --bin store_bench -- --devices 100 --points 150 --windows 6
 
 echo "==> cargo doc --no-deps --workspace (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace

@@ -3,6 +3,8 @@
 //! ```text
 //! trajsimp <input.csv|input.plt> [--algorithm operb-a] [--epsilon 30] [--output out.csv]
 //! trajsimp fleet [--trajectories 1000] [--points 500] [--workers N] [--algorithm operb]
+//! trajsimp store --out DIR [--trajectories 200] [--input file.csv --device 7]
+//! trajsimp query DIR (--device N --from T --to T | --window x0,y0,x1,y1 | --device N --at T)
 //! ```
 //!
 //! The single-file mode reads a trajectory file (planar `x,y,t` CSV or a
@@ -15,6 +17,12 @@
 //! streams, compresses it through the parallel pipeline of
 //! `traj-pipeline`, verifies the error bound on every output and reports
 //! the measured speedup over the sequential loop.
+//!
+//! The `store` subcommand compresses a fleet (synthetic, or a single
+//! input file) straight into a persistent `traj-store` directory; the
+//! `query` subcommand answers time-range, spatial-window and
+//! point-in-time queries from such a directory, decoding only the blocks
+//! whose metadata overlaps the query.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
@@ -24,6 +32,7 @@ use std::time::Instant;
 use trajsimp::baselines::{Bqs, DouglasPeucker, Fbqs, OpeningWindow, TdTr};
 use trajsimp::data::io::{read_csv, read_plt};
 use trajsimp::data::{DatasetGenerator, DatasetKind};
+use trajsimp::geo::BoundingBox;
 use trajsimp::metrics::{average_error, max_error};
 use trajsimp::model::{BatchSimplifier, Trajectory};
 use trajsimp::operb::{Operb, OperbA};
@@ -31,10 +40,16 @@ use trajsimp::pipeline::fleet::verify_error_bound;
 use trajsimp::pipeline::{
     compress_fleet, compress_fleet_sequential, DeviceId, FleetAlgorithm, PipelineConfig, Speedup,
 };
+use trajsimp::store::{compress_fleet_into_store, TrajStore};
 
 const USAGE: &str = "usage: trajsimp <input.csv|input.plt> [--algorithm NAME] [--epsilon METERS] [--output FILE]\n\
        trajsimp fleet [--trajectories N] [--points N] [--workers N] [--batch N]\n\
                       [--algorithm NAME] [--epsilon METERS] [--dataset taxi|truck|sercar|geolife] [--seed N]\n\
+       trajsimp store --out DIR [--trajectories N] [--points N] [--workers N] [--algorithm NAME]\n\
+                      [--epsilon METERS] [--dataset NAME] [--seed N] [--input FILE [--device ID]]\n\
+       trajsimp query DIR --device N --from T --to T   (time slice)\n\
+       trajsimp query DIR --window x0,y0,x1,y1 [--from T --to T]   (spatial window)\n\
+       trajsimp query DIR --device N --at T   (interpolated position)\n\
                      algorithms: operb (default: operb-a), operb-a, raw-operb, raw-operb-a, dp, td-tr, opw, bqs, fbqs";
 
 struct Options {
@@ -130,10 +145,7 @@ impl Default for FleetOptions {
 fn parse_fleet_args(args: &[String]) -> Result<FleetOptions, String> {
     let mut o = FleetOptions::default();
     let mut it = args.iter();
-    fn value<'a>(
-        it: &mut std::slice::Iter<'a, String>,
-        flag: &str,
-    ) -> Result<&'a String, String> {
+    fn value<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> Result<&'a String, String> {
         it.next().ok_or_else(|| format!("{flag} needs a value"))
     }
     while let Some(arg) = it.next() {
@@ -200,7 +212,12 @@ fn run_fleet(options: &FleetOptions) -> Result<(), String> {
     );
     let generator = DatasetGenerator::for_kind(options.dataset, options.seed);
     let fleet: Vec<(DeviceId, Trajectory)> = (0..options.trajectories)
-        .map(|i| (i as DeviceId, generator.generate_trajectory(i, options.points)))
+        .map(|i| {
+            (
+                i as DeviceId,
+                generator.generate_trajectory(i, options.points),
+            )
+        })
         .collect();
     let total_points: usize = fleet.iter().map(|(_, t)| t.len()).sum();
 
@@ -226,14 +243,24 @@ fn run_fleet(options: &FleetOptions) -> Result<(), String> {
         sequential: sequential.report.elapsed,
         parallel: parallel.report.elapsed,
     };
-    println!("fleet        : {} trajectories, {} points ({})", options.trajectories, total_points, options.dataset);
-    println!("algorithm    : {} (ζ = {} m)", algorithm.name(), options.epsilon);
+    println!(
+        "fleet        : {} trajectories, {} points ({})",
+        options.trajectories, total_points, options.dataset
+    );
+    println!(
+        "algorithm    : {} (ζ = {} m)",
+        algorithm.name(),
+        options.epsilon
+    );
     println!("segments     : {total_segments}");
     println!(
         "ratio        : {:.4}",
         total_segments as f64 / total_points.max(1) as f64
     );
-    println!("max error    : {worst:.2} m (bound holds on all {} streams)", fleet.len());
+    println!(
+        "max error    : {worst:.2} m (bound holds on all {} streams)",
+        fleet.len()
+    );
     println!(
         "sequential   : {:.2} ms ({:.0} points/s)",
         sequential.report.elapsed.as_secs_f64() * 1e3,
@@ -250,8 +277,259 @@ fn run_fleet(options: &FleetOptions) -> Result<(), String> {
     Ok(())
 }
 
+struct StoreOptions {
+    out: String,
+    fleet: FleetOptions,
+    input: Option<String>,
+    device: DeviceId,
+}
+
+fn parse_store_args(args: &[String]) -> Result<StoreOptions, String> {
+    let mut out = None;
+    let mut input = None;
+    let mut device: DeviceId = 0;
+    let mut fleet_args: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" | "-o" => {
+                out = Some(it.next().ok_or("--out needs a directory")?.to_string());
+            }
+            "--input" | "-i" => {
+                input = Some(it.next().ok_or("--input needs a file")?.to_string());
+            }
+            "--device" => {
+                let v = it.next().ok_or("--device needs an id")?;
+                device = v.parse().map_err(|_| format!("invalid device id '{v}'"))?;
+            }
+            other => fleet_args.push(other.to_string()),
+        }
+    }
+    // Everything else is shared with `fleet` (trajectories, points,
+    // workers, algorithm, epsilon, dataset, seed).
+    let fleet = parse_fleet_args(&fleet_args)?;
+    Ok(StoreOptions {
+        out: out.ok_or("store needs --out DIR")?,
+        fleet,
+        input,
+        device,
+    })
+}
+
+fn run_store(options: &StoreOptions) -> Result<(), String> {
+    let Some(algorithm) = FleetAlgorithm::by_name(&options.fleet.algorithm) else {
+        return Err(format!("unknown algorithm '{}'", options.fleet.algorithm));
+    };
+    let fleet: Vec<(DeviceId, Trajectory)> = match &options.input {
+        Some(path) => {
+            eprintln!("loading {path} as device {} …", options.device);
+            vec![(options.device, load(path)?)]
+        }
+        None => {
+            eprintln!(
+                "generating {} {} trajectories of {} points each (seed {}) …",
+                options.fleet.trajectories,
+                options.fleet.dataset,
+                options.fleet.points,
+                options.fleet.seed
+            );
+            let generator = DatasetGenerator::for_kind(options.fleet.dataset, options.fleet.seed);
+            (0..options.fleet.trajectories)
+                .map(|i| {
+                    (
+                        i as DeviceId,
+                        generator.generate_trajectory(i, options.fleet.points),
+                    )
+                })
+                .collect()
+        }
+    };
+    let config = PipelineConfig::new(options.fleet.epsilon)
+        .with_workers(options.fleet.workers)
+        .with_batch_size(options.fleet.batch);
+    let mut store = TrajStore::default();
+    let start = Instant::now();
+    let (_, ingested) = compress_fleet_into_store(&fleet, &config, &algorithm, &mut store)?;
+    let out = std::path::Path::new(&options.out);
+    store.save(out).map_err(|e| e.to_string())?;
+    let stats = store.stats();
+    println!(
+        "store        : {} ({} devices, {} blocks, {} segments)",
+        options.out, stats.devices, stats.blocks, stats.segments
+    );
+    println!(
+        "algorithm    : {} (ζ = {} m)",
+        algorithm.name(),
+        options.fleet.epsilon
+    );
+    println!("points       : {} (from {ingested} streams)", stats.points);
+    println!(
+        "stored bytes : {} ({:.2} B/point, {:.1}x smaller than raw)",
+        stats.stored_bytes,
+        stats.bytes_per_point(),
+        stats.compression_factor()
+    );
+    println!(
+        "time         : {:.2} ms ({:.0} points/s)",
+        start.elapsed().as_secs_f64() * 1e3,
+        stats.points as f64 / start.elapsed().as_secs_f64().max(1e-12)
+    );
+    Ok(())
+}
+
+struct QueryOptions {
+    dir: String,
+    device: Option<DeviceId>,
+    from: Option<f64>,
+    to: Option<f64>,
+    at: Option<f64>,
+    window: Option<BoundingBox>,
+}
+
+fn parse_query_args(args: &[String]) -> Result<QueryOptions, String> {
+    let mut o = QueryOptions {
+        dir: String::new(),
+        device: None,
+        from: None,
+        to: None,
+        at: None,
+        window: None,
+    };
+    let mut it = args.iter();
+    fn num(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<f64, String> {
+        let v = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        v.parse().map_err(|_| format!("invalid {flag} value '{v}'"))
+    }
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--device" | "-d" => {
+                let v = it.next().ok_or("--device needs an id")?;
+                o.device = Some(v.parse().map_err(|_| format!("invalid device id '{v}'"))?);
+            }
+            "--from" => o.from = Some(num(&mut it, arg)?),
+            "--to" => o.to = Some(num(&mut it, arg)?),
+            "--at" => o.at = Some(num(&mut it, arg)?),
+            "--window" | "-w" => {
+                let v = it.next().ok_or("--window needs x0,y0,x1,y1")?;
+                let parts: Vec<f64> = v
+                    .split(',')
+                    .map(|p| p.trim().parse::<f64>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| format!("invalid window '{v}' (want x0,y0,x1,y1)"))?;
+                if parts.len() != 4 {
+                    return Err(format!("invalid window '{v}' (want 4 coordinates)"));
+                }
+                o.window = Some(BoundingBox {
+                    min_x: parts[0].min(parts[2]),
+                    min_y: parts[1].min(parts[3]),
+                    max_x: parts[0].max(parts[2]),
+                    max_y: parts[1].max(parts[3]),
+                });
+            }
+            other if o.dir.is_empty() && !other.starts_with('-') => {
+                o.dir = other.to_string();
+            }
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    if o.dir.is_empty() {
+        return Err("query needs a store directory".to_string());
+    }
+    Ok(o)
+}
+
+fn run_query(options: &QueryOptions) -> Result<(), String> {
+    let store = TrajStore::open(std::path::Path::new(&options.dir)).map_err(|e| e.to_string())?;
+    let stats = store.stats();
+    eprintln!(
+        "opened {} ({} devices, {} blocks, {} segments)",
+        options.dir, stats.devices, stats.blocks, stats.segments
+    );
+    match (options.window, options.at, options.device) {
+        // Spatial window query across the fleet.
+        (Some(window), None, None) => {
+            let time = match (options.from, options.to) {
+                (Some(a), Some(b)) => Some((a, b)),
+                (None, None) => None,
+                _ => return Err("--from and --to must be given together".into()),
+            };
+            let q = store.window_query(&window, time);
+            for m in &q.matches {
+                println!("device {:<6} {:>5} segments", m.device, m.segments.len());
+            }
+            println!(
+                "{} devices, {} segments; decoded {}/{} blocks (skip ratio {:.1}%)",
+                q.matches.len(),
+                q.stats.segments_returned,
+                q.stats.blocks_decoded,
+                q.stats.blocks_in_scope,
+                q.stats.skip_ratio() * 100.0
+            );
+        }
+        // Interpolated position.
+        (None, Some(t), Some(device)) => match store.position_at(device, t) {
+            Some(p) => println!("device {device} at t={t}: {p}"),
+            None => println!("device {device} has no stored coverage at t={t}"),
+        },
+        // Time-range slice.
+        (None, None, Some(device)) => {
+            let (Some(from), Some(to)) = (options.from, options.to) else {
+                return Err("time slice needs --from and --to".into());
+            };
+            let slice = store.time_slice(device, from, to);
+            for s in &slice.segments {
+                println!(
+                    "[{:9.1}s → {:9.1}s] {} → {} (points {}..={})",
+                    s.segment.start.t,
+                    s.segment.end.t,
+                    s.segment.start,
+                    s.segment.end,
+                    s.first_index,
+                    s.last_index
+                );
+            }
+            println!(
+                "{} segments; decoded {}/{} blocks (skip ratio {:.1}%)",
+                slice.stats.segments_returned,
+                slice.stats.blocks_decoded,
+                slice.stats.blocks_in_scope,
+                slice.stats.skip_ratio() * 100.0
+            );
+        }
+        _ => {
+            return Err(
+                "query wants exactly one of: --device with --from/--to, --device with --at, \
+                 or --window"
+                    .into(),
+            )
+        }
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("store") => {
+            return match parse_store_args(&args[1..]).and_then(|o| run_store(&o)) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(msg) => {
+                    eprintln!("{msg}\n{USAGE}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        Some("query") => {
+            return match parse_query_args(&args[1..]).and_then(|o| run_query(&o)) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(msg) => {
+                    eprintln!("{msg}\n{USAGE}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        _ => {}
+    }
     if args.first().map(String::as_str) == Some("fleet") {
         let options = match parse_fleet_args(&args[1..]) {
             Ok(o) => o,
@@ -297,12 +575,26 @@ fn main() -> ExitCode {
     };
     let elapsed = start.elapsed();
 
-    println!("input        : {} ({} points)", options.input, trajectory.len());
-    println!("algorithm    : {} (ζ = {} m)", algorithm.name(), options.epsilon);
+    println!(
+        "input        : {} ({} points)",
+        options.input,
+        trajectory.len()
+    );
+    println!(
+        "algorithm    : {} (ζ = {} m)",
+        algorithm.name(),
+        options.epsilon
+    );
     println!("segments     : {}", simplified.num_segments());
     println!("ratio        : {:.4}", simplified.compression_ratio());
-    println!("max error    : {:.2} m", max_error(&trajectory, &simplified));
-    println!("avg error    : {:.2} m", average_error(&trajectory, &simplified));
+    println!(
+        "max error    : {:.2} m",
+        max_error(&trajectory, &simplified)
+    );
+    println!(
+        "avg error    : {:.2} m",
+        average_error(&trajectory, &simplified)
+    );
     println!(
         "time         : {:.2} ms ({:.0} points/s)",
         elapsed.as_secs_f64() * 1e3,
@@ -324,7 +616,10 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
-        println!("output       : {out_path} ({} shape points)", simplified.num_shape_points());
+        println!(
+            "output       : {out_path} ({} shape points)",
+            simplified.num_shape_points()
+        );
     }
     ExitCode::SUCCESS
 }
