@@ -1,0 +1,467 @@
+//! Serving benchmark: concurrent closed-loop HTTP clients against the
+//! query server, with every answer verified against the original fleet.
+//!
+//! ```text
+//! cargo run --release -p traj-bench --bin service_bench
+//! cargo run --release -p traj-bench --bin service_bench -- --devices 150 --clients 48
+//! ```
+//!
+//! The bench compresses a synthetic fleet of ≥ 100 devices through the
+//! parallel pipeline straight into a [`traj_store::ShardedStore`], starts
+//! a [`traj_service::Server`] on an ephemeral loopback port, and drives it
+//! with ≥ 32 concurrent closed-loop clients issuing a mixed workload
+//! (time slices, spatial windows, position lookups, stats).  It reports
+//! sustained QPS and the client-observed p50/p99 latency.
+//!
+//! Correctness is checked on every data-bearing response: for time-slice
+//! and window answers, each original point in the queried range must lie
+//! within `ζ + quantization slack` of a returned segment of its device.
+//! The run fails unless the ζ-violation count is exactly zero.
+
+use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use traj_data::rng::{Rng, SmallRng};
+use traj_data::{DatasetGenerator, DatasetKind};
+use traj_geo::{BoundingBox, DirectedSegment, Point};
+use traj_model::json::JsonValue;
+use traj_model::{SimplifiedSegment, Trajectory};
+use traj_pipeline::{DeviceId, FleetAlgorithm, PipelineConfig};
+use traj_service::{client, Server, ServiceConfig};
+use traj_store::{compress_fleet_into_shared_store, ShardedStore, StoreConfig};
+
+const USAGE: &str = "usage: service_bench [--devices N>=100] [--points N] [--epsilon METERS] \
+                     [--algorithm NAME] [--clients N>=32] [--requests N] [--workers N] \
+                     [--shards N] [--window-size METERS] [--seed N]";
+
+struct Options {
+    devices: usize,
+    points: usize,
+    epsilon: f64,
+    algorithm: String,
+    clients: usize,
+    requests: usize,
+    workers: usize,
+    shards: usize,
+    window_size: f64,
+    seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            devices: 120,
+            points: 150,
+            epsilon: 30.0,
+            algorithm: "operb".to_string(),
+            clients: 32,
+            requests: 15,
+            workers: 4,
+            shards: 16,
+            window_size: 600.0,
+            seed: 20170401,
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut o = Options::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{arg} needs a value"))
+        };
+        match arg.as_str() {
+            "--devices" | "-n" => {
+                o.devices = value()?.parse().map_err(|e| format!("{arg}: {e}"))?
+            }
+            "--points" | "-p" => o.points = value()?.parse().map_err(|e| format!("{arg}: {e}"))?,
+            "--epsilon" | "-e" => {
+                o.epsilon = value()?.parse().map_err(|e| format!("{arg}: {e}"))?
+            }
+            "--algorithm" | "-a" => o.algorithm = value()?.to_lowercase(),
+            "--clients" | "-c" => {
+                o.clients = value()?.parse().map_err(|e| format!("{arg}: {e}"))?
+            }
+            "--requests" | "-r" => {
+                o.requests = value()?.parse().map_err(|e| format!("{arg}: {e}"))?
+            }
+            "--workers" | "-w" => {
+                o.workers = value()?.parse().map_err(|e| format!("{arg}: {e}"))?
+            }
+            "--shards" => o.shards = value()?.parse().map_err(|e| format!("{arg}: {e}"))?,
+            "--window-size" => {
+                o.window_size = value()?.parse().map_err(|e| format!("{arg}: {e}"))?
+            }
+            "--seed" | "-s" => o.seed = value()?.parse().map_err(|e| format!("{arg}: {e}"))?,
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    if o.devices < 100 {
+        return Err("service_bench needs --devices >= 100 (the fleet-scale scenario)".into());
+    }
+    if o.clients < 32 {
+        return Err("service_bench needs --clients >= 32 (the concurrent-load scenario)".into());
+    }
+    if o.points < 2 || o.requests == 0 {
+        return Err("service_bench needs --points >= 2 and --requests >= 1".into());
+    }
+    Ok(o)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&options) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("service_bench: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Rebuilds a stored segment from its JSON form.
+fn segment_from_json(v: &JsonValue) -> Option<SimplifiedSegment> {
+    let f = |key: &str| v.get(key).and_then(JsonValue::as_f64);
+    let i = |key: &str| v.get(key).and_then(JsonValue::as_usize);
+    Some(SimplifiedSegment::new(
+        DirectedSegment::new(
+            Point::new(f("x0")?, f("y0")?, f("t0")?),
+            Point::new(f("x1")?, f("y1")?, f("t1")?),
+        ),
+        i("first_index")?,
+        i("last_index")?,
+    ))
+}
+
+/// Shortest distance from `p` to any of `segments` (∞ when empty).
+fn nearest(segments: &[SimplifiedSegment], p: &Point) -> f64 {
+    segments
+        .iter()
+        .map(|s| s.distance_to_line(p))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// What one client measured.
+#[derive(Default)]
+struct ClientOutcome {
+    latencies_us: Vec<u64>,
+    violations: u64,
+    errors: u64,
+}
+
+/// One client's closed loop: issue `requests` mixed queries, verify every
+/// data-bearing answer against the original fleet.
+#[allow(clippy::too_many_lines)]
+fn client_loop(
+    addr: std::net::SocketAddr,
+    fleet: &[(DeviceId, Trajectory)],
+    options: &Options,
+    bound: f64,
+    client_id: usize,
+    first_failure: &Mutex<Option<String>>,
+) -> ClientOutcome {
+    let mut rng = SmallRng::seed_from_u64(options.seed ^ (0x5EED << 8) ^ client_id as u64);
+    let mut outcome = ClientOutcome::default();
+    let fail = |msg: String| {
+        let mut slot = first_failure.lock().expect("failure slot");
+        if slot.is_none() {
+            *slot = Some(msg);
+        }
+    };
+    for _ in 0..options.requests {
+        let (device_idx, kind) = (rng.gen_range(0..fleet.len()), rng.gen_range(0..10u32));
+        let (device, traj) = &fleet[device_idx];
+        let t_begin = traj.first().t;
+        let duration = traj.duration();
+        // Query parameters are built once and kept for verification; the
+        // request path is derived from them, never the other way round —
+        // the verifier must not trust the server's echo of its inputs.
+        let mut queried_window = None;
+        let mut queried_range = None;
+        let path = match kind {
+            // Half the load: per-device time slices.
+            0..=4 => {
+                let t0 = t_begin + duration * rng.gen_range(0.0..0.7);
+                let t1 = t0 + duration * rng.gen_range(0.05..0.3);
+                queried_range = Some((t0, t1));
+                format!("/time_slice?device={device}&from={t0}&to={t1}")
+            }
+            // Spatial windows centred on real traffic.
+            5..=7 => {
+                let centre = traj.point(rng.gen_range(0..traj.len()));
+                let half = options.window_size / 2.0;
+                let window = BoundingBox {
+                    min_x: centre.x - half,
+                    min_y: centre.y - half,
+                    max_x: centre.x + half,
+                    max_y: centre.y + half,
+                };
+                let path = format!(
+                    "/window?min_x={}&min_y={}&max_x={}&max_y={}",
+                    window.min_x, window.min_y, window.max_x, window.max_y
+                );
+                queried_window = Some(window);
+                path
+            }
+            8 => {
+                let t = t_begin + duration * rng.gen_range(0.1..0.9);
+                format!("/position_at?device={device}&t={t}")
+            }
+            _ => "/stats".to_string(),
+        };
+        let started = Instant::now();
+        let response = client::http_get(addr, &path);
+        let latency_us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        let (status, body) = match response {
+            Ok(r) => r,
+            Err(e) => {
+                outcome.errors += 1;
+                fail(format!("request {path} failed: {e}"));
+                continue;
+            }
+        };
+        let json = match JsonValue::parse(&body) {
+            Ok(j) if status == 200 => j,
+            Ok(_) | Err(_) => {
+                outcome.errors += 1;
+                fail(format!("request {path}: status {status}, body {body}"));
+                continue;
+            }
+        };
+        outcome.latencies_us.push(latency_us);
+
+        // ζ verification against the originals.
+        match kind {
+            0..=4 => {
+                let (from, to) = queried_range.expect("time-slice kinds set the range");
+                let segments: Vec<SimplifiedSegment> = json
+                    .get("segments")
+                    .and_then(JsonValue::as_array)
+                    .map(|a| a.iter().filter_map(segment_from_json).collect())
+                    .unwrap_or_default();
+                for p in traj.points().iter().filter(|p| p.t >= from && p.t <= to) {
+                    let d = nearest(&segments, p);
+                    if d > bound {
+                        outcome.violations += 1;
+                        fail(format!(
+                            "{path}: point of device {device} at t={} is {d:.2} m from the \
+                             answer (bound {bound:.2})",
+                            p.t
+                        ));
+                    }
+                }
+            }
+            5..=7 => {
+                let window = queried_window.expect("window kinds set the window");
+                let empty = Vec::new();
+                let by_device: std::collections::HashMap<u64, Vec<SimplifiedSegment>> = json
+                    .get("matches")
+                    .and_then(JsonValue::as_array)
+                    .map(|matches| {
+                        matches
+                            .iter()
+                            .filter_map(|m| {
+                                let device = m.get("device").and_then(JsonValue::as_f64)? as u64;
+                                let segments = m
+                                    .get("segments")
+                                    .and_then(JsonValue::as_array)?
+                                    .iter()
+                                    .filter_map(segment_from_json)
+                                    .collect();
+                                Some((device, segments))
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                for (d, t) in fleet {
+                    let returned = by_device.get(d).unwrap_or(&empty);
+                    for p in t.points().iter().filter(|p| window.contains(p)) {
+                        let dist = nearest(returned, p);
+                        if dist > bound {
+                            outcome.violations += 1;
+                            fail(format!(
+                                "{path}: device {d} point at t={} is {dist:.2} m from the \
+                                 answer (bound {bound:.2})",
+                                p.t
+                            ));
+                        }
+                    }
+                }
+            }
+            8 => {
+                // Interior timestamps must have stored coverage.
+                if json.get("position") == Some(&JsonValue::Null) {
+                    outcome.errors += 1;
+                    fail(format!("{path}: no coverage at an interior timestamp"));
+                }
+            }
+            _ => {
+                if json.get("store").and_then(|s| s.get("devices")).is_none() {
+                    outcome.errors += 1;
+                    fail(format!("{path}: malformed stats body {body}"));
+                }
+            }
+        }
+    }
+    outcome
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[rank] as f64
+}
+
+fn run(options: &Options) -> Result<(), String> {
+    let Some(algorithm) = FleetAlgorithm::by_name(&options.algorithm) else {
+        return Err(format!("unknown algorithm '{}'", options.algorithm));
+    };
+    eprintln!(
+        "generating {} taxi trajectories of {} points (seed {}) …",
+        options.devices, options.points, options.seed
+    );
+    let generator = DatasetGenerator::for_kind(DatasetKind::Taxi, options.seed);
+    let fleet: Arc<Vec<(DeviceId, Trajectory)>> = Arc::new(
+        (0..options.devices)
+            .map(|i| {
+                (
+                    i as DeviceId,
+                    generator.generate_trajectory(i, options.points),
+                )
+            })
+            .collect(),
+    );
+
+    // ── Ingest: pipeline → SharedStoreSink → ShardedStore ────────────────
+    let store = Arc::new(ShardedStore::new(
+        StoreConfig::default().with_block_segments(32),
+        options.shards,
+    ));
+    let pipeline_config = PipelineConfig::new(options.epsilon).with_batch_size(256);
+    let ingest_started = Instant::now();
+    let (_, ingested) =
+        compress_fleet_into_shared_store(&fleet, &pipeline_config, &algorithm, &store)?;
+    if ingested != fleet.len() {
+        return Err(format!("only {ingested}/{} streams ingested", fleet.len()));
+    }
+    let stats = store.stats();
+    let bound = options.epsilon + store.config().codec.spatial_slack();
+    println!("── store ───────────────────────────────────────────────");
+    println!(
+        "algorithm        : {} (ζ = {} m), {} shards",
+        algorithm.name(),
+        options.epsilon,
+        store.num_shards()
+    );
+    println!(
+        "devices          : {} ({} blocks, {} segments, {:.2} B/point)",
+        stats.devices,
+        stats.blocks,
+        stats.segments,
+        stats.bytes_per_point()
+    );
+    println!(
+        "ingest           : {:.0} ms wall",
+        ingest_started.elapsed().as_secs_f64() * 1e3
+    );
+
+    // ── Server + smoke check ─────────────────────────────────────────────
+    let config = ServiceConfig::default()
+        .with_workers(options.workers)
+        .with_queue_depth(options.clients.max(16) * 2);
+    let server = Server::start(Arc::clone(&store), "127.0.0.1:0", config)
+        .map_err(|e| format!("cannot start server: {e}"))?;
+    let addr = server.local_addr();
+    let (status, body) = client::http_get(addr, "/stats").map_err(|e| e.to_string())?;
+    if status != 200 || JsonValue::parse(&body).is_err() {
+        return Err(format!("smoke check failed: status {status}, body {body}"));
+    }
+    println!(
+        "server           : http://{addr} ({} workers)",
+        options.workers
+    );
+
+    // ── Closed-loop clients ──────────────────────────────────────────────
+    let first_failure = Arc::new(Mutex::new(None::<String>));
+    let load_started = Instant::now();
+    let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..options.clients)
+            .map(|client_id| {
+                let fleet = Arc::clone(&fleet);
+                let first_failure = Arc::clone(&first_failure);
+                scope.spawn(move || {
+                    client_loop(addr, &fleet, options, bound, client_id, &first_failure)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+    let wall = load_started.elapsed();
+    let server_stats = server.stop();
+
+    // ── Report ───────────────────────────────────────────────────────────
+    let mut latencies: Vec<u64> = outcomes
+        .iter()
+        .flat_map(|o| o.latencies_us.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let violations: u64 = outcomes.iter().map(|o| o.violations).sum();
+    let errors: u64 = outcomes.iter().map(|o| o.errors).sum();
+    let total = options.clients * options.requests;
+    let qps = latencies.len() as f64 / wall.as_secs_f64().max(1e-12);
+    println!(
+        "\n── load ({} clients × {} requests, closed loop) ───────",
+        options.clients, options.requests
+    );
+    println!(
+        "completed        : {}/{} requests in {:.0} ms",
+        latencies.len(),
+        total,
+        wall.as_secs_f64() * 1e3
+    );
+    println!("throughput       : {qps:.0} requests/s");
+    println!(
+        "latency          : p50 {:.0} µs, p99 {:.0} µs, max {:.0} µs",
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.99),
+        latencies.last().copied().unwrap_or(0) as f64
+    );
+    println!(
+        "server counters  : {} served, {} rejected (503), mean handler {:.0} µs, skip ratio {:.1}%",
+        server_stats.requests,
+        server_stats.rejected,
+        server_stats.mean_latency_us(),
+        server_stats.skip_ratio() * 100.0
+    );
+    println!("ζ violations     : {violations} (bound ζ + slack = {bound:.2} m)");
+    println!("request errors   : {errors}");
+    if violations > 0 || errors > 0 {
+        let detail = first_failure
+            .lock()
+            .expect("failure slot")
+            .clone()
+            .unwrap_or_default();
+        return Err(format!(
+            "{violations} ζ violations, {errors} errors — first: {detail}"
+        ));
+    }
+    println!(
+        "\nall {} answers respected the stored error bound.",
+        latencies.len()
+    );
+    Ok(())
+}

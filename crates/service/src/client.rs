@@ -1,0 +1,121 @@
+//! A minimal blocking HTTP client for tests, benchmarks and smoke checks.
+//!
+//! One request per connection, mirroring the server's `Connection: close`
+//! framing.  Responses are read to the `Content-Length` the server
+//! declares (bounded), so a stuck server surfaces as a timeout instead of
+//! a hang.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Largest response body the client accepts (16 MiB) — a defense against
+/// a buggy or hostile server declaring an absurd `Content-Length`.
+pub const MAX_BODY_BYTES: usize = 16 << 20;
+
+/// Longest accepted status or header line, and the most headers accepted
+/// per response — the header phase is bounded just like the server's
+/// request parser, so a server streaming garbage without newlines cannot
+/// grow the client's buffers without bound.
+pub const MAX_HEADER_LINE_BYTES: u64 = 8192;
+/// See [`MAX_HEADER_LINE_BYTES`].
+pub const MAX_HEADERS: usize = 64;
+
+/// Reads one line of at most [`MAX_HEADER_LINE_BYTES`] bytes.
+fn read_line_bounded(reader: &mut impl BufRead, line: &mut String) -> std::io::Result<usize> {
+    let n = reader.take(MAX_HEADER_LINE_BYTES).read_line(line)?;
+    if n as u64 >= MAX_HEADER_LINE_BYTES && !line.ends_with('\n') {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "response header line too long",
+        ));
+    }
+    Ok(n)
+}
+
+/// Issues `GET path` against `addr` and returns `(status, body)`.
+/// Connect/read/write all run under `timeout`.
+///
+/// # Errors
+///
+/// `std::io::Error` for connection failures, timeouts, or a response that
+/// is not minimally well-formed HTTP.
+pub fn http_get_timeout(
+    addr: SocketAddr,
+    path: &str,
+    timeout: Duration,
+) -> std::io::Result<(u16, String)> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    stream.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    stream.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    read_line_bounded(&mut reader, &mut status_line)?;
+    let status: u16 = status_line
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let mut content_length: Option<usize> = None;
+    let mut headers = 0usize;
+    loop {
+        let mut line = String::new();
+        if read_line_bounded(&mut reader, &mut line)? == 0 {
+            return Err(bad("connection closed inside headers"));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        headers += 1;
+        if headers > MAX_HEADERS {
+            return Err(bad("too many response headers"));
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = Some(
+                    value
+                        .trim()
+                        .parse()
+                        .map_err(|_| bad("malformed content-length"))?,
+                );
+            }
+        }
+    }
+    let mut body = Vec::new();
+    match content_length {
+        Some(n) if n > MAX_BODY_BYTES => return Err(bad("response body too large")),
+        Some(n) => {
+            body.resize(n, 0);
+            reader.read_exact(&mut body)?;
+        }
+        // No declared length: the server closes the connection after the
+        // body; read to EOF (still bounded).
+        None => {
+            reader
+                .take(MAX_BODY_BYTES as u64 + 1)
+                .read_to_end(&mut body)?;
+            if body.len() > MAX_BODY_BYTES {
+                return Err(bad("response body too large"));
+            }
+        }
+    }
+    String::from_utf8(body)
+        .map(|text| (status, text))
+        .map_err(|_| bad("non-UTF-8 response body"))
+}
+
+/// [`http_get_timeout`] with a 10-second default.
+///
+/// # Errors
+///
+/// As for [`http_get_timeout`].
+pub fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
+    http_get_timeout(addr, path, Duration::from_secs(10))
+}

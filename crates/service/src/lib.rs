@@ -1,0 +1,77 @@
+//! # traj-service — std-only HTTP query server over the trajectory store
+//!
+//! The serving layer of the OPERB reproduction: a multi-threaded TCP
+//! server (no external crates — hand-rolled HTTP/1.1 subset, `std::net` +
+//! `std::thread` only) answering JSON queries from a shared
+//! [`traj_store::ShardedStore`].  Ingest through the store's sharded
+//! write path proceeds concurrently with reads: the server never takes a
+//! global lock, so `trajsimp serve` can keep compressing a live fleet
+//! into the store while clients query it.
+//!
+//! ## Endpoints
+//!
+//! | Route | Parameters | Answer |
+//! |---|---|---|
+//! | `GET /devices` | `limit` (optional) | stored device ids |
+//! | `GET /time_slice` | `device`, `from`, `to` | segments overlapping the time range + skip stats |
+//! | `GET /window` | `min_x`, `min_y`, `max_x`, `max_y`, optional `from`/`to` | per-device matches + skip stats |
+//! | `GET /position_at` | `device`, `t` | interpolated position or `null` |
+//! | `GET /stats` | — | store totals + server counters |
+//! | `GET /shutdown` | — | acknowledges, then stops the server gracefully |
+//!
+//! Every response is JSON, carries the handler's `latency_us`, and query
+//! endpoints report how many blocks the data-skipping metadata pruned.
+//! Device ids are emitted as JSON numbers, so like every JSON consumer
+//! the API round-trips them exactly only up to 2⁵³ — fleets using hashed
+//! 64-bit ids above that need a string-id format change first.
+//! Request parsing is bounded (line length, header count), the worker
+//! pool is bounded (overflow connections get an immediate `503`), and
+//! responses are `Content-Length`-framed on close-after-one-exchange
+//! connections.
+//!
+//! ## Consistency model
+//!
+//! Per-device queries run under that device's shard read lock: a device's
+//! answer is always a consistent snapshot of its log.  Fleet-wide queries
+//! (`/window`, `/stats`) visit shards one at a time, so concurrent ingest
+//! may land between shard visits — each device's data is internally
+//! consistent, cross-device results may interleave with writes.  Sealed
+//! blocks are immutable, so readers never wait on encoders.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use traj_geo::DirectedSegment;
+//! use traj_model::{SimplifiedSegment, SimplifiedTrajectory, Trajectory};
+//! use traj_service::{client, Server, ServiceConfig};
+//! use traj_store::ShardedStore;
+//!
+//! // A one-device store…
+//! let store = Arc::new(ShardedStore::with_default_config(4));
+//! let trajectory = Trajectory::from_xy(&[(0.0, 0.0), (50.0, 1.0), (100.0, 0.0)]);
+//! let simplified = SimplifiedTrajectory::new(
+//!     vec![SimplifiedSegment::new(
+//!         DirectedSegment::new(trajectory.first(), trajectory.last()),
+//!         0,
+//!         2,
+//!     )],
+//!     trajectory.len(),
+//! );
+//! store.ingest(17, &simplified, 5.0).unwrap();
+//!
+//! // …served over real TCP on an ephemeral port.
+//! let server = Server::start(Arc::clone(&store), "127.0.0.1:0", ServiceConfig::default()).unwrap();
+//! let (status, body) = client::http_get(server.local_addr(), "/devices").unwrap();
+//! assert_eq!(status, 200);
+//! assert!(body.contains("\"count\":1"));
+//! server.stop();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod server;
+
+pub use http::{HttpError, Request};
+pub use server::{Server, ServerStats, ServiceConfig};

@@ -1,0 +1,601 @@
+//! The multi-threaded TCP server: accept loop, bounded worker pool,
+//! JSON endpoints over a shared [`ShardedStore`], graceful shutdown.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use traj_geo::BoundingBox;
+use traj_model::json::JsonValue;
+use traj_model::SimplifiedSegment;
+use traj_store::{QueryStats, ShardedStore};
+
+use crate::http::{read_request, write_json_response, Request};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads answering requests.
+    pub workers: usize,
+    /// Accepted connections queued ahead of the workers; beyond this the
+    /// accept loop answers `503` immediately instead of buffering without
+    /// bound (the closed-loop backpressure of the serving layer).
+    pub queue_depth: usize,
+    /// Per-connection socket read/write timeout.
+    pub io_timeout: Duration,
+    /// Whether `GET /shutdown` stops the server.  On by default: the
+    /// server binds loopback for this repo's deployments, and a clean
+    /// remote stop is what the CLI and the test gate need.
+    pub enable_shutdown_endpoint: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_depth: 64,
+            io_timeout: Duration::from_secs(10),
+            enable_shutdown_endpoint: true,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Overrides the worker count (clamped to ≥ 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Overrides the connection queue depth (clamped to ≥ 1).
+    pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
+        self.queue_depth = queue_depth.max(1);
+        self
+    }
+}
+
+/// Cumulative request counters, updated by the workers and readable while
+/// the server runs (all relaxed atomics — these are statistics, not
+/// synchronization).
+#[derive(Debug, Default)]
+struct Counters {
+    requests: AtomicU64,
+    client_errors: AtomicU64,
+    server_errors: AtomicU64,
+    rejected: AtomicU64,
+    latency_us_total: AtomicU64,
+    blocks_in_scope: AtomicU64,
+    blocks_decoded: AtomicU64,
+}
+
+/// A point-in-time snapshot of the server's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests answered (any status).
+    pub requests: u64,
+    /// Responses with a 4xx status.
+    pub client_errors: u64,
+    /// Responses with a 5xx status.
+    pub server_errors: u64,
+    /// Connections refused with `503` because the queue was full.
+    pub rejected: u64,
+    /// Sum of handler latencies, microseconds.
+    pub latency_us_total: u64,
+    /// Blocks in scope over all store queries served.
+    pub blocks_in_scope: u64,
+    /// Blocks actually decoded over all store queries served.
+    pub blocks_decoded: u64,
+}
+
+impl ServerStats {
+    /// Mean handler latency in microseconds (0 with no requests).
+    pub fn mean_latency_us(&self) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        self.latency_us_total as f64 / self.requests as f64
+    }
+
+    /// Aggregate skip ratio over every store query served.
+    pub fn skip_ratio(&self) -> f64 {
+        if self.blocks_in_scope == 0 {
+            return 0.0;
+        }
+        1.0 - self.blocks_decoded as f64 / self.blocks_in_scope as f64
+    }
+}
+
+/// Everything a worker needs to answer requests.
+struct Shared {
+    store: Arc<ShardedStore>,
+    counters: Counters,
+    config: ServiceConfig,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+    started: Instant,
+}
+
+impl Shared {
+    /// Flags shutdown and wakes the blocking `accept` with a throwaway
+    /// connection so the accept loop observes the flag promptly.
+    fn signal_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            // A listener bound to the unspecified address (0.0.0.0 / ::)
+            // is not itself connectable everywhere; wake it via loopback.
+            let mut wake = self.addr;
+            if wake.ip().is_unspecified() {
+                wake.set_ip(match wake.ip() {
+                    std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                    std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+                });
+            }
+            let _ = TcpStream::connect_timeout(&wake, Duration::from_secs(1));
+        }
+    }
+}
+
+/// A running query server.  Dropping the handle does **not** stop the
+/// server; call [`Server::shutdown`] (or serve `GET /shutdown`) and then
+/// [`Server::join`], or use [`Server::stop`] for both.
+///
+/// Start one with [`Server::start`]; see the crate docs for an end-to-end
+/// example.
+pub struct Server {
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port), spawns the accept
+    /// loop and `config.workers` workers, and starts serving `store`.
+    ///
+    /// # Errors
+    ///
+    /// `std::io::Error` when the address cannot be bound.
+    pub fn start(
+        store: Arc<ShardedStore>,
+        addr: impl ToSocketAddrs,
+        config: ServiceConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let queue_depth = config.queue_depth.max(1);
+        let shared = Arc::new(Shared {
+            store,
+            counters: Counters::default(),
+            config,
+            shutdown: AtomicBool::new(false),
+            addr: local,
+            started: Instant::now(),
+        });
+
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let worker_handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("traj-service-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &rx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("traj-service-accept".to_string())
+            .spawn(move || accept_loop(&accept_shared, &listener, &tx))
+            .expect("spawn accept thread");
+
+        Ok(Server {
+            shared,
+            accept_thread: Some(accept_thread),
+            workers: worker_handles,
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// A snapshot of the request counters.
+    pub fn stats(&self) -> ServerStats {
+        snapshot(&self.shared.counters)
+    }
+
+    /// Requests a graceful stop: the accept loop closes, queued
+    /// connections are still answered, workers then exit.  Returns
+    /// immediately; use [`Server::join`] to wait.
+    pub fn shutdown(&self) {
+        self.shared.signal_shutdown();
+    }
+
+    /// Blocks until the server has stopped (via [`Server::shutdown`] or
+    /// the `/shutdown` endpoint) and every worker has drained.  Returns
+    /// the final counter snapshot.
+    pub fn join(mut self) -> ServerStats {
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        snapshot(&self.shared.counters)
+    }
+
+    /// [`Server::shutdown`] followed by [`Server::join`].
+    pub fn stop(self) -> ServerStats {
+        self.shared.signal_shutdown();
+        self.join()
+    }
+}
+
+fn snapshot(c: &Counters) -> ServerStats {
+    ServerStats {
+        requests: c.requests.load(Ordering::Relaxed),
+        client_errors: c.client_errors.load(Ordering::Relaxed),
+        server_errors: c.server_errors.load(Ordering::Relaxed),
+        rejected: c.rejected.load(Ordering::Relaxed),
+        latency_us_total: c.latency_us_total.load(Ordering::Relaxed),
+        blocks_in_scope: c.blocks_in_scope.load(Ordering::Relaxed),
+        blocks_decoded: c.blocks_decoded.load(Ordering::Relaxed),
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &SyncSender<TcpStream>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Persistent accept errors (e.g. the process is out of
+                // file descriptors) must not busy-spin the core; back off
+                // briefly and retry.
+                std::thread::sleep(Duration::from_millis(20));
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // The wake-up connection (or a client racing the stop): do not
+            // queue new work.
+            return;
+        }
+        match tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(mut stream)) => {
+                // Bounded pool: refuse instead of buffering without bound.
+                shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                let _ = stream.set_write_timeout(Some(shared.config.io_timeout));
+                let _ = write_json_response(&mut stream, 503, "{\"error\":\"server overloaded\"}");
+            }
+            Err(TrySendError::Disconnected(_)) => return,
+        }
+    }
+    // tx drops here; workers drain the queue and exit.
+}
+
+fn worker_loop(shared: &Shared, rx: &Arc<Mutex<Receiver<TcpStream>>>) {
+    loop {
+        // Hold the lock only for the recv; handling runs unlocked so
+        // workers truly serve in parallel.
+        let stream = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        let Ok(stream) = stream else { return };
+        handle_connection(shared, stream);
+    }
+}
+
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(shared.config.io_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.io_timeout));
+    let started = Instant::now();
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let (status, body) = match read_request(&mut reader) {
+        Ok(request) => respond(shared, &request),
+        Err(e) => (
+            e.status(),
+            JsonValue::object([("error", JsonValue::from(e.to_string()))]),
+        ),
+    };
+    let latency_us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    let c = &shared.counters;
+    c.requests.fetch_add(1, Ordering::Relaxed);
+    c.latency_us_total.fetch_add(latency_us, Ordering::Relaxed);
+    match status {
+        400..=499 => {
+            c.client_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        500..=599 => {
+            c.server_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        _ => {}
+    }
+    // Attach the per-request latency so clients see the handler cost
+    // separate from network time.
+    let body = match body {
+        JsonValue::Object(mut pairs) => {
+            pairs.push(("latency_us".to_string(), JsonValue::from(latency_us as f64)));
+            JsonValue::Object(pairs)
+        }
+        other => other,
+    };
+    let _ = write_json_response(&mut stream, status, &body.to_string());
+}
+
+/// Routes one parsed request.  Returns `(status, body)`; the caller adds
+/// the latency field and writes the response.
+fn respond(shared: &Shared, request: &Request) -> (u16, JsonValue) {
+    let store = shared.store.as_ref();
+    match request.path.as_str() {
+        "/devices" => handle_devices(store, request),
+        "/time_slice" => handle_time_slice(store, shared, request),
+        "/window" => handle_window(store, shared, request),
+        "/position_at" => handle_position_at(store, request),
+        "/stats" => handle_stats(store, shared),
+        "/shutdown" if shared.config.enable_shutdown_endpoint => {
+            shared.signal_shutdown();
+            (200, JsonValue::object([("ok", JsonValue::from(true))]))
+        }
+        _ => (
+            404,
+            JsonValue::object([(
+                "error",
+                JsonValue::from(format!("no such endpoint: {}", request.path)),
+            )]),
+        ),
+    }
+}
+
+fn bad_request(msg: impl Into<String>) -> (u16, JsonValue) {
+    (
+        400,
+        JsonValue::object([("error", JsonValue::from(msg.into()))]),
+    )
+}
+
+/// Parses a required finite f64 parameter.
+fn require_f64(request: &Request, key: &str) -> Result<f64, (u16, JsonValue)> {
+    let raw = request
+        .param(key)
+        .ok_or_else(|| bad_request(format!("missing parameter '{key}'")))?;
+    let v: f64 = raw
+        .parse()
+        .map_err(|_| bad_request(format!("parameter '{key}' is not a number: '{raw}'")))?;
+    if !v.is_finite() {
+        return Err(bad_request(format!("parameter '{key}' must be finite")));
+    }
+    Ok(v)
+}
+
+fn require_device(request: &Request) -> Result<u64, (u16, JsonValue)> {
+    let raw = request
+        .param("device")
+        .ok_or_else(|| bad_request("missing parameter 'device'"))?;
+    raw.parse()
+        .map_err(|_| bad_request(format!("parameter 'device' is not a device id: '{raw}'")))
+}
+
+/// The optional `from`/`to` pair (both or neither).
+fn optional_time_range(request: &Request) -> Result<Option<(f64, f64)>, (u16, JsonValue)> {
+    match (request.param("from"), request.param("to")) {
+        (None, None) => Ok(None),
+        (Some(_), Some(_)) => {
+            let from = require_f64(request, "from")?;
+            let to = require_f64(request, "to")?;
+            Ok(Some((from, to)))
+        }
+        _ => Err(bad_request("'from' and 'to' must be given together")),
+    }
+}
+
+fn segment_json(s: &SimplifiedSegment) -> JsonValue {
+    JsonValue::object([
+        ("x0", JsonValue::from(s.segment.start.x)),
+        ("y0", JsonValue::from(s.segment.start.y)),
+        ("t0", JsonValue::from(s.segment.start.t)),
+        ("x1", JsonValue::from(s.segment.end.x)),
+        ("y1", JsonValue::from(s.segment.end.y)),
+        ("t1", JsonValue::from(s.segment.end.t)),
+        ("first_index", JsonValue::from(s.first_index)),
+        ("last_index", JsonValue::from(s.last_index)),
+    ])
+}
+
+fn query_stats_json(stats: &QueryStats) -> JsonValue {
+    JsonValue::object([
+        ("blocks_in_scope", JsonValue::from(stats.blocks_in_scope)),
+        ("blocks_decoded", JsonValue::from(stats.blocks_decoded)),
+        (
+            "segments_returned",
+            JsonValue::from(stats.segments_returned),
+        ),
+        ("skip_ratio", JsonValue::from(stats.skip_ratio())),
+    ])
+}
+
+fn record_query_stats(shared: &Shared, stats: &QueryStats) {
+    let c = &shared.counters;
+    c.blocks_in_scope
+        .fetch_add(stats.blocks_in_scope as u64, Ordering::Relaxed);
+    c.blocks_decoded
+        .fetch_add(stats.blocks_decoded as u64, Ordering::Relaxed);
+}
+
+fn handle_devices(store: &ShardedStore, request: &Request) -> (u16, JsonValue) {
+    let devices = store.devices();
+    let limit = match request.param("limit") {
+        None => devices.len(),
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return bad_request(format!("parameter 'limit' is not a count: '{raw}'")),
+        },
+    };
+    let listed: Vec<JsonValue> = devices
+        .iter()
+        .take(limit)
+        .map(|d| JsonValue::from(*d as f64))
+        .collect();
+    (
+        200,
+        JsonValue::object([
+            ("count", JsonValue::from(devices.len())),
+            ("devices", JsonValue::Array(listed)),
+        ]),
+    )
+}
+
+fn handle_time_slice(store: &ShardedStore, shared: &Shared, request: &Request) -> (u16, JsonValue) {
+    let device = match require_device(request) {
+        Ok(d) => d,
+        Err(e) => return e,
+    };
+    let (from, to) = match (require_f64(request, "from"), require_f64(request, "to")) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => return e,
+    };
+    let slice = store.time_slice(device, from, to);
+    record_query_stats(shared, &slice.stats);
+    (
+        200,
+        JsonValue::object([
+            ("device", JsonValue::from(device as f64)),
+            ("from", JsonValue::from(from)),
+            ("to", JsonValue::from(to)),
+            (
+                "segments",
+                JsonValue::Array(slice.segments.iter().map(segment_json).collect()),
+            ),
+            ("stats", query_stats_json(&slice.stats)),
+        ]),
+    )
+}
+
+fn handle_window(store: &ShardedStore, shared: &Shared, request: &Request) -> (u16, JsonValue) {
+    let mut coords = [0.0f64; 4];
+    for (slot, key) in coords.iter_mut().zip(["min_x", "min_y", "max_x", "max_y"]) {
+        *slot = match require_f64(request, key) {
+            Ok(v) => v,
+            Err(e) => return e,
+        };
+    }
+    let window = BoundingBox {
+        min_x: coords[0].min(coords[2]),
+        min_y: coords[1].min(coords[3]),
+        max_x: coords[0].max(coords[2]),
+        max_y: coords[1].max(coords[3]),
+    };
+    let time = match optional_time_range(request) {
+        Ok(t) => t,
+        Err(e) => return e,
+    };
+    let q = store.window_query(&window, time);
+    record_query_stats(shared, &q.stats);
+    let matches: Vec<JsonValue> = q
+        .matches
+        .iter()
+        .map(|m| {
+            JsonValue::object([
+                ("device", JsonValue::from(m.device as f64)),
+                (
+                    "segments",
+                    JsonValue::Array(m.segments.iter().map(segment_json).collect()),
+                ),
+            ])
+        })
+        .collect();
+    (
+        200,
+        JsonValue::object([
+            ("matches", JsonValue::Array(matches)),
+            ("stats", query_stats_json(&q.stats)),
+        ]),
+    )
+}
+
+fn handle_position_at(store: &ShardedStore, request: &Request) -> (u16, JsonValue) {
+    let device = match require_device(request) {
+        Ok(d) => d,
+        Err(e) => return e,
+    };
+    let t = match require_f64(request, "t") {
+        Ok(v) => v,
+        Err(e) => return e,
+    };
+    let position = match store.position_at(device, t) {
+        Some(p) => JsonValue::object([
+            ("x", JsonValue::from(p.x)),
+            ("y", JsonValue::from(p.y)),
+            ("t", JsonValue::from(p.t)),
+        ]),
+        None => JsonValue::Null,
+    };
+    (
+        200,
+        JsonValue::object([
+            ("device", JsonValue::from(device as f64)),
+            ("t", JsonValue::from(t)),
+            ("position", position),
+        ]),
+    )
+}
+
+fn handle_stats(store: &ShardedStore, shared: &Shared) -> (u16, JsonValue) {
+    let s = store.stats();
+    let server = snapshot(&shared.counters);
+    (
+        200,
+        JsonValue::object([
+            (
+                "store",
+                JsonValue::object([
+                    ("devices", JsonValue::from(s.devices)),
+                    ("blocks", JsonValue::from(s.blocks)),
+                    ("segments", JsonValue::from(s.segments)),
+                    ("points", JsonValue::from(s.points)),
+                    ("stored_bytes", JsonValue::from(s.stored_bytes)),
+                    ("bytes_per_point", JsonValue::from(s.bytes_per_point())),
+                    (
+                        "compression_factor",
+                        JsonValue::from(s.compression_factor()),
+                    ),
+                ]),
+            ),
+            (
+                "server",
+                JsonValue::object([
+                    ("requests", JsonValue::from(server.requests as f64)),
+                    (
+                        "client_errors",
+                        JsonValue::from(server.client_errors as f64),
+                    ),
+                    (
+                        "server_errors",
+                        JsonValue::from(server.server_errors as f64),
+                    ),
+                    ("rejected", JsonValue::from(server.rejected as f64)),
+                    ("mean_latency_us", JsonValue::from(server.mean_latency_us())),
+                    ("skip_ratio", JsonValue::from(server.skip_ratio())),
+                    ("num_shards", JsonValue::from(shared.store.num_shards())),
+                    (
+                        "uptime_seconds",
+                        JsonValue::from(shared.started.elapsed().as_secs_f64()),
+                    ),
+                ]),
+            ),
+        ]),
+    )
+}

@@ -24,11 +24,28 @@ pub struct BlockRef {
     pub block: usize,
 }
 
+/// Upper bound on the number of grid cells a single block may be
+/// registered under.  A legitimate block (at most a few dozen segments of
+/// one vehicle's movement) covers a handful of cells; a block whose
+/// ζ-expanded box would cover more than this is either pathologically
+/// configured or carries corrupt metadata, and enumerating its cells could
+/// take effectively forever.  Such blocks go to the oversize list instead,
+/// which every lookup scans — correct (never skipped), just not O(1).
+const MAX_CELLS_PER_BLOCK: u64 = 4096;
+
+/// Upper bound on the number of grid cells a lookup enumerates before
+/// degrading to a full candidate scan.  Lookup windows come from untrusted
+/// callers (HTTP query parameters); without a cap a huge window would walk
+/// an effectively unbounded cell range.
+const MAX_CELLS_PER_QUERY: u64 = 1 << 16;
+
 /// A uniform spatial grid over block bounding boxes.
 #[derive(Debug, Clone)]
 pub struct GridIndex {
     cell_size: f64,
     cells: HashMap<(i64, i64), Vec<BlockRef>>,
+    /// Blocks too large for cell enumeration; always candidates.
+    oversize: Vec<BlockRef>,
     blocks: usize,
 }
 
@@ -42,6 +59,7 @@ impl GridIndex {
         Self {
             cell_size,
             cells: HashMap::new(),
+            oversize: Vec::new(),
             blocks: 0,
         }
     }
@@ -84,6 +102,16 @@ impl GridIndex {
             return;
         }
         let ((x0, y0), (x1, y1)) = self.cell_range(&meta.bbox, meta.slack_radius());
+        // A corrupt or pathological bounding box (bit-rotted meta, absurd
+        // ζ) must not drive an effectively unbounded cell enumeration:
+        // park such blocks on the always-checked oversize list.
+        let cells =
+            (x1.saturating_sub(x0) as u64 + 1).saturating_mul(y1.saturating_sub(y0) as u64 + 1);
+        if x0 > x1 || y0 > y1 || cells > MAX_CELLS_PER_BLOCK {
+            self.oversize.push(block);
+            self.blocks += 1;
+            return;
+        }
         for cx in x0..=x1 {
             for cy in y0..=y1 {
                 self.cells.entry((cx, cy)).or_default().push(block);
@@ -102,6 +130,18 @@ impl GridIndex {
             return Vec::new();
         }
         let ((x0, y0), (x1, y1)) = self.cell_range(window, 0.0);
+        // A window spanning absurdly many cells (possible with untrusted
+        // query parameters) degrades to a full candidate scan instead of
+        // an unbounded cell walk; the precise per-block check still runs.
+        let span =
+            (x1.saturating_sub(x0) as u64 + 1).saturating_mul(y1.saturating_sub(y0) as u64 + 1);
+        if x0 > x1 || y0 > y1 || span > MAX_CELLS_PER_QUERY {
+            let mut out: Vec<BlockRef> = self.cells.values().flatten().copied().collect();
+            out.extend_from_slice(&self.oversize);
+            out.sort_unstable();
+            out.dedup();
+            return out;
+        }
         let mut out = Vec::new();
         for cx in x0..=x1 {
             for cy in y0..=y1 {
@@ -110,6 +150,9 @@ impl GridIndex {
                 }
             }
         }
+        // Oversize blocks are never skipped at the cell level; the precise
+        // metadata check downstream prunes them.
+        out.extend_from_slice(&self.oversize);
         out.sort_unstable();
         out.dedup();
         out
@@ -207,6 +250,43 @@ mod tests {
         let hits = index.candidates(&window(155.0, 0.0, 175.0, 10.0));
         assert_eq!(hits.len(), 1);
         assert!(meta.may_intersect_window(&window(155.0, 0.0, 175.0, 10.0)));
+    }
+
+    #[test]
+    fn pathological_bbox_goes_to_oversize_list_and_is_still_found() {
+        let mut index = GridIndex::new(10.0);
+        // A bit-rot-scale bounding box: enumerating its cells would take
+        // effectively forever; it must land on the oversize list instead.
+        let mut huge = meta_at(1, 0.0, 0.0, 5.0);
+        huge.bbox = window(-1e300, -1e300, 1e300, 1e300);
+        let r = BlockRef {
+            device: 1,
+            block: 0,
+        };
+        index.insert(r, &huge);
+        assert_eq!(index.num_blocks(), 1);
+        assert_eq!(index.num_cells(), 0, "oversize blocks occupy no cells");
+        // Every lookup still surfaces it as a candidate.
+        assert_eq!(index.candidates(&window(0.0, 0.0, 5.0, 5.0)), vec![r]);
+    }
+
+    #[test]
+    fn huge_query_window_degrades_to_full_scan() {
+        let mut index = GridIndex::new(10.0);
+        for d in 0..5u64 {
+            let meta = meta_at(d, d as f64 * 100.0, 0.0, 5.0);
+            index.insert(
+                BlockRef {
+                    device: d,
+                    block: 0,
+                },
+                &meta,
+            );
+        }
+        // This window spans ~1e299 cells; the lookup must return (all
+        // candidates) promptly instead of walking the range.
+        let hits = index.candidates(&window(-1e300, -1e300, 1e300, 1e300));
+        assert_eq!(hits.len(), 5);
     }
 
     #[test]

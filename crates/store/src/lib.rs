@@ -68,12 +68,18 @@
 pub mod block;
 pub mod index;
 pub mod persist;
+pub mod shard;
 pub mod sink;
 pub mod store;
 
 pub use block::{Block, BlockMeta};
 pub use index::{BlockRef, GridIndex};
-pub use sink::{compress_fleet_into_store, StoreSink};
+pub use persist::RecoveryReport;
+pub use shard::ShardedStore;
+pub use sink::{
+    compress_fleet_into_shared_store, compress_fleet_into_store, FleetStoreSink, IngestTarget,
+    SharedStoreSink, StoreSink,
+};
 pub use store::{
     DeviceMatch, QueryStats, StoreConfig, StoreError, StoreStats, TimeSlice, TrajStore, WindowQuery,
 };

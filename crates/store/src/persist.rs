@@ -31,6 +31,140 @@ fn io_err(context: &str, e: std::io::Error) -> StoreError {
     StoreError::Io(format!("{context}: {e}"))
 }
 
+/// What [`TrajStore::open_recover`] salvaged and what it had to drop.
+///
+/// Recovery keeps the longest valid prefix of the segment log: everything
+/// up to (but excluding) the first record that fails framing, decoding,
+/// metadata validation or append-order checks.  A crash mid-append leaves
+/// exactly such a log — complete records followed by a torn tail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Blocks restored into the returned store.
+    pub blocks_recovered: usize,
+    /// Blocks the manifest promised.
+    pub manifest_blocks: usize,
+    /// Bytes of the log tail that were dropped.
+    pub bytes_dropped: usize,
+    /// Why the tail was dropped (`None` when the whole log parsed and the
+    /// drop is purely a manifest/log count mismatch, or nothing dropped).
+    pub dropped_reason: Option<String>,
+}
+
+impl RecoveryReport {
+    /// `true` when nothing was dropped and the log matches the manifest —
+    /// the store opened exactly as a strict [`TrajStore::open`] would.
+    pub fn is_clean(&self) -> bool {
+        self.bytes_dropped == 0
+            && self.dropped_reason.is_none()
+            && self.blocks_recovered == self.manifest_blocks
+    }
+}
+
+/// Validates a block's metadata against its decoded payload.  The log is
+/// untrusted input: bit rot can produce metadata whose bounding box no
+/// longer covers the payload (queries would silently skip data — wrong
+/// answers) or non-finite / absurd extents.  Sound metadata is what the
+/// no-false-negative query guarantees rest on, so a block that fails here
+/// is treated exactly like one that fails to decode.
+fn validate_block(block: &Block, codec: &SegmentCodec) -> Result<(), String> {
+    let m = &block.meta;
+    for (name, v) in [
+        ("t_min", m.t_min),
+        ("t_max", m.t_max),
+        ("bbox.min_x", m.bbox.min_x),
+        ("bbox.min_y", m.bbox.min_y),
+        ("bbox.max_x", m.bbox.max_x),
+        ("bbox.max_y", m.bbox.max_y),
+        ("zeta", m.zeta),
+        ("quant_slack", m.quant_slack),
+    ] {
+        if !v.is_finite() {
+            return Err(format!("non-finite metadata field {name}"));
+        }
+    }
+    if m.zeta < 0.0 || m.quant_slack < 0.0 {
+        return Err("negative error bound or slack".to_string());
+    }
+    if m.t_min > m.t_max || m.bbox.min_x > m.bbox.max_x || m.bbox.min_y > m.bbox.max_y {
+        return Err("inverted metadata extent".to_string());
+    }
+    if m.first_index > m.last_index {
+        return Err("inverted responsibility range".to_string());
+    }
+    let decoded = codec
+        .decode(&block.payload)
+        .map_err(|e| format!("payload: {e}"))?;
+    let segments = decoded.segments();
+    if segments.len() != m.num_segments || segments.is_empty() {
+        return Err(format!(
+            "metadata promises {} segments, payload holds {}",
+            m.num_segments,
+            segments.len()
+        ));
+    }
+    if segments[0].first_index != m.first_index
+        || segments[segments.len() - 1].last_index != m.last_index
+    {
+        return Err("responsibility range disagrees with payload".to_string());
+    }
+    // The metadata box must cover every decoded shape point (metadata is
+    // computed before quantization, so allow the codec's slack), otherwise
+    // the skipping layer would prune blocks that still hold relevant data.
+    let tol_s = codec.spatial_slack() + 1e-9;
+    let tol_t = codec.time_resolution + 1e-9;
+    for s in segments {
+        for p in [s.segment.start, s.segment.end] {
+            if p.x < m.bbox.min_x - tol_s
+                || p.x > m.bbox.max_x + tol_s
+                || p.y < m.bbox.min_y - tol_s
+                || p.y > m.bbox.max_y + tol_s
+                || p.t < m.t_min - tol_t
+                || p.t > m.t_max + tol_t
+            {
+                return Err("metadata does not cover payload geometry".to_string());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Writes a store directory from an already-serialized log and its
+/// summary stats — shared by the single-owner and sharded save paths
+/// (which differ only in how they gather the records).
+pub(crate) fn write_store_files(
+    dir: &Path,
+    config: &crate::store::StoreConfig,
+    stats: &crate::store::StoreStats,
+    log: &[u8],
+) -> Result<(), StoreError> {
+    fs::create_dir_all(dir).map_err(|e| io_err("create store directory", e))?;
+    let manifest = JsonValue::object([
+        ("version", JsonValue::from(FORMAT_VERSION)),
+        ("cell_size", JsonValue::from(config.cell_size)),
+        ("block_segments", JsonValue::from(config.block_segments)),
+        (
+            "spatial_resolution",
+            JsonValue::from(config.codec.spatial_resolution),
+        ),
+        (
+            "time_resolution",
+            JsonValue::from(config.codec.time_resolution),
+        ),
+        ("devices", JsonValue::from(stats.devices)),
+        ("blocks", JsonValue::from(stats.blocks)),
+        ("points", JsonValue::from(stats.points)),
+    ]);
+    // Manifest last: a directory with a manifest is a complete store.
+    let mut log_file =
+        fs::File::create(dir.join(LOG_FILE)).map_err(|e| io_err("create segments.log", e))?;
+    log_file
+        .write_all(log)
+        .map_err(|e| io_err("write segments.log", e))?;
+    fs::write(dir.join(MANIFEST_FILE), manifest.to_string_pretty() + "\n")
+        .map_err(|e| io_err("write manifest.json", e))?;
+    Ok(())
+}
+
 impl TrajStore {
     /// Persists the store into `dir` (created if missing, contents
     /// overwritten).
@@ -39,40 +173,12 @@ impl TrajStore {
     ///
     /// [`StoreError::Io`] on filesystem failures.
     pub fn save(&self, dir: &Path) -> Result<(), StoreError> {
-        fs::create_dir_all(dir).map_err(|e| io_err("create store directory", e))?;
         let stats = self.stats();
-        let manifest = JsonValue::object([
-            ("version", JsonValue::from(FORMAT_VERSION)),
-            ("cell_size", JsonValue::from(self.config().cell_size)),
-            (
-                "block_segments",
-                JsonValue::from(self.config().block_segments),
-            ),
-            (
-                "spatial_resolution",
-                JsonValue::from(self.config().codec.spatial_resolution),
-            ),
-            (
-                "time_resolution",
-                JsonValue::from(self.config().codec.time_resolution),
-            ),
-            ("devices", JsonValue::from(stats.devices)),
-            ("blocks", JsonValue::from(stats.blocks)),
-            ("points", JsonValue::from(stats.points)),
-        ]);
         let mut log = Vec::with_capacity(stats.stored_bytes);
         for block in self.blocks() {
             block.write_record(&mut log);
         }
-        // Manifest last: a directory with a manifest is a complete store.
-        let mut log_file =
-            fs::File::create(dir.join(LOG_FILE)).map_err(|e| io_err("create segments.log", e))?;
-        log_file
-            .write_all(&log)
-            .map_err(|e| io_err("write segments.log", e))?;
-        fs::write(dir.join(MANIFEST_FILE), manifest.to_string_pretty() + "\n")
-            .map_err(|e| io_err("write manifest.json", e))?;
-        Ok(())
+        write_store_files(dir, self.config(), &stats, &log)
     }
 
     /// Opens a store persisted by [`TrajStore::save`], rebuilding the
@@ -83,6 +189,32 @@ impl TrajStore {
     /// [`StoreError::Io`] on filesystem failures and
     /// [`StoreError::Corrupt`] when the manifest or log fails validation.
     pub fn open(dir: &Path) -> Result<TrajStore, StoreError> {
+        Self::open_impl(dir, false).map(|(store, _)| store)
+    }
+
+    /// Opens a store like [`TrajStore::open`], but salvages the longest
+    /// valid prefix of the segment log instead of rejecting the whole
+    /// store when the log has a torn or corrupt tail (the state a crash
+    /// mid-append leaves behind).  The returned [`RecoveryReport`] says
+    /// exactly what was kept and what was dropped.
+    ///
+    /// The manifest itself must still be valid — it carries the codec
+    /// configuration, without which no block can be interpreted — and
+    /// every *recovered* block passed full decode + metadata validation,
+    /// so the store never serves data it cannot vouch for.  When the tail
+    /// was dropped, the fleet-wide original-point counter is re-estimated
+    /// from the recovered block metadata (an upper bound: blocks of one
+    /// ingest share boundary points).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failures and
+    /// [`StoreError::Corrupt`] when the manifest fails validation.
+    pub fn open_recover(dir: &Path) -> Result<(TrajStore, RecoveryReport), StoreError> {
+        Self::open_impl(dir, true)
+    }
+
+    fn open_impl(dir: &Path, recover: bool) -> Result<(TrajStore, RecoveryReport), StoreError> {
         let manifest_text = fs::read_to_string(dir.join(MANIFEST_FILE))
             .map_err(|e| io_err("read manifest.json", e))?;
         let manifest = JsonValue::parse(&manifest_text)
@@ -124,40 +256,68 @@ impl TrajStore {
         let mut store = TrajStore::new(config);
         let mut reader = ByteReader::new(&log_bytes);
         let mut last_t_min: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
+        let mut dropped_reason = None;
+        let mut bytes_dropped = 0;
         while reader.remaining() > 0 {
-            let block = Block::read_record(&mut reader)
-                .map_err(|e| StoreError::Corrupt(format!("segments.log: {e}")))?;
-            // Re-validate the append order on the way in; a log edited or
-            // mis-merged out of order must not open silently.  Consecutive
-            // block *intervals* may overlap (absorbed responsibility tails
-            // extend a block's t_max into its successor), but start times
-            // are non-decreasing along every device's log.
-            if let Some(&t) = last_t_min.get(&block.meta.device) {
-                if block.meta.t_min < t {
-                    return Err(StoreError::Corrupt(format!(
-                        "device {} block out of time order ({} < {})",
-                        block.meta.device, block.meta.t_min, t
-                    )));
+            let record_start_remaining = reader.remaining();
+            // Each record is re-validated on the way in: framing, append
+            // order (consecutive block *intervals* may overlap — absorbed
+            // responsibility tails extend a block's t_max into its
+            // successor — but start times are non-decreasing along every
+            // device's log), payload decode, and metadata soundness.  A
+            // failure surfaces at open time, not mid-query.
+            let checked = Block::read_record(&mut reader)
+                .map_err(|e| format!("segments.log: {e}"))
+                .and_then(|block| {
+                    if let Some(&t) = last_t_min.get(&block.meta.device) {
+                        if block.meta.t_min < t {
+                            return Err(format!(
+                                "device {} block out of time order ({} < {})",
+                                block.meta.device, block.meta.t_min, t
+                            ));
+                        }
+                    }
+                    validate_block(&block, &store.config().codec)
+                        .map_err(|e| format!("block: {e}"))?;
+                    Ok(block)
+                });
+            match checked {
+                Ok(block) => {
+                    last_t_min.insert(block.meta.device, block.meta.t_min);
+                    store.append_block(block);
                 }
+                Err(reason) if recover => {
+                    // The drop starts at the failed record's first byte,
+                    // not at wherever its parse gave up.
+                    dropped_reason = Some(reason);
+                    bytes_dropped = record_start_remaining;
+                    break;
+                }
+                Err(reason) => return Err(StoreError::Corrupt(reason)),
             }
-            last_t_min.insert(block.meta.device, block.meta.t_min);
-            // Decode once so a truncated or bit-rotted payload surfaces at
-            // open time, not in the middle of a query.
-            store
-                .config()
-                .codec
-                .decode(&block.payload)
-                .map_err(|e| StoreError::Corrupt(format!("block payload: {e}")))?;
-            store.append_block(block);
         }
-        if store.num_blocks() != expected_blocks {
+        let report = RecoveryReport {
+            blocks_recovered: store.num_blocks(),
+            manifest_blocks: expected_blocks,
+            bytes_dropped,
+            dropped_reason,
+        };
+        if !recover && store.num_blocks() != expected_blocks {
             return Err(StoreError::Corrupt(format!(
                 "manifest promises {expected_blocks} blocks, log holds {}",
                 store.num_blocks()
             )));
         }
-        store.set_total_points(points);
-        Ok(store)
+        if report.is_clean() || !recover {
+            store.set_total_points(points);
+        } else {
+            // The exact fleet-wide counter died with the tail; estimate
+            // from the recovered metadata (blocks of one ingest share
+            // boundary points, so this slightly overcounts).
+            let estimate = store.blocks().map(|b| b.meta.point_count()).sum();
+            store.set_total_points(estimate);
+        }
+        Ok((store, report))
     }
 }
 

@@ -1,0 +1,387 @@
+//! Concurrent sharded store: device-hashed shards, one `RwLock` each.
+//!
+//! [`TrajStore`] is a single-owner engine (`&mut self` ingest).  A serving
+//! deployment needs ingest and queries to overlap: the pipeline keeps
+//! appending freshly compressed streams while query threads read.  A
+//! single global lock would serialize everything; instead the fleet is
+//! partitioned by device hash into N independent shards, each its own
+//! [`TrajStore`] behind its own [`RwLock`]:
+//!
+//! * every device lives in exactly one shard, so per-device ingest order
+//!   (append-only in time) is preserved;
+//! * a writer takes the *write* lock of one shard only — ingest for
+//!   devices in different shards proceeds in parallel, and readers of the
+//!   other N−1 shards are never blocked;
+//! * a reader takes a *read* lock for the duration of its query, so it
+//!   sees a consistent per-shard snapshot: sealed blocks are immutable
+//!   and the shard cannot change under the query.
+//!
+//! Fleet-wide queries ([`ShardedStore::window_query`],
+//! [`ShardedStore::stats`]) visit shards one at a time, so their result is
+//! a sequence of per-shard snapshots rather than one global snapshot —
+//! the documented consistency model of the serving layer (each device's
+//! data is internally consistent; cross-device results may interleave
+//! with concurrent ingest).
+//!
+//! ```
+//! use traj_geo::DirectedSegment;
+//! use traj_model::{SimplifiedSegment, SimplifiedTrajectory, Trajectory};
+//! use traj_store::ShardedStore;
+//!
+//! let store = ShardedStore::with_default_config(4);
+//! let trajectory = Trajectory::from_xy(&[(0.0, 0.0), (50.0, 1.0), (100.0, 0.0)]);
+//! let simplified = SimplifiedTrajectory::new(
+//!     vec![SimplifiedSegment::new(
+//!         DirectedSegment::new(trajectory.first(), trajectory.last()),
+//!         0,
+//!         2,
+//!     )],
+//!     trajectory.len(),
+//! );
+//! // Note: `&store`, not `&mut store` — ingest is interior-locked.
+//! store.ingest(17, &simplified, 5.0).unwrap();
+//! assert_eq!(store.stats().devices, 1);
+//! assert!(store.position_at(17, 1.0).is_some());
+//! ```
+
+use std::path::Path;
+use std::sync::RwLock;
+
+use traj_geo::{BoundingBox, Point};
+use traj_model::SimplifiedTrajectory;
+use traj_pipeline::DeviceId;
+
+use crate::block::BlockMeta;
+use crate::store::{
+    QueryStats, StoreConfig, StoreError, StoreStats, TimeSlice, TrajStore, WindowQuery,
+};
+
+/// A [`TrajStore`] partitioned into independently locked shards by device
+/// hash, safe to share across ingest and query threads (`&self` API).
+#[derive(Debug)]
+pub struct ShardedStore {
+    config: StoreConfig,
+    shards: Vec<RwLock<TrajStore>>,
+}
+
+/// Mixes a device id so that sequential ids spread evenly over shards
+/// (Fibonacci hashing; device ids are often 0, 1, 2, …).
+#[inline]
+fn mix(device: DeviceId) -> u64 {
+    let mut h = device.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= h >> 32;
+    h.wrapping_mul(0xD6E8_FEB8_6659_FD93)
+}
+
+impl ShardedStore {
+    /// Creates an empty store with `num_shards` shards (clamped to ≥ 1).
+    /// A good default is the expected ingest parallelism; shards are
+    /// cheap, and more shards mean fewer writer collisions.
+    pub fn new(config: StoreConfig, num_shards: usize) -> Self {
+        let num_shards = num_shards.max(1);
+        Self {
+            config,
+            shards: (0..num_shards)
+                .map(|_| RwLock::new(TrajStore::new(config)))
+                .collect(),
+        }
+    }
+
+    /// [`ShardedStore::new`] with the default [`StoreConfig`].
+    pub fn with_default_config(num_shards: usize) -> Self {
+        Self::new(StoreConfig::default(), num_shards)
+    }
+
+    /// Wraps an existing single-owner store, redistributing its blocks
+    /// over `num_shards` shards (used to serve a store directory written
+    /// by the offline `trajsimp store` path).
+    pub fn from_store(store: TrajStore, num_shards: usize) -> Self {
+        let sharded = Self::new(*store.config(), num_shards);
+        let points = store.stats().points;
+        // Blocks are *moved* into their shards — a multi-GB store must
+        // not transiently double in memory while being resharded.
+        for block in store.into_blocks() {
+            let shard = sharded.shard_of(block.meta.device);
+            sharded.shards[shard]
+                .write()
+                .expect("store lock poisoned")
+                .append_block(block);
+        }
+        // The flat format records only the fleet-wide point total; keep it
+        // on shard 0 — per-shard counters only ever surface summed.
+        sharded.shards[0]
+            .write()
+            .expect("store lock poisoned")
+            .set_total_points(points);
+        sharded
+    }
+
+    /// Opens a store directory written by [`TrajStore::save`] (or
+    /// [`ShardedStore::save`]) and shards it.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TrajStore::open`].
+    pub fn open(dir: &Path, num_shards: usize) -> Result<Self, StoreError> {
+        Ok(Self::from_store(TrajStore::open(dir)?, num_shards))
+    }
+
+    /// Opens a store directory in recovery mode (see
+    /// [`TrajStore::open_recover`]) and shards the salvaged prefix — the
+    /// serving path's way back up after a crash mid-append.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TrajStore::open_recover`].
+    pub fn open_recover(
+        dir: &Path,
+        num_shards: usize,
+    ) -> Result<(Self, crate::persist::RecoveryReport), StoreError> {
+        let (store, report) = TrajStore::open_recover(dir)?;
+        Ok((Self::from_store(store, num_shards), report))
+    }
+
+    /// Persists the store in the flat single-store format (shards are an
+    /// in-memory construct; the on-disk layout stays shard-count
+    /// agnostic).  Takes read locks shard by shard and serializes records
+    /// directly — no merged in-memory copy, so saving never doubles the
+    /// store's footprint.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TrajStore::save`].
+    pub fn save(&self, dir: &Path) -> Result<(), StoreError> {
+        let mut log = Vec::new();
+        let mut stats = crate::store::StoreStats::default();
+        for shard in &self.shards {
+            let guard = shard.read().expect("store lock poisoned");
+            let s = guard.stats();
+            stats.devices += s.devices;
+            stats.blocks += s.blocks;
+            stats.segments += s.segments;
+            stats.points += s.points;
+            stats.stored_bytes += s.stored_bytes;
+            for block in guard.blocks() {
+                block.write_record(&mut log);
+            }
+        }
+        crate::persist::write_store_files(dir, &self.config, &stats, &log)
+    }
+
+    /// The store's configuration.
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a device's data lives in.
+    #[inline]
+    pub fn shard_of(&self, device: DeviceId) -> usize {
+        (mix(device) % self.shards.len() as u64) as usize
+    }
+
+    fn read_shard_of(&self, device: DeviceId) -> std::sync::RwLockReadGuard<'_, TrajStore> {
+        self.shards[self.shard_of(device)]
+            .read()
+            .expect("store lock poisoned")
+    }
+
+    /// Concurrent [`TrajStore::ingest`]: write-locks only the device's
+    /// shard.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TrajStore::ingest`].
+    pub fn ingest(
+        &self,
+        device: DeviceId,
+        simplified: &SimplifiedTrajectory,
+        zeta: f64,
+    ) -> Result<usize, StoreError> {
+        self.shards[self.shard_of(device)]
+            .write()
+            .expect("store lock poisoned")
+            .ingest(device, simplified, zeta)
+    }
+
+    /// Concurrent [`TrajStore::ingest_with_original`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`TrajStore::ingest_with_original`].
+    pub fn ingest_with_original(
+        &self,
+        device: DeviceId,
+        original: &[Point],
+        simplified: &SimplifiedTrajectory,
+        zeta: f64,
+    ) -> Result<usize, StoreError> {
+        self.shards[self.shard_of(device)]
+            .write()
+            .expect("store lock poisoned")
+            .ingest_with_original(device, original, simplified, zeta)
+    }
+
+    /// Aggregate statistics, summed over per-shard snapshots.
+    pub fn stats(&self) -> StoreStats {
+        let mut total = StoreStats::default();
+        for shard in &self.shards {
+            let s = shard.read().expect("store lock poisoned").stats();
+            total.devices += s.devices;
+            total.blocks += s.blocks;
+            total.segments += s.segments;
+            total.points += s.points;
+            total.stored_bytes += s.stored_bytes;
+        }
+        total
+    }
+
+    /// Every stored device id, ascending.
+    pub fn devices(&self) -> Vec<DeviceId> {
+        let mut out: Vec<DeviceId> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .expect("store lock poisoned")
+                    .devices()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The block metadata of one device's log (empty for unknown devices).
+    pub fn block_metas(&self, device: DeviceId) -> Vec<BlockMeta> {
+        self.read_shard_of(device).block_metas(device)
+    }
+
+    /// [`TrajStore::time_slice`] under the device's shard read lock — a
+    /// consistent snapshot of that device's log.
+    pub fn time_slice(&self, device: DeviceId, t0: f64, t1: f64) -> TimeSlice {
+        self.read_shard_of(device).time_slice(device, t0, t1)
+    }
+
+    /// [`TrajStore::position_at`] under the device's shard read lock.
+    pub fn position_at(&self, device: DeviceId, t: f64) -> Option<Point> {
+        self.read_shard_of(device).position_at(device, t)
+    }
+
+    /// Fleet-wide [`TrajStore::window_query`], merged over per-shard
+    /// snapshots (shards are visited one at a time; see the module docs
+    /// for the consistency model).  Matches come back sorted by device
+    /// and the skip statistics are summed.
+    pub fn window_query(&self, window: &BoundingBox, time: Option<(f64, f64)>) -> WindowQuery {
+        let mut merged = WindowQuery {
+            matches: Vec::new(),
+            stats: QueryStats::default(),
+        };
+        for shard in &self.shards {
+            let q = shard
+                .read()
+                .expect("store lock poisoned")
+                .window_query(window, time);
+            merged.stats.blocks_in_scope += q.stats.blocks_in_scope;
+            merged.stats.blocks_decoded += q.stats.blocks_decoded;
+            merged.stats.segments_returned += q.stats.segments_returned;
+            merged.matches.extend(q.matches);
+        }
+        merged.matches.sort_by_key(|m| m.device);
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_geo::DirectedSegment;
+    use traj_model::SimplifiedSegment;
+
+    fn line(y: f64, start_t: f64, segments: usize) -> SimplifiedTrajectory {
+        let mut out = Vec::with_capacity(segments);
+        for i in 0..segments {
+            let t0 = start_t + i as f64 * 10.0;
+            let a = Point::new(i as f64 * 100.0, y, t0);
+            let b = Point::new((i + 1) as f64 * 100.0, y, t0 + 10.0);
+            out.push(SimplifiedSegment::new(DirectedSegment::new(a, b), i, i + 1));
+        }
+        SimplifiedTrajectory::new(out, segments + 1)
+    }
+
+    #[test]
+    fn shards_agree_with_flat_store() {
+        let sharded = ShardedStore::with_default_config(4);
+        let mut flat = TrajStore::default();
+        for d in 0..32u64 {
+            let t = line(d as f64 * 500.0, 0.0, 6);
+            sharded.ingest(d, &t, 5.0).unwrap();
+            flat.ingest(d, &t, 5.0).unwrap();
+        }
+        let (a, b) = (sharded.stats(), flat.stats());
+        assert_eq!(a, b);
+        assert_eq!(sharded.devices(), flat.devices().collect::<Vec<_>>());
+        for d in 0..32u64 {
+            assert_eq!(
+                sharded.time_slice(d, 10.0, 30.0).segments,
+                flat.time_slice(d, 10.0, 30.0).segments
+            );
+            assert_eq!(sharded.position_at(d, 25.0), flat.position_at(d, 25.0));
+            assert_eq!(sharded.block_metas(d), flat.block_metas(d));
+        }
+        let w = BoundingBox {
+            min_x: 150.0,
+            min_y: 1400.0,
+            max_x: 450.0,
+            max_y: 3100.0,
+        };
+        let (qa, qb) = (sharded.window_query(&w, None), flat.window_query(&w, None));
+        assert_eq!(qa.matches, qb.matches);
+        assert_eq!(qa.stats.blocks_in_scope, qb.stats.blocks_in_scope);
+    }
+
+    #[test]
+    fn devices_spread_over_shards() {
+        let sharded = ShardedStore::with_default_config(8);
+        let mut used = std::collections::HashSet::new();
+        for d in 0..64u64 {
+            used.insert(sharded.shard_of(d));
+        }
+        assert!(used.len() >= 6, "sequential ids landed on {used:?}");
+    }
+
+    #[test]
+    fn out_of_order_still_rejected_per_device() {
+        let sharded = ShardedStore::with_default_config(3);
+        sharded.ingest(9, &line(0.0, 100.0, 2), 5.0).unwrap();
+        let err = sharded.ingest(9, &line(0.0, 0.0, 2), 5.0).unwrap_err();
+        assert!(matches!(err, StoreError::OutOfOrder { device: 9, .. }));
+    }
+
+    #[test]
+    fn from_store_and_save_roundtrip() {
+        let mut flat = TrajStore::new(StoreConfig::default().with_block_segments(2));
+        for d in 0..10u64 {
+            flat.ingest(d, &line(d as f64 * 100.0, 0.0, 5), 7.5)
+                .unwrap();
+        }
+        let sharded = ShardedStore::from_store(flat.clone(), 4);
+        assert_eq!(sharded.stats(), flat.stats());
+
+        let dir = std::env::temp_dir().join(format!("traj-shard-test-{}", std::process::id()));
+        sharded.save(&dir).unwrap();
+        let back = ShardedStore::open(&dir, 2).unwrap();
+        assert_eq!(back.stats(), flat.stats());
+        for d in 0..10u64 {
+            assert_eq!(
+                back.time_slice(d, 0.0, 100.0).segments,
+                flat.time_slice(d, 0.0, 100.0).segments
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

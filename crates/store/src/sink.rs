@@ -3,34 +3,99 @@
 //! [`StoreSink`] implements [`traj_pipeline::ResultSink`], so the parallel
 //! fleet pipeline can hand every closed stream's compressed output
 //! directly to the storage engine as it finishes — no intermediate
-//! collection of the whole fleet.  [`compress_fleet_into_store`] is the
-//! one-call driver.
+//! collection of the whole fleet.  [`SharedStoreSink`] is the same sink
+//! over a concurrently shared [`ShardedStore`] (the `trajsimp serve`
+//! live-ingest path); both are instances of one generic implementation,
+//! [`FleetStoreSink`], over an [`IngestTarget`].
+//! [`compress_fleet_into_store`] / [`compress_fleet_into_shared_store`]
+//! are the one-call drivers.
 
-use traj_model::Trajectory;
+use traj_model::{SimplifiedTrajectory, Trajectory};
 use traj_pipeline::{
     compress_fleet_with_sink, DeviceId, FleetAlgorithm, FleetResult, PipelineConfig,
     PipelineReport, ResultSink,
 };
 
+use crate::shard::ShardedStore;
 use crate::store::{StoreError, TrajStore};
 
-/// A [`ResultSink`] that ingests every successful stream result into a
-/// [`TrajStore`], collecting per-device failures instead of aborting the
-/// whole fleet run.
-pub struct StoreSink<'a> {
-    store: &'a mut TrajStore,
+/// Where a sink's accepted streams land.  Implemented by the single-owner
+/// [`TrajStore`] (exclusive reference) and the concurrently shared
+/// [`ShardedStore`] (shared reference, interior locking) so the sink and
+/// driver logic exist exactly once.
+pub trait IngestTarget {
+    /// Ingests one stream, with original points when available (exact
+    /// skipping metadata) and the shape-point approximation otherwise.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TrajStore::ingest`] / [`TrajStore::ingest_with_original`].
+    fn ingest_stream(
+        &mut self,
+        device: DeviceId,
+        original: Option<&[traj_geo::Point]>,
+        simplified: &SimplifiedTrajectory,
+        zeta: f64,
+    ) -> Result<usize, StoreError>;
+}
+
+impl IngestTarget for &mut TrajStore {
+    fn ingest_stream(
+        &mut self,
+        device: DeviceId,
+        original: Option<&[traj_geo::Point]>,
+        simplified: &SimplifiedTrajectory,
+        zeta: f64,
+    ) -> Result<usize, StoreError> {
+        match original {
+            Some(points) => self.ingest_with_original(device, points, simplified, zeta),
+            None => self.ingest(device, simplified, zeta),
+        }
+    }
+}
+
+impl IngestTarget for &ShardedStore {
+    fn ingest_stream(
+        &mut self,
+        device: DeviceId,
+        original: Option<&[traj_geo::Point]>,
+        simplified: &SimplifiedTrajectory,
+        zeta: f64,
+    ) -> Result<usize, StoreError> {
+        match original {
+            Some(points) => self.ingest_with_original(device, points, simplified, zeta),
+            None => self.ingest(device, simplified, zeta),
+        }
+    }
+}
+
+/// A [`ResultSink`] that ingests every successful stream result into an
+/// [`IngestTarget`], collecting per-device failures instead of aborting
+/// the whole fleet run.  Use the [`StoreSink`] / [`SharedStoreSink`]
+/// aliases.
+pub struct FleetStoreSink<'a, T> {
+    target: T,
     zeta: f64,
     originals: std::collections::HashMap<DeviceId, &'a [traj_geo::Point]>,
     ingested: usize,
     failures: Vec<(DeviceId, String)>,
 }
 
-impl<'a> StoreSink<'a> {
-    /// Creates a sink writing into `store`, recording `zeta` (the error
+/// [`FleetStoreSink`] into a single-owner [`TrajStore`].
+pub type StoreSink<'a> = FleetStoreSink<'a, &'a mut TrajStore>;
+
+/// [`FleetStoreSink`] into a shared [`ShardedStore`] — because the store
+/// locks per shard internally, ingest through this sink runs concurrently
+/// with query threads reading the same store; each accepted stream locks
+/// only the one shard it hashes to.
+pub type SharedStoreSink<'a> = FleetStoreSink<'a, &'a ShardedStore>;
+
+impl<'a, T: IngestTarget> FleetStoreSink<'a, T> {
+    /// Creates a sink writing into `target`, recording `zeta` (the error
     /// bound the fleet is being compressed with) on every block.
-    pub fn new(store: &'a mut TrajStore, zeta: f64) -> Self {
+    pub fn new(target: T, zeta: f64) -> Self {
         Self {
-            store,
+            target,
             zeta,
             originals: std::collections::HashMap::new(),
             ingested: 0,
@@ -63,25 +128,41 @@ impl<'a> StoreSink<'a> {
 
     fn ingest(&mut self, result: &FleetResult) -> Result<(), String> {
         let simplified = result.output.as_ref().map_err(|e| e.to_string())?;
-        let outcome = match self.originals.get(&result.device) {
-            Some(points) => {
-                self.store
-                    .ingest_with_original(result.device, points, simplified, self.zeta)
-            }
-            None => self.store.ingest(result.device, simplified, self.zeta),
-        };
-        outcome.map_err(|e: StoreError| e.to_string())?;
+        self.target
+            .ingest_stream(
+                result.device,
+                self.originals.get(&result.device).copied(),
+                simplified,
+                self.zeta,
+            )
+            .map_err(|e| e.to_string())?;
         Ok(())
     }
 }
 
-impl ResultSink for StoreSink<'_> {
+impl<T: IngestTarget> ResultSink for FleetStoreSink<'_, T> {
     fn accept(&mut self, result: FleetResult) {
         match self.ingest(&result) {
             Ok(()) => self.ingested += 1,
             Err(reason) => self.failures.push((result.device, reason)),
         }
     }
+}
+
+/// The shared driver body behind both `compress_fleet_into_*` functions.
+fn compress_fleet_into<T: IngestTarget>(
+    fleet: &[(DeviceId, Trajectory)],
+    config: &PipelineConfig,
+    algorithm: &FleetAlgorithm,
+    target: T,
+) -> Result<(PipelineReport, usize), String> {
+    let mut sink = FleetStoreSink::new(target, config.epsilon).with_originals(fleet);
+    let report = compress_fleet_with_sink(fleet, config, algorithm, &mut sink);
+    if let Some((device, reason)) = sink.failures().first() {
+        return Err(format!("device {device}: {reason}"));
+    }
+    let ingested = sink.ingested();
+    Ok((report, ingested))
 }
 
 /// Compresses `fleet` through the parallel pipeline and ingests every
@@ -98,13 +179,24 @@ pub fn compress_fleet_into_store(
     algorithm: &FleetAlgorithm,
     store: &mut TrajStore,
 ) -> Result<(PipelineReport, usize), String> {
-    let mut sink = StoreSink::new(store, config.epsilon).with_originals(fleet);
-    let report = compress_fleet_with_sink(fleet, config, algorithm, &mut sink);
-    if let Some((device, reason)) = sink.failures().first() {
-        return Err(format!("device {device}: {reason}"));
-    }
-    let ingested = sink.ingested();
-    Ok((report, ingested))
+    compress_fleet_into(fleet, config, algorithm, store)
+}
+
+/// [`compress_fleet_into_store`] against a shared [`ShardedStore`] — the
+/// live-ingest path of `trajsimp serve`, safe to run while query threads
+/// read the same store.
+///
+/// # Errors
+///
+/// The first per-device failure as a human-readable message (the store is
+/// left with everything that ingested cleanly before the error).
+pub fn compress_fleet_into_shared_store(
+    fleet: &[(DeviceId, Trajectory)],
+    config: &PipelineConfig,
+    algorithm: &FleetAlgorithm,
+    store: &ShardedStore,
+) -> Result<(PipelineReport, usize), String> {
+    compress_fleet_into(fleet, config, algorithm, store)
 }
 
 #[cfg(test)]
@@ -158,6 +250,22 @@ mod tests {
             assert!(!store.time_slice(*device, 0.0, 300.0).segments.is_empty());
             assert!(store.position_at(*device, 150.0).is_some());
         }
+    }
+
+    #[test]
+    fn shared_sink_matches_exclusive_sink() {
+        let fleet = fleet(12, 200);
+        let algorithm = FleetAlgorithm::by_name("operb").unwrap();
+        let config = PipelineConfig::new(20.0)
+            .with_workers(2)
+            .with_batch_size(64);
+        let mut exclusive = TrajStore::default();
+        compress_fleet_into_store(&fleet, &config, &algorithm, &mut exclusive).unwrap();
+        let shared = ShardedStore::with_default_config(4);
+        let (_, ingested) =
+            compress_fleet_into_shared_store(&fleet, &config, &algorithm, &shared).unwrap();
+        assert_eq!(ingested, 12);
+        assert_eq!(shared.stats(), exclusive.stats());
     }
 
     #[test]

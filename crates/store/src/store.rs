@@ -421,6 +421,12 @@ impl TrajStore {
         self.logs.values().flat_map(|log| log.blocks.iter())
     }
 
+    /// Consumes the store, yielding every block in (device, append-order)
+    /// order without copying payloads — the resharding path.
+    pub(crate) fn into_blocks(self) -> impl Iterator<Item = Block> {
+        self.logs.into_values().flat_map(|log| log.blocks)
+    }
+
     fn decode(&self, block: &Block) -> Result<SimplifiedTrajectory, StoreError> {
         Ok(self.config.codec.decode(&block.payload)?)
     }

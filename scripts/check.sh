@@ -14,11 +14,23 @@ cargo build --release --workspace
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> fault-injection + fuzz + concurrency suites (release)"
+cargo test --release -q -p traj-model --test fuzz_codec
+cargo test --release -q -p traj-store --test fault_injection
+cargo test --release -q -p traj-store --test concurrent_stress
+cargo test --release -q -p traj-store --test golden_e2e
+
 echo "==> store example (pipeline → store → queries)"
 cargo run --release --example store_query
 
 echo "==> store_bench smoke run (100 devices, skip ratio + ζ verification)"
 cargo run --release -p traj-bench --bin store_bench -- --devices 100 --points 150 --windows 6
+
+echo "==> serve smoke test (in-process server + test client: 200 + valid JSON + shutdown)"
+cargo test --release -q -p traj-service --test serve_http smoke_start_request_shutdown
+
+echo "==> service_bench (32 concurrent clients, 100+ devices, 0 ζ violations required)"
+cargo run --release -p traj-bench --bin service_bench -- --devices 100 --points 120 --clients 32 --requests 10
 
 echo "==> cargo doc --no-deps --workspace (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace

@@ -23,6 +23,12 @@
 //! `query` subcommand answers time-range, spatial-window and
 //! point-in-time queries from such a directory, decoding only the blocks
 //! whose metadata overlaps the query.
+//!
+//! The `serve` subcommand puts the std-only HTTP query server of
+//! `traj-service` in front of a sharded store — either a persisted store
+//! directory (opened in crash-recovery mode) or a freshly compressed
+//! synthetic fleet — and optionally keeps ingesting further waves of the
+//! fleet live while serving.  `GET /shutdown` stops it gracefully.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
@@ -50,6 +56,9 @@ const USAGE: &str = "usage: trajsimp <input.csv|input.plt> [--algorithm NAME] [-
        trajsimp query DIR --device N --from T --to T   (time slice)\n\
        trajsimp query DIR --window x0,y0,x1,y1 [--from T --to T]   (spatial window)\n\
        trajsimp query DIR --device N --at T   (interpolated position)\n\
+       trajsimp serve [DIR] [--addr HOST] [--port P] [--server-workers N] [--shards N] [--live WAVES]\n\
+                      [--no-shutdown-endpoint] [--trajectories N] [--points N] [--algorithm NAME]\n\
+                      [--epsilon METERS] [--dataset NAME] [--seed N]   (HTTP query server; GET /shutdown stops it)\n\
                      algorithms: operb (default: operb-a), operb-a, raw-operb, raw-operb-a, dp, td-tr, opw, bqs, fbqs";
 
 struct Options {
@@ -507,9 +516,238 @@ fn run_query(options: &QueryOptions) -> Result<(), String> {
     Ok(())
 }
 
+struct ServeOptions {
+    dir: Option<String>,
+    addr: String,
+    port: u16,
+    server_workers: usize,
+    shards: usize,
+    live_waves: usize,
+    shutdown_endpoint: bool,
+    fleet: FleetOptions,
+}
+
+fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
+    let mut dir = None;
+    let mut addr = "127.0.0.1".to_string();
+    let mut port = 7878u16;
+    let mut server_workers = 4usize;
+    let mut shards = 16usize;
+    let mut live_waves = 0usize;
+    let mut shutdown_endpoint = true;
+    let mut fleet_args: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{arg} needs a value"))
+        };
+        match arg.as_str() {
+            // The endpoint is unauthenticated; anyone binding beyond
+            // loopback should turn it off (and stop the server by signal).
+            "--no-shutdown-endpoint" => shutdown_endpoint = false,
+            "--addr" => addr = value()?.to_string(),
+            "--port" => port = value()?.parse().map_err(|e| format!("{arg}: {e}"))?,
+            "--server-workers" => {
+                server_workers = value()?.parse().map_err(|e| format!("{arg}: {e}"))?
+            }
+            "--shards" => shards = value()?.parse().map_err(|e| format!("{arg}: {e}"))?,
+            "--live" => live_waves = value()?.parse().map_err(|e| format!("{arg}: {e}"))?,
+            other if dir.is_none() && !other.starts_with('-') => {
+                dir = Some(other.to_string());
+            }
+            other => {
+                // A fleet flag passes through with its value, so it cannot
+                // be mistaken for the store-directory positional.
+                fleet_args.push(other.to_string());
+                if let Some(v) = it.next() {
+                    fleet_args.push(v.to_string());
+                }
+            }
+        }
+    }
+    // Everything else (trajectories, points, workers, algorithm, epsilon,
+    // dataset, seed) is shared with `fleet` and used for synthetic mode.
+    let fleet = parse_fleet_args(&fleet_args)?;
+    Ok(ServeOptions {
+        dir,
+        addr,
+        port,
+        server_workers,
+        shards,
+        live_waves,
+        shutdown_endpoint,
+        fleet,
+    })
+}
+
+/// `fleet` with every timestamp shifted forward by `offset` seconds — the
+/// "next wave" of a live feed (per-device logs are append-only in time).
+fn shifted_fleet(fleet: &[(DeviceId, Trajectory)], offset: f64) -> Vec<(DeviceId, Trajectory)> {
+    fleet
+        .iter()
+        .map(|(device, traj)| {
+            let points = traj
+                .points()
+                .iter()
+                .map(|p| trajsimp::geo::Point::new(p.x, p.y, p.t + offset))
+                .collect();
+            (*device, Trajectory::new_unchecked(points))
+        })
+        .collect()
+}
+
+fn run_serve(options: &ServeOptions) -> Result<(), String> {
+    use trajsimp::service::{Server, ServiceConfig};
+    use trajsimp::store::{compress_fleet_into_shared_store, ShardedStore, StoreConfig};
+
+    let Some(algorithm) = FleetAlgorithm::by_name(&options.fleet.algorithm) else {
+        return Err(format!("unknown algorithm '{}'", options.fleet.algorithm));
+    };
+    if options.dir.is_some() && options.live_waves > 0 {
+        // Live waves re-compress the synthetic fleet; a persisted store
+        // has no originals to extend, so the flag would silently do
+        // nothing — refuse instead.
+        return Err("--live requires synthetic mode (omit the store directory)".to_string());
+    }
+    let mut live_fleet = None;
+    let store = match &options.dir {
+        Some(dir) => {
+            // Recovery mode: after a crash mid-append the store comes back
+            // up with the longest valid log prefix instead of refusing.
+            let (store, report) =
+                ShardedStore::open_recover(std::path::Path::new(dir), options.shards)
+                    .map_err(|e| e.to_string())?;
+            if report.is_clean() {
+                eprintln!("opened {dir} ({} blocks)", report.blocks_recovered);
+            } else {
+                eprintln!(
+                    "recovered {dir}: kept {}/{} blocks, dropped {} bytes ({})",
+                    report.blocks_recovered,
+                    report.manifest_blocks,
+                    report.bytes_dropped,
+                    report.dropped_reason.as_deref().unwrap_or("count mismatch"),
+                );
+            }
+            std::sync::Arc::new(store)
+        }
+        None => {
+            eprintln!(
+                "generating {} {} trajectories of {} points each (seed {}) …",
+                options.fleet.trajectories,
+                options.fleet.dataset,
+                options.fleet.points,
+                options.fleet.seed
+            );
+            let generator = DatasetGenerator::for_kind(options.fleet.dataset, options.fleet.seed);
+            let fleet: Vec<(DeviceId, Trajectory)> = (0..options.fleet.trajectories)
+                .map(|i| {
+                    (
+                        i as DeviceId,
+                        generator.generate_trajectory(i, options.fleet.points),
+                    )
+                })
+                .collect();
+            let store = std::sync::Arc::new(ShardedStore::new(
+                StoreConfig::default().with_block_segments(32),
+                options.shards,
+            ));
+            let config = PipelineConfig::new(options.fleet.epsilon)
+                .with_workers(options.fleet.workers)
+                .with_batch_size(options.fleet.batch);
+            let (_, ingested) =
+                compress_fleet_into_shared_store(&fleet, &config, &algorithm, &store)?;
+            eprintln!("ingested {ingested} streams");
+            live_fleet = Some(fleet);
+            store
+        }
+    };
+
+    let mut service_config = ServiceConfig::default().with_workers(options.server_workers);
+    service_config.enable_shutdown_endpoint = options.shutdown_endpoint;
+    if options.shutdown_endpoint && options.addr != "127.0.0.1" && options.addr != "localhost" {
+        eprintln!(
+            "warning: binding {} with the unauthenticated /shutdown endpoint enabled — \
+             anyone who can reach the port can stop the server; consider --no-shutdown-endpoint",
+            options.addr
+        );
+    }
+    let server = Server::start(
+        std::sync::Arc::clone(&store),
+        (options.addr.as_str(), options.port),
+        service_config,
+    )
+    .map_err(|e| format!("cannot bind {}:{}: {e}", options.addr, options.port))?;
+    let stats = store.stats();
+    println!("listening on http://{}", server.local_addr());
+    println!(
+        "serving {} devices, {} blocks, {} segments ({} shards, {} workers); {}",
+        stats.devices,
+        stats.blocks,
+        stats.segments,
+        store.num_shards(),
+        options.server_workers,
+        if options.shutdown_endpoint {
+            "GET /shutdown stops"
+        } else {
+            "shutdown endpoint disabled — stop by signal"
+        }
+    );
+
+    // Live mode: keep compressing later waves of the same fleet into the
+    // store while the server answers queries — ingest and reads overlap.
+    let ingest_thread = match (options.live_waves, live_fleet) {
+        (waves, Some(fleet)) if waves > 0 => {
+            let store = std::sync::Arc::clone(&store);
+            let config = PipelineConfig::new(options.fleet.epsilon)
+                .with_workers(options.fleet.workers)
+                .with_batch_size(options.fleet.batch);
+            let algorithm_name = options.fleet.algorithm.clone();
+            let span = fleet.iter().map(|(_, t)| t.last().t).fold(0.0f64, f64::max) + 60.0;
+            Some(std::thread::spawn(move || {
+                let algorithm =
+                    FleetAlgorithm::by_name(&algorithm_name).expect("algorithm validated above");
+                for wave in 1..=waves {
+                    let shifted = shifted_fleet(&fleet, span * wave as f64);
+                    match compress_fleet_into_shared_store(&shifted, &config, &algorithm, &store) {
+                        Ok((_, n)) => eprintln!("live wave {wave}/{waves}: ingested {n} streams"),
+                        Err(e) => {
+                            eprintln!("live wave {wave}/{waves} failed: {e}");
+                            return;
+                        }
+                    }
+                }
+            }))
+        }
+        _ => None,
+    };
+
+    let final_stats = server.join();
+    if let Some(h) = ingest_thread {
+        let _ = h.join();
+    }
+    println!(
+        "served {} requests ({} client errors, {} rejected), mean handler latency {:.0} µs, skip ratio {:.1}%",
+        final_stats.requests,
+        final_stats.client_errors,
+        final_stats.rejected,
+        final_stats.mean_latency_us(),
+        final_stats.skip_ratio() * 100.0
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
+        Some("serve") => {
+            return match parse_serve_args(&args[1..]).and_then(|o| run_serve(&o)) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(msg) => {
+                    eprintln!("{msg}\n{USAGE}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
         Some("store") => {
             return match parse_store_args(&args[1..]).and_then(|o| run_store(&o)) {
                 Ok(()) => ExitCode::SUCCESS,
