@@ -56,7 +56,16 @@ pub fn http_get_timeout(
 
     let mut reader = BufReader::new(stream);
     let mut status_line = String::new();
-    read_line_bounded(&mut reader, &mut status_line)?;
+    if read_line_bounded(&mut reader, &mut status_line)? == 0 {
+        // The server accepted and closed without a byte of response — a
+        // crash or restart mid-exchange, not a protocol violation.  Keep
+        // the EOF error class so retry policies can treat it as
+        // transient.
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed before the status line",
+        ));
+    }
     let status: u16 = status_line
         .split_ascii_whitespace()
         .nth(1)
@@ -118,4 +127,127 @@ pub fn http_get_timeout(
 /// As for [`http_get_timeout`].
 pub fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
     http_get_timeout(addr, path, Duration::from_secs(10))
+}
+
+/// Bounded retry for the transient failures the server deliberately
+/// produces under load: 503 backpressure rejections and connection
+/// resets/refusals while the accept queue churns.
+///
+/// Backoff is exponential (`base_delay · 2^attempt`, capped at
+/// `max_delay`) with full jitter — each sleep is a uniformly random
+/// fraction of the current cap, so a herd of retrying clients spreads out
+/// instead of re-stampeding in lockstep.  Total sleep across one call
+/// never exceeds `budget`; whichever of `max_attempts` or `budget` runs
+/// out first ends the retry loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total tries, including the first (`1` = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_delay: Duration,
+    /// Cap on a single backoff sleep.
+    pub max_delay: Duration,
+    /// Cap on the *sum* of backoff sleeps in one call — a latency budget,
+    /// so callers can bound worst-case blocking regardless of attempts.
+    pub budget: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 5,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+            budget: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt, zero budget).
+    pub fn none() -> Self {
+        Self {
+            max_attempts: 1,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            budget: Duration::ZERO,
+        }
+    }
+}
+
+/// Whether an I/O error class is worth retrying: the connection-level
+/// failures a briefly overloaded or restarting server produces.  Malformed
+/// responses and timeouts are not retried — the former will not improve,
+/// the latter already cost the caller its patience once.
+fn transient(kind: std::io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        std::io::ErrorKind::ConnectionRefused
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::UnexpectedEof
+    )
+}
+
+/// xorshift64* — a tiny deterministic PRNG for jitter (no external
+/// dependencies; statistical quality is irrelevant here, spread is all
+/// that matters).
+fn jitter_fraction(state: &mut u64) -> f64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// [`http_get_timeout`] with bounded, jittered retries per `policy`.
+/// Retries on 503 responses and transient connection errors; any other
+/// status (including other error statuses) and any non-transient error
+/// return immediately.  When attempts or budget run out, the last 503
+/// response or transient error is returned as-is.
+///
+/// # Errors
+///
+/// As for [`http_get_timeout`]; a final 503 after exhausted retries is
+/// returned as `Ok((503, body))` for the caller to interpret.
+pub fn http_get_retry(
+    addr: SocketAddr,
+    path: &str,
+    timeout: Duration,
+    policy: &RetryPolicy,
+) -> std::io::Result<(u16, String)> {
+    let mut slept = Duration::ZERO;
+    // Seed per call from address + path + a process-wide counter, so
+    // concurrent callers jitter independently without sharing state.
+    static SEED: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0x9E37_79B9);
+    let mut rng = SEED.fetch_add(0x9E37_79B9_7F4A_7C15, std::sync::atomic::Ordering::Relaxed)
+        ^ (addr.port() as u64) << 32
+        ^ path.len() as u64
+        | 1;
+    let attempts = policy.max_attempts.max(1);
+    for attempt in 0..attempts {
+        let result = http_get_timeout(addr, path, timeout);
+        let retryable = match &result {
+            Ok((503, _)) => true,
+            Ok(_) => return result,
+            Err(e) => transient(e.kind()),
+        };
+        if !retryable || attempt + 1 == attempts {
+            return result;
+        }
+        // Exponential cap for this attempt, full jitter below it.
+        let exp = policy
+            .base_delay
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(policy.max_delay);
+        let delay = exp.mul_f64(jitter_fraction(&mut rng));
+        if slept + delay > policy.budget {
+            return result;
+        }
+        std::thread::sleep(delay);
+        slept += delay;
+    }
+    unreachable!("the loop always returns on its last attempt");
 }

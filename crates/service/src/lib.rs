@@ -73,5 +73,6 @@ pub mod client;
 pub mod http;
 pub mod server;
 
+pub use client::RetryPolicy;
 pub use http::{HttpError, Request};
 pub use server::{Server, ServerStats, ServiceConfig};

@@ -556,46 +556,70 @@ fn handle_position_at(store: &ShardedStore, request: &Request) -> (u16, JsonValu
 fn handle_stats(store: &ShardedStore, shared: &Shared) -> (u16, JsonValue) {
     let s = store.stats();
     let server = snapshot(&shared.counters);
-    (
-        200,
-        JsonValue::object([
-            (
-                "store",
-                JsonValue::object([
-                    ("devices", JsonValue::from(s.devices)),
-                    ("blocks", JsonValue::from(s.blocks)),
-                    ("segments", JsonValue::from(s.segments)),
-                    ("points", JsonValue::from(s.points)),
-                    ("stored_bytes", JsonValue::from(s.stored_bytes)),
-                    ("bytes_per_point", JsonValue::from(s.bytes_per_point())),
-                    (
-                        "compression_factor",
-                        JsonValue::from(s.compression_factor()),
-                    ),
-                ]),
-            ),
-            (
-                "server",
-                JsonValue::object([
-                    ("requests", JsonValue::from(server.requests as f64)),
-                    (
-                        "client_errors",
-                        JsonValue::from(server.client_errors as f64),
-                    ),
-                    (
-                        "server_errors",
-                        JsonValue::from(server.server_errors as f64),
-                    ),
-                    ("rejected", JsonValue::from(server.rejected as f64)),
-                    ("mean_latency_us", JsonValue::from(server.mean_latency_us())),
-                    ("skip_ratio", JsonValue::from(server.skip_ratio())),
-                    ("num_shards", JsonValue::from(shared.store.num_shards())),
-                    (
-                        "uptime_seconds",
-                        JsonValue::from(shared.started.elapsed().as_secs_f64()),
-                    ),
-                ]),
-            ),
-        ]),
-    )
+    let mut sections = Vec::from([
+        (
+            "store",
+            JsonValue::object([
+                ("devices", JsonValue::from(s.devices)),
+                ("blocks", JsonValue::from(s.blocks)),
+                ("segments", JsonValue::from(s.segments)),
+                ("points", JsonValue::from(s.points)),
+                ("stored_bytes", JsonValue::from(s.stored_bytes)),
+                ("bytes_per_point", JsonValue::from(s.bytes_per_point())),
+                (
+                    "compression_factor",
+                    JsonValue::from(s.compression_factor()),
+                ),
+            ]),
+        ),
+        (
+            "server",
+            JsonValue::object([
+                ("requests", JsonValue::from(server.requests as f64)),
+                (
+                    "client_errors",
+                    JsonValue::from(server.client_errors as f64),
+                ),
+                (
+                    "server_errors",
+                    JsonValue::from(server.server_errors as f64),
+                ),
+                ("rejected", JsonValue::from(server.rejected as f64)),
+                ("mean_latency_us", JsonValue::from(server.mean_latency_us())),
+                ("skip_ratio", JsonValue::from(server.skip_ratio())),
+                ("num_shards", JsonValue::from(shared.store.num_shards())),
+                (
+                    "uptime_seconds",
+                    JsonValue::from(shared.started.elapsed().as_secs_f64()),
+                ),
+            ]),
+        ),
+    ]);
+    // Durable stores additionally report their write-ahead log: how much
+    // of the live segment is unfolded, what group commit costs, and what
+    // the last recovery replayed.
+    if let Some(w) = store.wal_stats() {
+        sections.push((
+            "wal",
+            JsonValue::object([
+                ("mode", JsonValue::from(w.mode)),
+                ("wal_bytes", JsonValue::from(w.wal_bytes as f64)),
+                (
+                    "ingests_appended",
+                    JsonValue::from(w.ingests_appended as f64),
+                ),
+                (
+                    "records_appended",
+                    JsonValue::from(w.records_appended as f64),
+                ),
+                ("syncs", JsonValue::from(w.syncs as f64)),
+                ("sync_p50_us", JsonValue::from(w.sync_p50_us as f64)),
+                ("sync_p99_us", JsonValue::from(w.sync_p99_us as f64)),
+                ("records_replayed", JsonValue::from(w.records_replayed)),
+                ("ingests_replayed", JsonValue::from(w.ingests_replayed)),
+                ("checkpoints", JsonValue::from(w.checkpoints as f64)),
+            ]),
+        ));
+    }
+    (200, JsonValue::object(sections))
 }

@@ -1,0 +1,189 @@
+//! Retry behaviour of the blocking client against a stub server that
+//! misbehaves in controlled ways: 503 backpressure that clears after a
+//! few attempts, connections reset before a response, and failures that
+//! never clear (attempts and budget must bound the loop).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use traj_service::client::{http_get_retry, RetryPolicy};
+
+/// A stub HTTP server: for each accepted connection, calls `plan` with
+/// the 0-based connection index and performs the returned [`StubAction`]
+/// — respond with a status (503 mirrors the real server's backpressure
+/// rejection) or reset by dropping the socket unanswered.
+fn stub_server<F>(plan: F) -> (SocketAddr, std::thread::JoinHandle<usize>)
+where
+    F: Fn(usize) -> StubAction + Send + 'static,
+{
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind stub");
+    let addr = listener.local_addr().unwrap();
+    let handle = std::thread::spawn(move || {
+        let mut served = 0usize;
+        loop {
+            let Ok((mut stream, _)) = listener.accept() else {
+                return served;
+            };
+            let action = plan(served);
+            served += 1;
+            // Read the request head so the client is not racing a reset
+            // against its own write.
+            let mut buf = [0u8; 1024];
+            let _ = stream.read(&mut buf);
+            match action {
+                StubAction::Reset => drop(stream),
+                StubAction::Respond(status) => {
+                    let (reason, body) = match status {
+                        200 => ("OK", "{\"ok\":true}"),
+                        503 => ("Service Unavailable", "{\"error\":\"busy\"}"),
+                        _ => ("Error", "{}"),
+                    };
+                    let _ = stream.write_all(
+                        format!(
+                            "HTTP/1.1 {status} {reason}\r\nContent-Length: {}\r\n\
+                             Connection: close\r\n\r\n{body}",
+                            body.len()
+                        )
+                        .as_bytes(),
+                    );
+                }
+            }
+        }
+    });
+    (addr, handle)
+}
+
+enum StubAction {
+    Respond(u16),
+    Reset,
+}
+
+fn timeout() -> Duration {
+    Duration::from_secs(2)
+}
+
+/// Fast test policy: generous attempts, millisecond backoff.
+fn policy(max_attempts: u32) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts,
+        base_delay: Duration::from_millis(1),
+        max_delay: Duration::from_millis(8),
+        budget: Duration::from_secs(1),
+    }
+}
+
+#[test]
+fn retries_through_backpressure_until_the_server_recovers() {
+    // Two 503s, then a 200.
+    let served = Arc::new(AtomicUsize::new(0));
+    let served2 = Arc::clone(&served);
+    let (addr, handle) = stub_server(move |i| {
+        served2.store(i + 1, Ordering::SeqCst);
+        if i < 2 {
+            StubAction::Respond(503)
+        } else {
+            StubAction::Respond(200)
+        }
+    });
+    let (status, body) = http_get_retry(addr, "/stats", timeout(), &policy(5)).unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("ok"));
+    assert_eq!(served.load(Ordering::SeqCst), 3, "two retries expected");
+    drop(handle);
+}
+
+#[test]
+fn retries_through_connection_resets() {
+    let (addr, handle) = stub_server(|i| {
+        if i < 2 {
+            StubAction::Reset
+        } else {
+            StubAction::Respond(200)
+        }
+    });
+    let (status, _) = http_get_retry(addr, "/devices", timeout(), &policy(6)).unwrap();
+    assert_eq!(status, 200);
+    drop(handle);
+}
+
+#[test]
+fn exhausted_attempts_return_the_last_503() {
+    let served = Arc::new(AtomicUsize::new(0));
+    let served2 = Arc::clone(&served);
+    let (addr, handle) = stub_server(move |i| {
+        served2.store(i + 1, Ordering::SeqCst);
+        StubAction::Respond(503)
+    });
+    let (status, body) = http_get_retry(addr, "/stats", timeout(), &policy(4)).unwrap();
+    assert_eq!(status, 503, "a server that never recovers surfaces its 503");
+    assert!(body.contains("busy"));
+    assert_eq!(
+        served.load(Ordering::SeqCst),
+        4,
+        "exactly max_attempts tries"
+    );
+    drop(handle);
+}
+
+#[test]
+fn non_retryable_statuses_return_immediately() {
+    let served = Arc::new(AtomicUsize::new(0));
+    let served2 = Arc::clone(&served);
+    let (addr, handle) = stub_server(move |i| {
+        served2.store(i + 1, Ordering::SeqCst);
+        StubAction::Respond(404)
+    });
+    let (status, _) = http_get_retry(addr, "/nope", timeout(), &policy(5)).unwrap();
+    assert_eq!(status, 404);
+    assert_eq!(served.load(Ordering::SeqCst), 1, "404 must not be retried");
+    drop(handle);
+}
+
+#[test]
+fn the_budget_caps_total_backoff() {
+    // A policy with a huge attempt count but a tiny budget: the loop must
+    // stop sleeping once the budget is spent, long before max_attempts.
+    let served = Arc::new(AtomicUsize::new(0));
+    let served2 = Arc::clone(&served);
+    let (addr, handle) = stub_server(move |i| {
+        served2.store(i + 1, Ordering::SeqCst);
+        StubAction::Respond(503)
+    });
+    let tight = RetryPolicy {
+        max_attempts: 1000,
+        base_delay: Duration::from_millis(20),
+        max_delay: Duration::from_millis(20),
+        budget: Duration::from_millis(60),
+    };
+    let started = Instant::now();
+    let (status, _) = http_get_retry(addr, "/stats", timeout(), &tight).unwrap();
+    assert_eq!(status, 503);
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "budget must bound the retry loop, took {:?}",
+        started.elapsed()
+    );
+    assert!(
+        served.load(Ordering::SeqCst) < 500,
+        "budget must end retries well before max_attempts, saw {}",
+        served.load(Ordering::SeqCst)
+    );
+    drop(handle);
+}
+
+#[test]
+fn no_retry_policy_behaves_like_a_plain_get() {
+    let served = Arc::new(AtomicUsize::new(0));
+    let served2 = Arc::clone(&served);
+    let (addr, handle) = stub_server(move |i| {
+        served2.store(i + 1, Ordering::SeqCst);
+        StubAction::Respond(503)
+    });
+    let (status, _) = http_get_retry(addr, "/stats", timeout(), &RetryPolicy::none()).unwrap();
+    assert_eq!(status, 503);
+    assert_eq!(served.load(Ordering::SeqCst), 1);
+    drop(handle);
+}

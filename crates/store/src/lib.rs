@@ -71,11 +71,12 @@ pub mod persist;
 pub mod shard;
 pub mod sink;
 pub mod store;
+pub mod wal;
 
 pub use block::{Block, BlockMeta};
 pub use index::{BlockRef, GridIndex};
 pub use persist::RecoveryReport;
-pub use shard::ShardedStore;
+pub use shard::{DurableReport, ShardedStore};
 pub use sink::{
     compress_fleet_into_shared_store, compress_fleet_into_store, FleetStoreSink, IngestTarget,
     SharedStoreSink, StoreSink,
@@ -83,3 +84,4 @@ pub use sink::{
 pub use store::{
     DeviceMatch, QueryStats, StoreConfig, StoreError, StoreStats, TimeSlice, TrajStore, WindowQuery,
 };
+pub use wal::{DurabilityMode, Wal, WalReplayReport, WalStats};

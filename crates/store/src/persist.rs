@@ -12,7 +12,6 @@
 //! never persisted, so they can evolve without a format change.
 
 use std::fs;
-use std::io::Write;
 use std::path::Path;
 
 use traj_model::codec::{ByteReader, SegmentCodec};
@@ -20,6 +19,7 @@ use traj_model::json::JsonValue;
 
 use crate::block::Block;
 use crate::store::{StoreConfig, StoreError, TrajStore};
+use crate::wal::fault;
 
 /// Current on-disk format version.
 pub const FORMAT_VERSION: usize = 1;
@@ -66,7 +66,7 @@ impl RecoveryReport {
 /// answers) or non-finite / absurd extents.  Sound metadata is what the
 /// no-false-negative query guarantees rest on, so a block that fails here
 /// is treated exactly like one that fails to decode.
-fn validate_block(block: &Block, codec: &SegmentCodec) -> Result<(), String> {
+pub(crate) fn validate_block(block: &Block, codec: &SegmentCodec) -> Result<(), String> {
     let m = &block.meta;
     for (name, v) in [
         ("t_min", m.t_min),
@@ -154,14 +154,31 @@ pub(crate) fn write_store_files(
         ("blocks", JsonValue::from(stats.blocks)),
         ("points", JsonValue::from(stats.points)),
     ]);
-    // Manifest last: a directory with a manifest is a complete store.
-    let mut log_file =
-        fs::File::create(dir.join(LOG_FILE)).map_err(|e| io_err("create segments.log", e))?;
-    log_file
-        .write_all(log)
-        .map_err(|e| io_err("write segments.log", e))?;
-    fs::write(dir.join(MANIFEST_FILE), manifest.to_string_pretty() + "\n")
-        .map_err(|e| io_err("write manifest.json", e))?;
+    // Each file lands atomically (temp + fsync + rename), the manifest
+    // last: a crash at any point leaves either the old store or the new
+    // one, never a half-written file, and a directory whose manifest
+    // matches its log is a complete store.
+    atomic_write(dir, LOG_FILE, log)?;
+    atomic_write(
+        dir,
+        MANIFEST_FILE,
+        (manifest.to_string_pretty() + "\n").as_bytes(),
+    )?;
+    fault::guarded_sync_dir(dir).map_err(|e| io_err("sync store directory", e))?;
+    Ok(())
+}
+
+/// Replaces `dir/name` atomically: write a temp file, fsync it, rename
+/// over the target.  Readers see the old contents or the new contents,
+/// never a torn mix — the rename is the commit point.
+fn atomic_write(dir: &Path, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
+    let tmp = dir.join(format!("{name}.tmp"));
+    let target = dir.join(name);
+    let file = fs::File::create(&tmp).map_err(|e| io_err("create temp file", e))?;
+    fault::guarded_write(&file, bytes).map_err(|e| io_err("write temp file", e))?;
+    fault::guarded_sync(&file).map_err(|e| io_err("sync temp file", e))?;
+    drop(file);
+    fault::guarded_rename(&tmp, &target).map_err(|e| io_err("rename temp file into place", e))?;
     Ok(())
 }
 

@@ -44,24 +44,57 @@
 //! assert!(store.position_at(17, 1.0).is_some());
 //! ```
 
-use std::path::Path;
-use std::sync::RwLock;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, RwLock};
 
 use traj_geo::{BoundingBox, Point};
 use traj_model::SimplifiedTrajectory;
 use traj_pipeline::DeviceId;
 
 use crate::block::BlockMeta;
+use crate::persist::RecoveryReport;
 use crate::store::{
     QueryStats, StoreConfig, StoreError, StoreStats, TimeSlice, TrajStore, WindowQuery,
 };
+use crate::wal::{DurabilityMode, Wal, WalReplayReport, WalStats};
 
 /// A [`TrajStore`] partitioned into independently locked shards by device
 /// hash, safe to share across ingest and query threads (`&self` API).
+///
+/// Opened through [`ShardedStore::open_durable`] the store additionally
+/// carries a write-ahead log: every ingest is appended (and, depending on
+/// [`DurabilityMode`], fsynced) *before* it is applied and acknowledged,
+/// and [`ShardedStore::checkpoint`] folds the log into the main files.
 #[derive(Debug)]
 pub struct ShardedStore {
     config: StoreConfig,
     shards: Vec<RwLock<TrajStore>>,
+    /// The write-ahead log, present only on durable stores.
+    wal: Option<Arc<Wal>>,
+    /// Excludes ingest (readers) from checkpointing (the writer), so no
+    /// ingest can land records in a WAL segment that is about to be
+    /// pruned.  Lock order is always gate → shard.
+    ckpt_gate: RwLock<()>,
+    /// The directory a durable store checkpoints into.
+    durable_dir: Option<PathBuf>,
+}
+
+/// What [`ShardedStore::open_durable`] recovered: the main-file salvage
+/// report and the WAL replay on top of it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DurableReport {
+    /// Recovery of the main store files (see [`RecoveryReport`]).
+    pub recovery: RecoveryReport,
+    /// WAL replay over the recovered store (see [`WalReplayReport`]).
+    pub wal: WalReplayReport,
+}
+
+impl DurableReport {
+    /// `true` when both the main files and the WAL recovered without
+    /// dropping anything.
+    pub fn is_clean(&self) -> bool {
+        self.recovery.is_clean() && self.wal.is_clean()
+    }
 }
 
 /// Mixes a device id so that sequential ids spread evenly over shards
@@ -84,6 +117,9 @@ impl ShardedStore {
             shards: (0..num_shards)
                 .map(|_| RwLock::new(TrajStore::new(config)))
                 .collect(),
+            wal: None,
+            ckpt_gate: RwLock::new(()),
+            durable_dir: None,
         }
     }
 
@@ -139,6 +175,116 @@ impl ShardedStore {
     ) -> Result<(Self, crate::persist::RecoveryReport), StoreError> {
         let (store, report) = TrajStore::open_recover(dir)?;
         Ok((Self::from_store(store, num_shards), report))
+    }
+
+    /// Opens (or creates) a durable store at `dir`, recovering to exactly
+    /// the acknowledged state:
+    ///
+    /// 1. the main files are opened in recovery mode (torn checkpoint
+    ///    tails truncated to the longest valid prefix);
+    /// 2. the write-ahead log is replayed over them — every ingest whose
+    ///    commit marker reached the log durably is re-applied exactly
+    ///    once, unacknowledged tails are dropped;
+    /// 3. the recovered state is checkpointed back (so a second crash
+    ///    replays from a clean baseline) and a fresh WAL segment is
+    ///    started, pruning the replayed ones.
+    ///
+    /// The store's layout parameters come from the existing manifest (or
+    /// `config` when creating); `config.durability` always applies —
+    /// [`DurabilityMode::None`] recovers and checkpoints but runs without
+    /// a log from then on.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TrajStore::open_recover`], plus [`StoreError::Corrupt`]
+    /// when the WAL disagrees structurally with the main files (see
+    /// [`Wal::replay`]).
+    pub fn open_durable(
+        dir: &Path,
+        num_shards: usize,
+        config: StoreConfig,
+    ) -> Result<(Self, DurableReport), StoreError> {
+        let (mut flat, recovery) = if dir.join("manifest.json").exists() {
+            let (flat, recovery) = TrajStore::open_recover(dir)?;
+            (flat, recovery)
+        } else {
+            // A brand-new store: persist the empty baseline immediately so
+            // the first WAL segment has durable main files to anchor to.
+            let flat = TrajStore::new(config);
+            flat.save(dir)?;
+            (
+                flat,
+                RecoveryReport {
+                    blocks_recovered: 0,
+                    manifest_blocks: 0,
+                    bytes_dropped: 0,
+                    dropped_reason: None,
+                },
+            )
+        };
+        let wal_report = Wal::replay(dir, &mut flat)?;
+        // Fold the replayed state into the main files before touching the
+        // log: once the save lands, every replayed segment is stale by its
+        // base_blocks header, so a crash anywhere past this point can
+        // never double-apply.
+        flat.save(dir)?;
+        let base_blocks = flat.num_blocks();
+        let wal = match config.durability {
+            DurabilityMode::None => {
+                // No log going forward; drop the replayed segments (they
+                // are stale against the fresh checkpoint anyway).
+                let wal_dir = dir.join("wal");
+                if wal_dir.exists() {
+                    std::fs::remove_dir_all(&wal_dir)
+                        .map_err(|e| StoreError::Io(format!("remove wal directory: {e}")))?;
+                }
+                None
+            }
+            mode => {
+                let mut wal = Wal::start(dir, base_blocks, mode)?;
+                wal.set_replayed(&wal_report);
+                Some(Arc::new(wal))
+            }
+        };
+        let mut store = Self::from_store(flat, num_shards);
+        store.config.durability = config.durability;
+        store.wal = wal;
+        store.durable_dir = Some(dir.to_path_buf());
+        Ok((
+            store,
+            DurableReport {
+                recovery,
+                wal: wal_report,
+            },
+        ))
+    }
+
+    /// Folds everything the WAL holds into the main store files and starts
+    /// a fresh WAL segment, pruning the old ones.  Ingest is excluded for
+    /// the duration (the checkpoint gate), queries are not.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failures, or when the store was
+    /// not opened through [`ShardedStore::open_durable`].
+    pub fn checkpoint(&self) -> Result<(), StoreError> {
+        let Some(dir) = &self.durable_dir else {
+            return Err(StoreError::Io(
+                "checkpoint requires a durable store (open it with open_durable)".to_string(),
+            ));
+        };
+        let _gate = self.ckpt_gate.write().expect("checkpoint gate poisoned");
+        self.save(dir)?;
+        if let Some(wal) = &self.wal {
+            wal.rotate(self.stats().blocks)?;
+        }
+        Ok(())
+    }
+
+    /// WAL counters of a durable store (`None` when the store runs
+    /// without a log).
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.wal.as_ref().map(|wal| wal.stats())
     }
 
     /// Persists the store in the flat single-store format (shards are an
@@ -202,10 +348,7 @@ impl ShardedStore {
         simplified: &SimplifiedTrajectory,
         zeta: f64,
     ) -> Result<usize, StoreError> {
-        self.shards[self.shard_of(device)]
-            .write()
-            .expect("store lock poisoned")
-            .ingest(device, simplified, zeta)
+        self.ingest_impl(device, None, simplified, zeta)
     }
 
     /// Concurrent [`TrajStore::ingest_with_original`].
@@ -220,10 +363,38 @@ impl ShardedStore {
         simplified: &SimplifiedTrajectory,
         zeta: f64,
     ) -> Result<usize, StoreError> {
-        self.shards[self.shard_of(device)]
+        self.ingest_impl(device, Some(original), simplified, zeta)
+    }
+
+    /// The one ingest path.  On a durable store the prepared blocks go to
+    /// the WAL first; only a successful (and, in group-commit mode,
+    /// fsynced) append is applied and acknowledged — a failed append
+    /// leaves the shard untouched, so what the caller was told always
+    /// matches what recovery will reconstruct.
+    fn ingest_impl(
+        &self,
+        device: DeviceId,
+        original: Option<&[Point]>,
+        simplified: &SimplifiedTrajectory,
+        zeta: f64,
+    ) -> Result<usize, StoreError> {
+        // Gate before shard, always — see `ckpt_gate`.
+        let _gate = self.ckpt_gate.read().expect("checkpoint gate poisoned");
+        let mut shard = self.shards[self.shard_of(device)]
             .write()
-            .expect("store lock poisoned")
-            .ingest_with_original(device, original, simplified, zeta)
+            .expect("store lock poisoned");
+        let Some(prepared) = shard.prepare_ingest(device, original, simplified, zeta)? else {
+            return Ok(0);
+        };
+        if let Some(wal) = &self.wal {
+            wal.append_ingest(
+                prepared.device,
+                prepared.zeta,
+                &prepared.blocks,
+                prepared.original_len,
+            )?;
+        }
+        Ok(shard.apply_prepared(prepared))
     }
 
     /// Aggregate statistics, summed over per-shard snapshots.

@@ -9,6 +9,7 @@ use traj_pipeline::DeviceId;
 
 use crate::block::{expanded_intersects, Block, BlockMeta};
 use crate::index::{BlockRef, GridIndex};
+use crate::wal::DurabilityMode;
 
 /// Tuning knobs of a [`TrajStore`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -23,6 +24,11 @@ pub struct StoreConfig {
     /// The binary codec (quantization resolutions) blocks are encoded
     /// with.
     pub codec: SegmentCodec,
+    /// How live ingest is made durable (see [`DurabilityMode`]).  A
+    /// runtime policy, not part of the on-disk format — it is never
+    /// persisted in the manifest, and a store written under one mode
+    /// opens under any other.
+    pub durability: DurabilityMode,
 }
 
 impl Default for StoreConfig {
@@ -31,6 +37,7 @@ impl Default for StoreConfig {
             block_segments: 64,
             cell_size: 500.0,
             codec: SegmentCodec::default(),
+            durability: DurabilityMode::None,
         }
     }
 }
@@ -52,6 +59,12 @@ impl StoreConfig {
     /// Overrides the codec.
     pub fn with_codec(mut self, codec: SegmentCodec) -> Self {
         self.codec = codec;
+        self
+    }
+
+    /// Overrides the durability mode.
+    pub fn with_durability(mut self, durability: DurabilityMode) -> Self {
+        self.durability = durability;
         self
     }
 }
@@ -198,6 +211,20 @@ impl StoreStats {
 #[derive(Debug, Clone, Default)]
 struct DeviceLog {
     blocks: Vec<Block>,
+}
+
+/// A fully validated, encoded ingest that has not been applied yet — the
+/// unit the durable path logs to the WAL before mutating the store.
+#[derive(Debug, Clone)]
+pub(crate) struct PreparedIngest {
+    /// The target device.
+    pub(crate) device: DeviceId,
+    /// The error bound recorded on every block.
+    pub(crate) zeta: f64,
+    /// The sealed, encoded blocks in append order.
+    pub(crate) blocks: Vec<Block>,
+    /// Original points this ingest is responsible for.
+    pub(crate) original_len: usize,
 }
 
 /// The compressed trajectory storage engine.
@@ -351,9 +378,34 @@ impl TrajStore {
         simplified: &SimplifiedTrajectory,
         zeta: f64,
     ) -> Result<usize, StoreError> {
+        match self.prepare_ingest(device, original, simplified, zeta)? {
+            Some(prepared) => Ok(self.apply_prepared(prepared)),
+            None => Ok(0),
+        }
+    }
+
+    /// The validation + encoding half of an ingest, without mutating the
+    /// store: checks append order, chops into blocks, encodes payloads and
+    /// seals metadata.  `None` for an empty trajectory (a no-op ingest).
+    ///
+    /// The split exists for the durable path: the sharded store prepares,
+    /// writes the prepared blocks to the write-ahead log, and only then
+    /// applies — so an ingest whose WAL append fails is never applied,
+    /// and an applied ingest is always recoverable.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TrajStore::ingest`].
+    pub(crate) fn prepare_ingest(
+        &self,
+        device: DeviceId,
+        original: Option<&[Point]>,
+        simplified: &SimplifiedTrajectory,
+        zeta: f64,
+    ) -> Result<Option<PreparedIngest>, StoreError> {
         let segments = simplified.segments();
         if segments.is_empty() {
-            return Ok(0);
+            return Ok(None);
         }
         let t_new = segments
             .iter()
@@ -371,7 +423,7 @@ impl TrajStore {
             }
         }
         let slack = self.config.codec.spatial_slack();
-        let mut appended = 0;
+        let mut blocks = Vec::new();
         for chunk in segments.chunks(self.config.block_segments) {
             // The chunk is encoded as a stand-alone representation; its
             // responsibility indices stay absolute within the source
@@ -385,11 +437,27 @@ impl TrajStore {
             if let Some(points) = original {
                 meta.extend_with_points(points);
             }
-            self.append_block(Block { meta, payload });
-            appended += 1;
+            blocks.push(Block { meta, payload });
         }
-        self.total_points += simplified.original_len();
-        Ok(appended)
+        Ok(Some(PreparedIngest {
+            device,
+            zeta,
+            blocks,
+            original_len: simplified.original_len(),
+        }))
+    }
+
+    /// The mutation half of an ingest: appends a prepared ingest's sealed
+    /// blocks and accounts its points.  Infallible — every check happened
+    /// in [`TrajStore::prepare_ingest`].  Returns the number of blocks
+    /// appended.
+    pub(crate) fn apply_prepared(&mut self, prepared: PreparedIngest) -> usize {
+        let appended = prepared.blocks.len();
+        for block in prepared.blocks {
+            self.append_block(block);
+        }
+        self.total_points += prepared.original_len;
+        appended
     }
 
     /// Appends an already-sealed block (ingest and the persistence loader
@@ -413,6 +481,12 @@ impl TrajStore {
     /// Restores the original-point counter (persistence loader only).
     pub(crate) fn set_total_points(&mut self, points: usize) {
         self.total_points = points;
+    }
+
+    /// Adds to the original-point counter (WAL replay, which re-applies
+    /// committed ingests block by block).
+    pub(crate) fn add_total_points(&mut self, points: usize) {
+        self.total_points += points;
     }
 
     /// Iterates every block in (device, append-order) order —

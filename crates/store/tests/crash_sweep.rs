@@ -1,0 +1,266 @@
+//! Crash-point sweep: simulate a crash at **every** durable I/O site of a
+//! realistic durable-ingest workload and prove the acked-prefix invariant
+//! after reopening.
+//!
+//! The invariant, for every device and every ingest wave:
+//!
+//! * an **acknowledged** ingest is present exactly once after recovery —
+//!   all of its blocks, never a partial or duplicated subset;
+//! * an **unacknowledged** ingest is present at most once or not at all —
+//!   never torn;
+//! * the recovered index and skipping metadata agree with the recovered
+//!   blocks (queries answer exactly over what is there).
+//!
+//! The fault layer (`traj_store::wal::fault`) numbers every guarded
+//! write / sync / rename / dir-sync the workload performs, and each sweep
+//! iteration crashes at one site in one of three ways: the operation never
+//! happens, it tears half-way, or it completes but the process dies right
+//! after (losing the acknowledgement in flight).  The workload is
+//! sequential with a zero group-commit window, so the site sequence is
+//! deterministic and identical between the counting run and every armed
+//! run.
+//!
+//! The fault plan is process-global (the WAL syncer thread must see it),
+//! so every test in this binary serializes on one lock.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use traj_geo::{DirectedSegment, Point};
+use traj_model::{SimplifiedSegment, SimplifiedTrajectory};
+use traj_store::wal::fault::{self, CrashMode, FaultPlan};
+use traj_store::{DurabilityMode, ShardedStore, StoreConfig};
+
+/// All tests in this binary share the process-global fault state.
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("traj-crash-{tag}-{}", std::process::id()));
+    fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+const DEVICES: u64 = 3;
+const WAVES: usize = 4;
+const SEGS_PER_WAVE: usize = 5;
+/// 5 segments at `block_segments = 2` → 3 blocks per ingest.
+const BLOCKS_PER_WAVE: usize = 3;
+
+fn config(mode: DurabilityMode) -> StoreConfig {
+    StoreConfig::default()
+        .with_block_segments(2)
+        .with_durability(mode)
+}
+
+/// Wave `w` of any device: 5 segments in t ∈ [1000w, 1000w + 50] — wave
+/// time ranges are disjoint, so per-wave block counts are unambiguous.
+fn wave_traj(wave: usize) -> SimplifiedTrajectory {
+    let t0 = wave as f64 * 1000.0;
+    let mut segments = Vec::with_capacity(SEGS_PER_WAVE);
+    for i in 0..SEGS_PER_WAVE {
+        let a = Point::new(i as f64 * 50.0, wave as f64 * 10.0, t0 + i as f64 * 10.0);
+        let b = Point::new(
+            (i + 1) as f64 * 50.0,
+            wave as f64 * 10.0,
+            t0 + (i + 1) as f64 * 10.0,
+        );
+        segments.push(SimplifiedSegment::new(DirectedSegment::new(a, b), i, i + 1));
+    }
+    SimplifiedTrajectory::new(segments, SEGS_PER_WAVE + 1)
+}
+
+/// Runs the durable workload against `dir`, returning the `(device,
+/// wave)` ingests the store *acknowledged*.  A mid-workload checkpoint
+/// exercises the save + WAL-rotation path under fire.  After the injected
+/// crash every operation fails, so acknowledgements simply stop — exactly
+/// like a real process death.
+fn run_workload(dir: &Path) -> Vec<(u64, usize)> {
+    let mut acked = Vec::new();
+    let Ok((store, _)) = ShardedStore::open_durable(
+        dir,
+        2,
+        config(DurabilityMode::WalGroupCommit(Duration::ZERO)),
+    ) else {
+        return acked;
+    };
+    for wave in 0..WAVES {
+        for device in 0..DEVICES {
+            if store.ingest(device, &wave_traj(wave), 15.0).is_ok() {
+                acked.push((device, wave));
+            }
+        }
+        if wave == 1 {
+            let _ = store.checkpoint();
+        }
+    }
+    acked
+}
+
+/// Reopens `dir` (real I/O — the fault must be disarmed) and asserts the
+/// acked-prefix invariant against the acknowledgement log of the crashed
+/// run.
+fn assert_acked_prefix(dir: &Path, acked: &[(u64, usize)], context: &str) {
+    let (store, _report) = ShardedStore::open_durable(dir, 2, config(DurabilityMode::WalAsync))
+        .unwrap_or_else(|e| panic!("{context}: reopen after crash failed: {e}"));
+    for device in 0..DEVICES {
+        let metas = store.block_metas(device);
+        let mut present_prev = true;
+        for wave in 0..WAVES {
+            let t0 = wave as f64 * 1000.0;
+            let n = metas
+                .iter()
+                .filter(|m| m.t_min >= t0 && m.t_min < t0 + 999.0)
+                .count();
+            assert!(
+                n == 0 || n == BLOCKS_PER_WAVE,
+                "{context}: device {device} wave {wave}: {n} blocks — torn or duplicated ingest"
+            );
+            let present = n == BLOCKS_PER_WAVE;
+            if acked.contains(&(device, wave)) {
+                assert!(
+                    present,
+                    "{context}: device {device} wave {wave}: acknowledged ingest lost"
+                );
+            }
+            assert!(
+                present_prev || !present,
+                "{context}: device {device} wave {wave}: applied without its predecessor"
+            );
+            present_prev = present;
+            // Index + metadata consistency: the query layer sees exactly
+            // the segments of the waves that are present.
+            let slice = store.time_slice(device, t0 + 0.5, t0 + 49.5);
+            assert_eq!(
+                slice.segments.len(),
+                if present { SEGS_PER_WAVE } else { 0 },
+                "{context}: device {device} wave {wave}: index disagrees with blocks"
+            );
+        }
+    }
+}
+
+#[test]
+fn durable_reopen_replays_everything_without_a_checkpoint() {
+    let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = scratch("replay");
+    {
+        let (store, report) =
+            ShardedStore::open_durable(&dir, 4, config(DurabilityMode::WalAsync)).unwrap();
+        assert!(report.is_clean());
+        for wave in 0..WAVES {
+            for device in 0..DEVICES {
+                store.ingest(device, &wave_traj(wave), 15.0).unwrap();
+            }
+        }
+        assert_eq!(
+            store.stats().blocks,
+            DEVICES as usize * WAVES * BLOCKS_PER_WAVE
+        );
+        // Dropped without checkpoint or save: everything lives in the WAL.
+    }
+    let (back, report) =
+        ShardedStore::open_durable(&dir, 4, config(DurabilityMode::WalAsync)).unwrap();
+    assert_eq!(report.wal.ingests_replayed, DEVICES as usize * WAVES);
+    assert_eq!(report.wal.ingests_rejected, 0);
+    assert_eq!(report.wal.bytes_dropped, 0);
+    assert_eq!(
+        back.stats().blocks,
+        DEVICES as usize * WAVES * BLOCKS_PER_WAVE
+    );
+    assert_eq!(
+        back.stats().points,
+        DEVICES as usize * WAVES * (SEGS_PER_WAVE + 1)
+    );
+    let stats = back.wal_stats().expect("durable store has wal stats");
+    assert_eq!(stats.ingests_replayed, DEVICES as usize * WAVES);
+    drop(back);
+    // The reopen checkpointed the replayed state, so a third open finds
+    // clean main files and an empty live segment: nothing to replay.
+    let (_, report) =
+        ShardedStore::open_durable(&dir, 4, config(DurabilityMode::WalAsync)).unwrap();
+    assert!(report.is_clean(), "{report:?}");
+    assert_eq!(report.wal.ingests_replayed, 0);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn group_commit_batches_concurrent_writers() {
+    let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = scratch("group");
+    let writers = 16u64;
+    let (store, _) = ShardedStore::open_durable(
+        &dir,
+        8,
+        config(DurabilityMode::WalGroupCommit(Duration::from_millis(2))),
+    )
+    .unwrap();
+    std::thread::scope(|s| {
+        for device in 0..writers {
+            let store = &store;
+            s.spawn(move || {
+                for wave in 0..WAVES {
+                    store.ingest(device, &wave_traj(wave), 15.0).unwrap();
+                }
+            });
+        }
+    });
+    let stats = store.wal_stats().unwrap();
+    assert_eq!(stats.ingests_appended, writers * WAVES as u64);
+    assert!(
+        stats.syncs < stats.ingests_appended,
+        "group commit should batch: {} syncs for {} ingests",
+        stats.syncs,
+        stats.ingests_appended
+    );
+    assert!(stats.syncs > 0);
+    assert!(stats.wal_bytes > 0);
+    drop(store);
+    let (back, report) =
+        ShardedStore::open_durable(&dir, 8, config(DurabilityMode::WalAsync)).unwrap();
+    assert_eq!(report.wal.ingests_replayed, writers as usize * WAVES);
+    assert_eq!(
+        back.stats().blocks,
+        writers as usize * WAVES * BLOCKS_PER_WAVE
+    );
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn crash_sweep_preserves_the_acked_prefix_at_every_site() {
+    let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // Counting run: same workload, crash site beyond every op.
+    let dir = scratch("sweep-count");
+    fault::arm(FaultPlan {
+        crash_at: usize::MAX,
+        mode: CrashMode::DropOp,
+    });
+    let acked = run_workload(&dir);
+    let total_sites = fault::disarm();
+    fs::remove_dir_all(&dir).ok();
+    assert_eq!(
+        acked.len(),
+        DEVICES as usize * WAVES,
+        "counting run must acknowledge everything"
+    );
+    assert!(
+        total_sites > 30,
+        "expected dozens of durable I/O sites, counted {total_sites}"
+    );
+
+    for mode in [CrashMode::DropOp, CrashMode::Tear, CrashMode::AfterOp] {
+        for site in 0..total_sites {
+            let context = format!("{mode:?} at site {site}/{total_sites}");
+            let dir = scratch("sweep");
+            fault::arm(FaultPlan {
+                crash_at: site,
+                mode,
+            });
+            let acked = run_workload(&dir);
+            fault::disarm();
+            assert_acked_prefix(&dir, &acked, &context);
+            fs::remove_dir_all(&dir).ok();
+        }
+    }
+}

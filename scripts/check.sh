@@ -20,6 +20,10 @@ cargo test --release -q -p traj-store --test fault_injection
 cargo test --release -q -p traj-store --test concurrent_stress
 cargo test --release -q -p traj-store --test golden_e2e
 
+echo "==> crash-recovery gate: WAL crash-point sweep + SIGKILL'd live server (release)"
+cargo test --release -q -p traj-store --test crash_sweep
+cargo test --release -q --test serve_live_crash
+
 echo "==> store example (pipeline → store → queries)"
 cargo run --release --example store_query
 

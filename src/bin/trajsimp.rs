@@ -57,6 +57,7 @@ const USAGE: &str = "usage: trajsimp <input.csv|input.plt> [--algorithm NAME] [-
        trajsimp query DIR --window x0,y0,x1,y1 [--from T --to T]   (spatial window)\n\
        trajsimp query DIR --device N --at T   (interpolated position)\n\
        trajsimp serve [DIR] [--addr HOST] [--port P] [--server-workers N] [--shards N] [--live WAVES]\n\
+                      [--durable DIR] [--durability async|group-commit[:MS]]\n\
                       [--no-shutdown-endpoint] [--trajectories N] [--points N] [--algorithm NAME]\n\
                       [--epsilon METERS] [--dataset NAME] [--seed N]   (HTTP query server; GET /shutdown stops it)\n\
                      algorithms: operb (default: operb-a), operb-a, raw-operb, raw-operb-a, dp, td-tr, opw, bqs, fbqs";
@@ -524,7 +525,35 @@ struct ServeOptions {
     shards: usize,
     live_waves: usize,
     shutdown_endpoint: bool,
+    durable: Option<String>,
+    durability: trajsimp::store::DurabilityMode,
     fleet: FleetOptions,
+}
+
+/// Parses a `--durability` value: `async`, `group-commit`, or
+/// `group-commit:WINDOW_MS`.
+fn parse_durability(value: &str) -> Result<trajsimp::store::DurabilityMode, String> {
+    use trajsimp::store::DurabilityMode;
+    match value {
+        "async" => Ok(DurabilityMode::WalAsync),
+        "group-commit" => Ok(DurabilityMode::WalGroupCommit(
+            std::time::Duration::from_millis(2),
+        )),
+        other => {
+            if let Some(ms) = other.strip_prefix("group-commit:") {
+                let ms: u64 = ms
+                    .parse()
+                    .map_err(|e| format!("--durability {other}: {e}"))?;
+                Ok(DurabilityMode::WalGroupCommit(
+                    std::time::Duration::from_millis(ms),
+                ))
+            } else {
+                Err(format!(
+                    "--durability must be 'async', 'group-commit' or 'group-commit:MS', got '{other}'"
+                ))
+            }
+        }
+    }
 }
 
 fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
@@ -535,6 +564,9 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
     let mut shards = 16usize;
     let mut live_waves = 0usize;
     let mut shutdown_endpoint = true;
+    let mut durable = None;
+    let mut durability =
+        trajsimp::store::DurabilityMode::WalGroupCommit(std::time::Duration::from_millis(2));
     let mut fleet_args: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -552,6 +584,8 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
             }
             "--shards" => shards = value()?.parse().map_err(|e| format!("{arg}: {e}"))?,
             "--live" => live_waves = value()?.parse().map_err(|e| format!("{arg}: {e}"))?,
+            "--durable" => durable = Some(value()?.to_string()),
+            "--durability" => durability = parse_durability(value()?)?,
             other if dir.is_none() && !other.starts_with('-') => {
                 dir = Some(other.to_string());
             }
@@ -576,6 +610,8 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
         shards,
         live_waves,
         shutdown_endpoint,
+        durable,
+        durability,
         fleet,
     })
 }
@@ -608,6 +644,13 @@ fn run_serve(options: &ServeOptions) -> Result<(), String> {
         // has no originals to extend, so the flag would silently do
         // nothing — refuse instead.
         return Err("--live requires synthetic mode (omit the store directory)".to_string());
+    }
+    if options.dir.is_some() && options.durable.is_some() {
+        return Err(
+            "--durable opens its own store directory; it cannot be combined with the \
+             read-only store-directory positional"
+                .to_string(),
+        );
     }
     let mut live_fleet = None;
     let store = match &options.dir {
@@ -647,16 +690,57 @@ fn run_serve(options: &ServeOptions) -> Result<(), String> {
                     )
                 })
                 .collect();
-            let store = std::sync::Arc::new(ShardedStore::new(
-                StoreConfig::default().with_block_segments(32),
-                options.shards,
-            ));
-            let config = PipelineConfig::new(options.fleet.epsilon)
-                .with_workers(options.fleet.workers)
-                .with_batch_size(options.fleet.batch);
-            let (_, ingested) =
-                compress_fleet_into_shared_store(&fleet, &config, &algorithm, &store)?;
-            eprintln!("ingested {ingested} streams");
+            let store_config = StoreConfig::default().with_block_segments(32);
+            let store = match &options.durable {
+                // Durable live ingest: every acknowledged stream is in the
+                // write-ahead log before the sink moves on, and a crash
+                // recovers to exactly the acknowledged prefix.
+                Some(dir) => {
+                    let (store, report) = ShardedStore::open_durable(
+                        std::path::Path::new(dir),
+                        options.shards,
+                        store_config.with_durability(options.durability),
+                    )
+                    .map_err(|e| format!("open durable store {dir}: {e}"))?;
+                    if report.is_clean() {
+                        eprintln!(
+                            "durable store {dir}: {} blocks, {} ingests replayed from wal",
+                            store.stats().blocks,
+                            report.wal.ingests_replayed
+                        );
+                    } else {
+                        eprintln!(
+                            "durable store {dir} recovered: {} ingests replayed, {} incomplete, \
+                             {} rejected, {} wal bytes dropped",
+                            report.wal.ingests_replayed,
+                            report.wal.ingests_incomplete,
+                            report.wal.ingests_rejected,
+                            report.wal.bytes_dropped,
+                        );
+                    }
+                    std::sync::Arc::new(store)
+                }
+                None => std::sync::Arc::new(ShardedStore::new(store_config, options.shards)),
+            };
+            // A durable directory that already holds data (recovered or
+            // checkpointed) keeps it: the initial synthetic ingest is the
+            // time range the store already covers, so re-running it would
+            // only bounce off the per-device out-of-order guard.  Live
+            // waves resume *past* the recovered data instead (below).
+            if store.stats().points == 0 {
+                let config = PipelineConfig::new(options.fleet.epsilon)
+                    .with_workers(options.fleet.workers)
+                    .with_batch_size(options.fleet.batch);
+                let (_, ingested) =
+                    compress_fleet_into_shared_store(&fleet, &config, &algorithm, &store)?;
+                eprintln!("ingested {ingested} streams");
+            } else {
+                eprintln!(
+                    "resuming durable store with {} points — skipping the initial synthetic \
+                     ingest",
+                    store.stats().points
+                );
+            }
             live_fleet = Some(fleet);
             store
         }
@@ -703,15 +787,23 @@ fn run_serve(options: &ServeOptions) -> Result<(), String> {
                 .with_batch_size(options.fleet.batch);
             let algorithm_name = options.fleet.algorithm.clone();
             let span = fleet.iter().map(|(_, t)| t.last().t).fold(0.0f64, f64::max) + 60.0;
+            // Each wave shifts the fleet by `span`; the initial ingest is
+            // wave 0.  A resumed durable store starts past everything it
+            // already holds — a partially ingested wave (crash mid-wave)
+            // is rounded up and skipped whole, so no device replays time
+            // it has already logged.
+            let per_wave: usize = fleet.iter().map(|(_, t)| t.len()).sum();
+            let first = store.stats().points.div_ceil(per_wave.max(1)).max(1);
             Some(std::thread::spawn(move || {
                 let algorithm =
                     FleetAlgorithm::by_name(&algorithm_name).expect("algorithm validated above");
-                for wave in 1..=waves {
+                for offset in 0..waves {
+                    let (wave, n_of) = (first + offset, offset + 1);
                     let shifted = shifted_fleet(&fleet, span * wave as f64);
                     match compress_fleet_into_shared_store(&shifted, &config, &algorithm, &store) {
-                        Ok((_, n)) => eprintln!("live wave {wave}/{waves}: ingested {n} streams"),
+                        Ok((_, n)) => eprintln!("live wave {n_of}/{waves}: ingested {n} streams"),
                         Err(e) => {
-                            eprintln!("live wave {wave}/{waves} failed: {e}");
+                            eprintln!("live wave {n_of}/{waves} failed: {e}");
                             return;
                         }
                     }
@@ -724,6 +816,14 @@ fn run_serve(options: &ServeOptions) -> Result<(), String> {
     let final_stats = server.join();
     if let Some(h) = ingest_thread {
         let _ = h.join();
+    }
+    if options.durable.is_some() {
+        // A graceful shutdown folds the WAL into the main files, so the
+        // next open starts from a clean checkpoint instead of a replay.
+        match store.checkpoint() {
+            Ok(()) => eprintln!("checkpointed durable store on shutdown"),
+            Err(e) => eprintln!("warning: shutdown checkpoint failed: {e}"),
+        }
     }
     println!(
         "served {} requests ({} client errors, {} rejected), mean handler latency {:.0} µs, skip ratio {:.1}%",

@@ -1,0 +1,130 @@
+//! End-to-end durability: `trajsimp serve --durable` as a real child
+//! process, killed with SIGKILL (no shutdown hook, no checkpoint) while
+//! live waves are still being ingested, then the store directory reopened
+//! in-process.  Every point the server acknowledged through `/stats`
+//! before dying must come back from the write-ahead log.
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use trajsimp::service::client;
+use trajsimp::store::{DurabilityMode, ShardedStore, StoreConfig};
+
+/// A scratch directory unique to this test process.
+fn scratch(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("trajsimp-serve-crash-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Extracts `"points": N` from the `/stats` store section.
+fn parse_points(body: &str) -> Option<usize> {
+    let at = body.find("\"points\":")? + "\"points\":".len();
+    let digits: String = body[at..]
+        .chars()
+        .skip_while(|c| c.is_whitespace())
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+#[test]
+fn a_sigkilled_durable_server_loses_no_acknowledged_points() {
+    let dir = scratch("kill");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_trajsimp"))
+        .args([
+            "serve",
+            "--port",
+            "0",
+            "--durable",
+            dir.to_str().unwrap(),
+            "--durability",
+            "group-commit:1",
+            // Far more waves than will ever finish: the kill lands mid-ingest.
+            "--live",
+            "500",
+            "--trajectories",
+            "16",
+            "--points",
+            "120",
+            "--server-workers",
+            "2",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn trajsimp serve");
+
+    // The server prints `listening on http://ADDR` once bound; a reader
+    // thread forwards that line and then keeps the pipe drained.
+    let stdout = child.stdout.take().expect("child stdout piped");
+    let (tx, rx) = mpsc::channel::<SocketAddr>();
+    let reader = std::thread::spawn(move || {
+        let mut lines = BufReader::new(stdout).lines();
+        while let Some(Ok(line)) = lines.next() {
+            if let Some(rest) = line.strip_prefix("listening on http://") {
+                if let Ok(addr) = rest.trim().parse() {
+                    let _ = tx.send(addr);
+                }
+            }
+        }
+    });
+    let addr = match rx.recv_timeout(Duration::from_secs(60)) {
+        Ok(addr) => addr,
+        Err(_) => {
+            let _ = child.kill();
+            panic!("server never announced its address");
+        }
+    };
+
+    // Poll `/stats` until at least one live wave has landed on top of the
+    // initial fleet, remembering the highest acknowledged point count.
+    // With group commit, a point visible in `/stats` was fsynced first.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut baseline = None;
+    let mut acked = 0usize;
+    while Instant::now() < deadline {
+        if let Ok((200, body)) = client::http_get_timeout(addr, "/stats", Duration::from_secs(2)) {
+            if let Some(points) = parse_points(&body) {
+                acked = acked.max(points);
+                let base = *baseline.get_or_insert(points);
+                if acked > base {
+                    break;
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(acked > 0, "never observed any ingested points over /stats");
+    assert!(
+        baseline.is_some_and(|base| acked > base),
+        "no live wave landed before the deadline (stuck at {acked} points)"
+    );
+
+    // SIGKILL: no atexit, no checkpoint, no WAL shutdown sync.
+    child.kill().expect("kill server");
+    child.wait().expect("reap server");
+    reader.join().expect("stdout reader");
+
+    // Recovery must replay at least everything that was acknowledged.
+    let config = StoreConfig::default()
+        .with_block_segments(32)
+        .with_durability(DurabilityMode::WalAsync);
+    let (store, report) = ShardedStore::open_durable(&dir, 4, config)
+        .unwrap_or_else(|e| panic!("reopen after SIGKILL: {e}"));
+    let recovered = store.stats().points;
+    assert!(
+        recovered >= acked,
+        "lost acknowledged data: served {acked} points, recovered {recovered} \
+         (wal replayed {} ingests, {:?})",
+        report.wal.ingests_replayed,
+        report.wal.dropped_reason,
+    );
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+}
