@@ -1,0 +1,119 @@
+//! Bench regression gate: diffs `BENCH_<name>.json` run reports against
+//! the committed `BENCH_baseline.json` and fails past the tolerance.
+//!
+//! ```text
+//! # Gate (exit 1 on any gated regression or vanished gated metric):
+//! bench_compare --baseline BENCH_baseline.json BENCH_codec.json BENCH_store.json
+//!
+//! # Loosen the default 10% tolerance (shared/noisy CI hosts):
+//! BENCH_TOLERANCE=0.25 bench_compare --baseline BENCH_baseline.json BENCH_codec.json
+//!
+//! # After an intentional performance change, refresh the baseline:
+//! BENCH_REGEN=1 bench_compare --baseline BENCH_baseline.json BENCH_codec.json …
+//! ```
+//!
+//! Regeneration upserts each given report into the baseline (other
+//! entries are kept), so a single bench can be re-baselined alone.
+//! A report whose bench name has no baseline entry fails the gate — run
+//! with `BENCH_REGEN=1` once to admit it.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use traj_bench::harness::{compare, tolerance_from_env, Baseline, BenchReport};
+
+const USAGE: &str =
+    "usage: bench_compare --baseline BENCH_baseline.json [--tolerance F] BENCH_<name>.json…";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("bench_compare: {msg}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut tolerance = tolerance_from_env();
+    let mut reports: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{arg} needs a value"))
+        };
+        match arg.as_str() {
+            "--baseline" | "-b" => baseline_path = Some(PathBuf::from(value()?)),
+            "--tolerance" | "-t" => {
+                tolerance = value()?.parse().map_err(|e| format!("{arg}: {e}"))?;
+                if tolerance.is_nan() || tolerance < 0.0 {
+                    return Err("--tolerance must be a non-negative fraction".into());
+                }
+            }
+            other => reports.push(PathBuf::from(other)),
+        }
+    }
+    let baseline_path = baseline_path.ok_or("--baseline is required")?;
+    if reports.is_empty() {
+        return Err("no run reports given".into());
+    }
+    let regen = std::env::var("BENCH_REGEN").is_ok();
+
+    let mut baseline = if baseline_path.exists() {
+        Baseline::load(&baseline_path)?
+    } else if regen {
+        Baseline::default()
+    } else {
+        return Err(format!(
+            "baseline {} does not exist (BENCH_REGEN=1 to create it)",
+            baseline_path.display()
+        ));
+    };
+
+    if regen {
+        for path in &reports {
+            let report = BenchReport::load(path)?;
+            println!("baselining '{}' from {}", report.name, path.display());
+            baseline.upsert(report);
+        }
+        baseline
+            .save(&baseline_path)
+            .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+        println!("regenerated {}", baseline_path.display());
+        return Ok(true);
+    }
+
+    let mut all_passed = true;
+    for path in &reports {
+        let report = BenchReport::load(path)?;
+        let Some(base) = baseline.bench(&report.name) else {
+            eprintln!(
+                "✗ {}: no baseline entry for bench '{}' (BENCH_REGEN=1 to admit it)",
+                path.display(),
+                report.name
+            );
+            all_passed = false;
+            continue;
+        };
+        let cmp = compare(&report, base, tolerance);
+        let mark = if cmp.passed() { "✓" } else { "✗" };
+        println!(
+            "{mark} {} vs baseline (tolerance {:.0}%):",
+            report.name,
+            tolerance * 100.0
+        );
+        print!("{cmp}");
+        all_passed &= cmp.passed();
+    }
+    if !all_passed {
+        eprintln!(
+            "bench gate FAILED — intentional change? rerun the benches and \
+             BENCH_REGEN=1 bench_compare … to refresh the baseline"
+        );
+    }
+    Ok(all_passed)
+}

@@ -1,0 +1,235 @@
+//! Codec micro-benchmark: encode/decode throughput and storage footprint
+//! of both on-disk block formats over the same compressed fleet.
+//!
+//! ```text
+//! cargo run --release -p traj-bench --bin codec_bench
+//! cargo run --release -p traj-bench --bin codec_bench -- --devices 128 --points 600 \
+//!     --epsilon 30 --iters 40 --out target
+//! ```
+//!
+//! The fleet is seeded and OPERB-compressed, so the byte streams under
+//! measurement are exactly what the store would write.  Decode uses the
+//! arena path ([`traj_model::DecodeArena`]) — the hot loop the store's
+//! queries run.  Headline numbers land in `BENCH_codec.json`:
+//!
+//! * `bytes_per_point_{varint,for}` — gated, lower is better;
+//! * `decode_{varint,for}_gbps` — gated, higher is better (this is the
+//!   metric the FoR format exists for);
+//! * `encode_{varint,for}_gbps` and the `for_vs_varint_decode` ratio —
+//!   informational.
+//!
+//! Every decoded trajectory is differentially verified against the other
+//! format before timing starts; a mismatch fails the run.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use traj_bench::harness::{run_timed, BenchReport, Direction};
+use traj_data::{DatasetGenerator, DatasetKind};
+use traj_model::codec::{BlockFormat, DecodeArena, SegmentCodec};
+use traj_model::{SimplifiedTrajectory, Trajectory};
+use traj_pipeline::{compress_fleet, DeviceId, FleetAlgorithm, PipelineConfig};
+
+const USAGE: &str = "usage: codec_bench [--devices N] [--points N] [--epsilon METERS] \
+                     [--iters N] [--seed N] [--out DIR]";
+
+struct Options {
+    devices: usize,
+    points: usize,
+    epsilon: f64,
+    iters: usize,
+    seed: u64,
+    out: PathBuf,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            devices: 64,
+            points: 500,
+            epsilon: 30.0,
+            iters: 30,
+            seed: 20170401,
+            out: PathBuf::from("."),
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut o = Options::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{arg} needs a value"))
+        };
+        match arg.as_str() {
+            "--devices" | "-n" => {
+                o.devices = value()?.parse().map_err(|e| format!("{arg}: {e}"))?
+            }
+            "--points" | "-p" => o.points = value()?.parse().map_err(|e| format!("{arg}: {e}"))?,
+            "--epsilon" | "-e" => {
+                o.epsilon = value()?.parse().map_err(|e| format!("{arg}: {e}"))?
+            }
+            "--iters" | "-i" => o.iters = value()?.parse().map_err(|e| format!("{arg}: {e}"))?,
+            "--seed" | "-s" => o.seed = value()?.parse().map_err(|e| format!("{arg}: {e}"))?,
+            "--out" | "-o" => o.out = PathBuf::from(value()?),
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    if o.devices == 0 || o.points < 2 || o.iters == 0 {
+        return Err("codec_bench needs --devices >= 1, --points >= 2, --iters >= 1".into());
+    }
+    Ok(o)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&options) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("codec_bench: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(options: &Options) -> Result<(), String> {
+    eprintln!(
+        "compressing {} trajectories of {} points (ζ = {} m, seed {}) …",
+        options.devices, options.points, options.epsilon, options.seed
+    );
+    let generator = DatasetGenerator::for_kind(DatasetKind::Taxi, options.seed);
+    let fleet: Vec<(DeviceId, Trajectory)> = (0..options.devices)
+        .map(|i| {
+            (
+                i as DeviceId,
+                generator.generate_trajectory(i, options.points),
+            )
+        })
+        .collect();
+    let algorithm = FleetAlgorithm::by_name("operb").expect("operb is registered");
+    let config = PipelineConfig::new(options.epsilon).with_batch_size(256);
+    let run = compress_fleet(&fleet, &config, &algorithm);
+    let mut blocks: Vec<SimplifiedTrajectory> = Vec::new();
+    let mut points = 0usize;
+    for result in run.results {
+        blocks.push(
+            result
+                .output
+                .map_err(|e| format!("device {} failed: {e}", result.device))?,
+        );
+        points += result.points;
+    }
+
+    let codec = SegmentCodec::default();
+    let mut report = BenchReport::new("codec");
+    let mut decode_gbps = [0.0f64; 2];
+    for (fi, format) in BlockFormat::ALL.into_iter().enumerate() {
+        // Encode once for footprint + differential verification …
+        let encoded: Vec<Vec<u8>> = blocks
+            .iter()
+            .map(|b| codec.encode_block(format, b))
+            .collect::<Result<_, _>>()
+            .map_err(|e| format!("{format} encode: {e}"))?;
+        let stored: usize = encoded.iter().map(Vec::len).sum();
+        for (block, bytes) in blocks.iter().zip(&encoded) {
+            let decoded = codec
+                .decode_block(format, bytes)
+                .map_err(|e| format!("{format} decode: {e}"))?;
+            let canonical = codec
+                .decode_block(
+                    BlockFormat::Varint,
+                    &codec.encode_block(BlockFormat::Varint, block).unwrap(),
+                )
+                .unwrap();
+            if decoded != canonical {
+                return Err(format!("{format} decode differs from varint decode"));
+            }
+        }
+
+        // … then time the hot loops over the whole fleet per iteration.
+        let encode = run_timed(2, options.iters, || {
+            for block in &blocks {
+                std::hint::black_box(codec.encode_block(format, block).unwrap());
+            }
+        });
+        let mut arena = DecodeArena::new();
+        let decode = run_timed(2, options.iters, || {
+            for bytes in &encoded {
+                codec.decode_block_into(format, bytes, &mut arena).unwrap();
+                std::hint::black_box(arena.segments().len());
+            }
+        });
+
+        let name = format.name();
+        let bpp = stored as f64 / points.max(1) as f64;
+        decode_gbps[fi] = decode.gbps(stored);
+        report.push(
+            format!("bytes_per_point_{name}"),
+            bpp,
+            "bytes",
+            Direction::LowerIsBetter,
+            true,
+        );
+        report.push(
+            format!("decode_{name}_gbps"),
+            decode.gbps(stored),
+            "GB/s",
+            Direction::HigherIsBetter,
+            true,
+        );
+        report.push(
+            format!("encode_{name}_gbps"),
+            encode.gbps(stored),
+            "GB/s",
+            Direction::HigherIsBetter,
+            false,
+        );
+        println!("── {format} ───────────────────────────────────────────");
+        println!("  stored bytes : {stored} ({bpp:.2} bytes/point, raw 24.00)");
+        println!(
+            "  encode       : {:.3} GB/s (p50 {:.0} µs, p99 {:.0} µs per fleet pass)",
+            encode.gbps(stored),
+            encode.p50.as_secs_f64() * 1e6,
+            encode.p99.as_secs_f64() * 1e6
+        );
+        println!(
+            "  decode       : {:.3} GB/s (p50 {:.0} µs, p99 {:.0} µs per fleet pass)",
+            decode.gbps(stored),
+            decode.p50.as_secs_f64() * 1e6,
+            decode.p99.as_secs_f64() * 1e6
+        );
+    }
+
+    // The headline ratio: how much faster the batched FoR decode runs.
+    // GB/s over different byte streams is not comparable work, so the
+    // ratio is wall-time per fleet pass, not throughput.
+    let ratio = {
+        let varint_stored: f64 = report.metric("bytes_per_point_varint").unwrap().value;
+        let for_stored: f64 = report.metric("bytes_per_point_for").unwrap().value;
+        let varint_secs = varint_stored / decode_gbps[0];
+        let for_secs = for_stored / decode_gbps[1];
+        varint_secs / for_secs
+    };
+    report.push(
+        "for_vs_varint_decode",
+        ratio,
+        "x",
+        Direction::HigherIsBetter,
+        false,
+    );
+    println!("\nFoR decodes the fleet {ratio:.2}x as fast as varint (wall-time ratio)");
+
+    let path = report
+        .write_to(&options.out)
+        .map_err(|e| format!("writing report: {e}"))?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

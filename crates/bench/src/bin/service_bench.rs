@@ -18,13 +18,16 @@
 //! within `ζ + quantization slack` of a returned segment of its device.
 //! The run fails unless the ζ-violation count is exactly zero.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use traj_bench::harness::{BenchReport, Direction};
 use traj_data::rng::{Rng, SmallRng};
 use traj_data::{DatasetGenerator, DatasetKind};
 use traj_geo::{BoundingBox, DirectedSegment, Point};
+use traj_model::codec::BlockFormat;
 use traj_model::json::JsonValue;
 use traj_model::{SimplifiedSegment, Trajectory};
 use traj_pipeline::{DeviceId, FleetAlgorithm, PipelineConfig};
@@ -33,7 +36,8 @@ use traj_store::{compress_fleet_into_shared_store, ShardedStore, StoreConfig};
 
 const USAGE: &str = "usage: service_bench [--devices N>=100] [--points N] [--epsilon METERS] \
                      [--algorithm NAME] [--clients N>=32] [--requests N] [--workers N] \
-                     [--shards N] [--window-size METERS] [--seed N]";
+                     [--shards N] [--window-size METERS] [--format varint|for] [--seed N] \
+                     [--out DIR]";
 
 struct Options {
     devices: usize,
@@ -45,7 +49,9 @@ struct Options {
     workers: usize,
     shards: usize,
     window_size: f64,
+    format: BlockFormat,
     seed: u64,
+    out: PathBuf,
 }
 
 impl Default for Options {
@@ -60,7 +66,9 @@ impl Default for Options {
             workers: 4,
             shards: 16,
             window_size: 600.0,
+            format: BlockFormat::ForFixed,
             seed: 20170401,
+            out: PathBuf::from("."),
         }
     }
 }
@@ -94,7 +102,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--window-size" => {
                 o.window_size = value()?.parse().map_err(|e| format!("{arg}: {e}"))?
             }
+            "--format" | "-f" => {
+                o.format = BlockFormat::from_name(value()?)
+                    .ok_or_else(|| format!("{arg}: expected 'varint' or 'for'"))?
+            }
             "--seed" | "-s" => o.seed = value()?.parse().map_err(|e| format!("{arg}: {e}"))?,
+            "--out" | "-o" => o.out = PathBuf::from(value()?),
             other => return Err(format!("unexpected argument '{other}'")),
         }
     }
@@ -345,7 +358,9 @@ fn run(options: &Options) -> Result<(), String> {
 
     // ── Ingest: pipeline → SharedStoreSink → ShardedStore ────────────────
     let store = Arc::new(ShardedStore::new(
-        StoreConfig::default().with_block_segments(32),
+        StoreConfig::default()
+            .with_block_segments(32)
+            .with_format(options.format),
         options.shards,
     ));
     let pipeline_config = PipelineConfig::new(options.epsilon).with_batch_size(256);
@@ -463,5 +478,44 @@ fn run(options: &Options) -> Result<(), String> {
         "\nall {} answers respected the stored error bound.",
         latencies.len()
     );
+
+    // ── Machine-readable report ──────────────────────────────────────────
+    // The client-observed QPS is the gated headline (the comparator fails
+    // on a > tolerance drop); latency percentiles and the server's own
+    // counters ride along ungated for trend-watching.
+    let mut report = BenchReport::new("service");
+    report.push("qps", qps, "req/s", Direction::HigherIsBetter, true);
+    report.push(
+        "p50_us",
+        percentile(&latencies, 0.50),
+        "µs",
+        Direction::LowerIsBetter,
+        false,
+    );
+    report.push(
+        "p99_us",
+        percentile(&latencies, 0.99),
+        "µs",
+        Direction::LowerIsBetter,
+        false,
+    );
+    report.push(
+        "server_qps",
+        server_stats.qps(),
+        "req/s",
+        Direction::HigherIsBetter,
+        false,
+    );
+    report.push(
+        "skip_ratio",
+        server_stats.skip_ratio(),
+        "fraction",
+        Direction::HigherIsBetter,
+        false,
+    );
+    let path = report
+        .write_to(&options.out)
+        .map_err(|e| format!("writing report: {e}"))?;
+    println!("wrote {}", path.display());
     Ok(())
 }

@@ -21,19 +21,22 @@
 //! inside the window must be within `ζ + quantization slack` of a
 //! returned segment of its device.  A violation fails the run.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use traj_bench::harness::{BenchReport, Direction};
 use traj_bench::table::TextTable;
 use traj_data::{DatasetGenerator, DatasetKind};
 use traj_geo::BoundingBox;
-use traj_model::{SimplifiedTrajectory, Trajectory};
+use traj_model::{BlockFormat, SimplifiedTrajectory, Trajectory};
 use traj_pipeline::{compress_fleet, DeviceId, FleetAlgorithm, PipelineConfig};
 use traj_store::{compress_fleet_into_store, DurabilityMode, ShardedStore, StoreConfig, TrajStore};
 
 const USAGE: &str = "usage: store_bench [--devices N>=100] [--points N] [--epsilon METERS] \
-                     [--algorithm NAME] [--windows N] [--window-size METERS] [--seed N]";
+                     [--algorithm NAME] [--windows N] [--window-size METERS] [--seed N] \
+                     [--format varint|for] [--out DIR]";
 
 struct Options {
     devices: usize,
@@ -43,6 +46,8 @@ struct Options {
     windows: usize,
     window_size: f64,
     seed: u64,
+    format: BlockFormat,
+    out: PathBuf,
 }
 
 impl Default for Options {
@@ -55,6 +60,8 @@ impl Default for Options {
             windows: 16,
             window_size: 600.0,
             seed: 20170401,
+            format: BlockFormat::ForFixed,
+            out: PathBuf::from("."),
         }
     }
 }
@@ -82,6 +89,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 o.window_size = value()?.parse().map_err(|e| format!("{arg}: {e}"))?
             }
             "--seed" | "-s" => o.seed = value()?.parse().map_err(|e| format!("{arg}: {e}"))?,
+            "--format" | "-f" => {
+                let name = value()?;
+                o.format = BlockFormat::from_name(name)
+                    .ok_or_else(|| format!("unknown block format '{name}'"))?;
+            }
+            "--out" | "-o" => o.out = PathBuf::from(value()?),
             other => return Err(format!("unexpected argument '{other}'")),
         }
     }
@@ -132,7 +145,11 @@ fn run(options: &Options) -> Result<(), String> {
 
     // ── Ingest: pipeline → StoreSink → TrajStore ─────────────────────────
     let pipeline_config = PipelineConfig::new(options.epsilon).with_batch_size(256);
-    let mut store = TrajStore::new(StoreConfig::default().with_block_segments(32));
+    let mut store = TrajStore::new(
+        StoreConfig::default()
+            .with_block_segments(32)
+            .with_format(options.format),
+    );
     let ingest_started = Instant::now();
     let (report, ingested) =
         compress_fleet_into_store(&fleet, &pipeline_config, &algorithm, &mut store)?;
@@ -143,11 +160,13 @@ fn run(options: &Options) -> Result<(), String> {
 
     let stats = store.stats();
     let bound = options.epsilon + store.config().codec.spatial_slack();
+    let ingest_rate = stats.points as f64 / ingest_elapsed.as_secs_f64().max(1e-12);
     println!("── ingest ──────────────────────────────────────────────");
     println!(
-        "algorithm        : {} (ζ = {} m)",
+        "algorithm        : {} (ζ = {} m), block format {}",
         algorithm.name(),
-        options.epsilon
+        options.epsilon,
+        options.format
     );
     println!("devices          : {}", stats.devices);
     println!("points           : {}", stats.points);
@@ -166,7 +185,7 @@ fn run(options: &Options) -> Result<(), String> {
     );
     println!(
         "ingest throughput: {:.0} points/s ({} workers, {:.0} ms wall)",
-        stats.points as f64 / ingest_elapsed.as_secs_f64().max(1e-12),
+        ingest_rate,
         report.workers,
         ingest_elapsed.as_secs_f64() * 1e3
     );
@@ -178,6 +197,7 @@ fn run(options: &Options) -> Result<(), String> {
         "window", "devices", "segments", "decoded", "in scope", "skip", "latency",
     ]);
     let mut worst_skip: f64 = 1.0;
+    let mut window_latencies: Vec<Duration> = Vec::with_capacity(options.windows);
     let half = options.window_size / 2.0;
     for w in 0..options.windows {
         let (_, probe_traj) = &fleet[(w * 37) % fleet.len()];
@@ -191,6 +211,7 @@ fn run(options: &Options) -> Result<(), String> {
         let started = Instant::now();
         let q = store.window_query(&window, None);
         let elapsed = started.elapsed();
+        window_latencies.push(elapsed);
 
         // Acceptance: strictly fewer blocks decoded than a full scan.
         if q.stats.blocks_decoded >= q.stats.blocks_in_scope {
@@ -297,8 +318,77 @@ fn run(options: &Options) -> Result<(), String> {
     }
     println!("\nζ bound respected on every query result.");
 
+    // ── Machine-readable report ──────────────────────────────────────────
+    // Size and skipping are deterministic for a fixed workload and gate
+    // the regression comparison; wall-clock numbers ride along ungated.
+    window_latencies.sort_unstable();
+    let pick = |q: f64| {
+        window_latencies[((window_latencies.len() - 1) as f64 * q).round() as usize].as_secs_f64()
+            * 1e6
+    };
+    let mut bench = BenchReport::new("store");
+    bench.push(
+        "bytes_per_point",
+        stats.bytes_per_point(),
+        "bytes",
+        Direction::LowerIsBetter,
+        true,
+    );
+    bench.push(
+        "worst_window_skip_ratio",
+        worst_skip,
+        "ratio",
+        Direction::HigherIsBetter,
+        true,
+    );
+    bench.push(
+        "window_p50_us",
+        pick(0.50),
+        "us",
+        Direction::LowerIsBetter,
+        false,
+    );
+    bench.push(
+        "window_p99_us",
+        pick(0.99),
+        "us",
+        Direction::LowerIsBetter,
+        false,
+    );
+    bench.push(
+        "time_slice_us",
+        slice_elapsed.as_secs_f64() * 1e6 / fleet.len() as f64,
+        "us",
+        Direction::LowerIsBetter,
+        false,
+    );
+    bench.push(
+        "lookup_us",
+        lookup_elapsed.as_secs_f64() * 1e6 / lookups as f64,
+        "us",
+        Direction::LowerIsBetter,
+        false,
+    );
+    bench.push(
+        "ingest_points_per_sec",
+        ingest_rate,
+        "points/s",
+        Direction::HigherIsBetter,
+        false,
+    );
+    let path = bench
+        .write_to(&options.out)
+        .map_err(|e| format!("writing report: {e}"))?;
+    println!("wrote {}", path.display());
+
     // ── Durability: WAL mode throughput ──────────────────────────────────
-    durability_bench(&fleet, &pipeline_config, &algorithm, options.epsilon)?;
+    durability_bench(
+        &fleet,
+        &pipeline_config,
+        &algorithm,
+        options.epsilon,
+        options.format,
+    )?;
     Ok(())
 }
 
@@ -323,6 +413,7 @@ fn durability_bench(
     pipeline_config: &PipelineConfig,
     algorithm: &FleetAlgorithm,
     epsilon: f64,
+    format: BlockFormat,
 ) -> Result<(), String> {
     // Simplify once, up front: the bench isolates store-ingest cost, the
     // compression pipeline must not sit inside the timed region.
@@ -393,6 +484,7 @@ fn durability_bench(
         let _ = std::fs::remove_dir_all(&dir);
         let config = StoreConfig::default()
             .with_block_segments(32)
+            .with_format(format)
             .with_durability(spec.mode);
         // An ingest holds its shard's write lock across the commit wait,
         // so group-commit batching is bounded by the shard count — give

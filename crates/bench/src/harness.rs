@@ -1,0 +1,609 @@
+//! Benchmark harness: fixed-work timing with percentile latencies,
+//! machine-readable `BENCH_<name>.json` reports, and a baseline
+//! comparator that turns "the numbers moved" into a pass/fail gate.
+//!
+//! Every bench binary in this crate funnels its headline numbers through
+//! [`BenchReport`]: a flat list of named [`Metric`]s with a unit, an
+//! improvement direction and a `gated` flag.  Reports serialize through
+//! [`traj_model::json`] (this workspace builds offline, without serde) to
+//! one `BENCH_<name>.json` per run, and [`compare`] diffs a run against a
+//! committed [`Baseline`] — a gated metric that regresses past the
+//! tolerance fails the comparison, an improvement or an ungated wobble
+//! does not.  `scripts/check.sh` wires this into CI via the
+//! `bench_compare` binary.
+//!
+//! Timing uses [`run_timed`]: a warmup pass the clock never sees, then a
+//! fixed number of measured iterations, summarized as p50/p99/mean.  The
+//! workload inside the closure must be identical every iteration — the
+//! harness measures, it does not subsample.
+
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use traj_model::json::JsonValue;
+
+/// Which way "better" points for a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Throughputs, ratios of useful work: bigger numbers win.
+    HigherIsBetter,
+    /// Latencies, footprints: smaller numbers win.
+    LowerIsBetter,
+}
+
+impl Direction {
+    fn name(self) -> &'static str {
+        match self {
+            Direction::HigherIsBetter => "higher",
+            Direction::LowerIsBetter => "lower",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "higher" => Some(Direction::HigherIsBetter),
+            "lower" => Some(Direction::LowerIsBetter),
+            _ => None,
+        }
+    }
+}
+
+/// One measured number with enough metadata to gate on it later.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Stable machine name, e.g. `decode_for_gbps`.
+    pub name: String,
+    /// The measurement.
+    pub value: f64,
+    /// Human unit, e.g. `GB/s`, `bytes/point`, `us`.
+    pub unit: String,
+    /// Which way improvement points.
+    pub direction: Direction,
+    /// Whether the regression gate considers this metric.  Gate the
+    /// robust numbers (throughput over thousands of operations, size
+    /// ratios); leave one-shot wall-clock curiosities ungated.
+    pub gated: bool,
+}
+
+/// A named collection of metrics — the unit the comparator works on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// The bench name; the report file is `BENCH_<name>.json`.
+    pub name: String,
+    /// Metrics in insertion order.
+    pub metrics: Vec<Metric>,
+}
+
+impl BenchReport {
+    /// An empty report for the bench `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        BenchReport {
+            name: name.into(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Appends a metric.
+    pub fn push(
+        &mut self,
+        name: impl Into<String>,
+        value: f64,
+        unit: impl Into<String>,
+        direction: Direction,
+        gated: bool,
+    ) {
+        self.metrics.push(Metric {
+            name: name.into(),
+            value,
+            unit: unit.into(),
+            direction,
+            gated,
+        });
+    }
+
+    /// Looks a metric up by name.
+    pub fn metric(&self, name: &str) -> Option<&Metric> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+
+    /// The report as a JSON value.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("bench", JsonValue::from(self.name.as_str())),
+            (
+                "metrics",
+                JsonValue::Array(
+                    self.metrics
+                        .iter()
+                        .map(|m| {
+                            JsonValue::object([
+                                ("name", JsonValue::from(m.name.as_str())),
+                                ("value", JsonValue::from(m.value)),
+                                ("unit", JsonValue::from(m.unit.as_str())),
+                                ("direction", JsonValue::from(m.direction.name())),
+                                ("gated", JsonValue::from(m.gated)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses a report back out of its JSON form.
+    pub fn from_json(value: &JsonValue) -> Result<Self, String> {
+        let name = value
+            .get("bench")
+            .and_then(JsonValue::as_str)
+            .ok_or("report is missing the 'bench' name")?
+            .to_string();
+        let metrics = value
+            .get("metrics")
+            .and_then(JsonValue::as_array)
+            .ok_or("report is missing the 'metrics' array")?;
+        let mut out = BenchReport::new(name);
+        for (i, m) in metrics.iter().enumerate() {
+            let field = |key: &str| {
+                m.get(key)
+                    .ok_or_else(|| format!("metric {i} is missing '{key}'"))
+            };
+            let name = field("name")?
+                .as_str()
+                .ok_or_else(|| format!("metric {i}: 'name' is not a string"))?;
+            let value = field("value")?
+                .as_f64()
+                .ok_or_else(|| format!("metric {name}: 'value' is not a number"))?;
+            let unit = field("unit")?
+                .as_str()
+                .ok_or_else(|| format!("metric {name}: 'unit' is not a string"))?;
+            let direction = field("direction")?
+                .as_str()
+                .and_then(Direction::from_name)
+                .ok_or_else(|| format!("metric {name}: bad 'direction'"))?;
+            let gated = field("gated")?
+                .as_bool()
+                .ok_or_else(|| format!("metric {name}: 'gated' is not a bool"))?;
+            out.push(name, value, unit, direction, gated);
+        }
+        Ok(out)
+    }
+
+    /// Writes `BENCH_<name>.json` into `dir`, returning the path.
+    pub fn write_to(&self, dir: &Path) -> io::Result<PathBuf> {
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        let mut text = self.to_json().to_string_pretty();
+        text.push('\n');
+        std::fs::write(&path, text)?;
+        Ok(path)
+    }
+
+    /// Loads a report from a `BENCH_<name>.json` file.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let value = JsonValue::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::from_json(&value)
+    }
+}
+
+/// A committed collection of reports — `BENCH_baseline.json`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Baseline {
+    /// One entry per bench binary.
+    pub benches: Vec<BenchReport>,
+}
+
+impl Baseline {
+    /// The baseline as a JSON value.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([(
+            "benches",
+            JsonValue::Array(self.benches.iter().map(BenchReport::to_json).collect()),
+        )])
+    }
+
+    /// Parses a baseline file's JSON.
+    pub fn from_json(value: &JsonValue) -> Result<Self, String> {
+        let benches = value
+            .get("benches")
+            .and_then(JsonValue::as_array)
+            .ok_or("baseline is missing the 'benches' array")?;
+        Ok(Baseline {
+            benches: benches
+                .iter()
+                .map(BenchReport::from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+
+    /// Loads `BENCH_baseline.json`.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let value = JsonValue::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::from_json(&value)
+    }
+
+    /// Writes the baseline to `path`.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let mut text = self.to_json().to_string_pretty();
+        text.push('\n');
+        std::fs::write(path, text)
+    }
+
+    /// The baseline entry for bench `name`.
+    pub fn bench(&self, name: &str) -> Option<&BenchReport> {
+        self.benches.iter().find(|b| b.name == name)
+    }
+
+    /// Inserts or replaces the entry for `report.name`.
+    pub fn upsert(&mut self, report: BenchReport) {
+        match self.benches.iter_mut().find(|b| b.name == report.name) {
+            Some(slot) => *slot = report,
+            None => self.benches.push(report),
+        }
+    }
+}
+
+// ───────────────────────────── timing ─────────────────────────────
+
+/// Latency summary of a fixed-work measured loop.
+#[derive(Debug, Clone, Copy)]
+pub struct TimingSummary {
+    /// Measured iterations (excludes warmup).
+    pub iters: usize,
+    /// Median per-iteration wall time.
+    pub p50: Duration,
+    /// 99th-percentile per-iteration wall time.
+    pub p99: Duration,
+    /// Mean per-iteration wall time.
+    pub mean: Duration,
+    /// Total measured wall time.
+    pub total: Duration,
+}
+
+impl TimingSummary {
+    /// Iterations per second, from the mean.
+    pub fn per_second(&self) -> f64 {
+        self.iters as f64 / self.total.as_secs_f64().max(1e-12)
+    }
+
+    /// Throughput in GB/s given `bytes` processed per iteration.
+    pub fn gbps(&self, bytes_per_iter: usize) -> f64 {
+        (bytes_per_iter as f64 * self.iters as f64) / self.total.as_secs_f64().max(1e-12) / 1e9
+    }
+}
+
+/// Runs `f` `warmup` times unmeasured, then `iters` measured times.
+///
+/// Panics if `iters == 0`.
+pub fn run_timed(warmup: usize, iters: usize, mut f: impl FnMut()) -> TimingSummary {
+    assert!(iters > 0, "run_timed needs at least one measured iteration");
+    for _ in 0..warmup {
+        f();
+    }
+    let mut samples = Vec::with_capacity(iters);
+    let total_started = Instant::now();
+    for _ in 0..iters {
+        let started = Instant::now();
+        f();
+        samples.push(started.elapsed());
+    }
+    let total = total_started.elapsed();
+    samples.sort_unstable();
+    let pick = |q: f64| samples[((samples.len() - 1) as f64 * q).round() as usize];
+    TimingSummary {
+        iters,
+        p50: pick(0.50),
+        p99: pick(0.99),
+        mean: samples.iter().sum::<Duration>() / iters as u32,
+        total,
+    }
+}
+
+// ──────────────────────────── comparison ────────────────────────────
+
+/// Verdict for one metric of a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Within tolerance, or moved in the improving direction.
+    Pass,
+    /// Gated metric moved the wrong way past the tolerance.
+    Regressed,
+    /// Gated baseline metric absent from the current run — the gate must
+    /// fail loudly rather than silently stop measuring something.
+    Missing,
+    /// Ungated: reported, never failed on.
+    Informational,
+}
+
+/// One row of a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareRow {
+    /// Metric name.
+    pub name: String,
+    /// Committed baseline value, if present.
+    pub baseline: Option<f64>,
+    /// Current value, if present.
+    pub current: Option<f64>,
+    /// Relative change in the *improvement* direction (+ is better),
+    /// when both values exist.
+    pub delta: Option<f64>,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+/// The outcome of diffing a run against a baseline entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Per-metric rows, baseline order, then current-only extras.
+    pub rows: Vec<CompareRow>,
+}
+
+impl Comparison {
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        !self
+            .rows
+            .iter()
+            .any(|r| matches!(r.verdict, Verdict::Regressed | Verdict::Missing))
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for row in &self.rows {
+            let shown = |v: Option<f64>| match v {
+                Some(v) => format!("{v:.4}"),
+                None => "—".to_string(),
+            };
+            let delta = match row.delta {
+                Some(d) => format!("{:+.1}%", d * 100.0),
+                None => "—".to_string(),
+            };
+            writeln!(
+                f,
+                "  {:<28} {:>12} -> {:>12}  {:>8}  {:?}",
+                row.name,
+                shown(row.baseline),
+                shown(row.current),
+                delta,
+                row.verdict
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The regression tolerance: `BENCH_TOLERANCE` (a fraction, e.g. `0.15`)
+/// or the default 10%.
+pub fn tolerance_from_env() -> f64 {
+    std::env::var("BENCH_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|v| v.is_finite() && *v >= 0.0)
+        .unwrap_or(0.10)
+}
+
+/// Diffs `current` against `baseline`.
+///
+/// For every **gated** baseline metric: missing from the current run →
+/// [`Verdict::Missing`]; moved against its improvement direction by more
+/// than `tolerance` (relative to the baseline value) → [`Verdict::Regressed`].
+/// Everything else passes; metrics only the current run has are reported
+/// as informational (commit a new baseline to start gating them).
+pub fn compare(current: &BenchReport, baseline: &BenchReport, tolerance: f64) -> Comparison {
+    let mut rows = Vec::new();
+    for base in &baseline.metrics {
+        let cur = current.metric(&base.name);
+        let (delta, verdict) = match cur {
+            None => (
+                None,
+                if base.gated {
+                    Verdict::Missing
+                } else {
+                    Verdict::Informational
+                },
+            ),
+            Some(cur) => {
+                // Relative change, oriented so positive = improvement.
+                let raw = if base.value.abs() > f64::EPSILON {
+                    (cur.value - base.value) / base.value.abs()
+                } else if cur.value == base.value {
+                    0.0
+                } else {
+                    f64::INFINITY.copysign(cur.value - base.value)
+                };
+                let oriented = match base.direction {
+                    Direction::HigherIsBetter => raw,
+                    Direction::LowerIsBetter => -raw,
+                };
+                let verdict = if !base.gated {
+                    Verdict::Informational
+                } else if oriented < -tolerance {
+                    Verdict::Regressed
+                } else {
+                    Verdict::Pass
+                };
+                (Some(oriented), verdict)
+            }
+        };
+        rows.push(CompareRow {
+            name: base.name.clone(),
+            baseline: Some(base.value),
+            current: cur.map(|m| m.value),
+            delta,
+            verdict,
+        });
+    }
+    for m in &current.metrics {
+        if baseline.metric(&m.name).is_none() {
+            rows.push(CompareRow {
+                name: m.name.clone(),
+                baseline: None,
+                current: Some(m.value),
+                delta: None,
+                verdict: Verdict::Informational,
+            });
+        }
+    }
+    Comparison { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> BenchReport {
+        let mut r = BenchReport::new("codec");
+        r.push(
+            "decode_for_gbps",
+            2.5,
+            "GB/s",
+            Direction::HigherIsBetter,
+            true,
+        );
+        r.push(
+            "bytes_per_point",
+            6.25,
+            "bytes",
+            Direction::LowerIsBetter,
+            true,
+        );
+        r.push("wall_ms", 123.0, "ms", Direction::LowerIsBetter, false);
+        r
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let report = sample_report();
+        let text = report.to_json().to_string_pretty();
+        let back = BenchReport::from_json(&JsonValue::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, report);
+
+        let mut baseline = Baseline::default();
+        baseline.upsert(report.clone());
+        baseline.upsert(BenchReport::new("store"));
+        baseline.upsert(report.clone()); // replace, not duplicate
+        assert_eq!(baseline.benches.len(), 2);
+        let text = baseline.to_json().to_string_pretty();
+        let back = Baseline::from_json(&JsonValue::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, baseline);
+        assert_eq!(back.bench("codec"), Some(&report));
+    }
+
+    #[test]
+    fn report_construction_is_deterministic_for_a_fixed_workload() {
+        // Identical inputs → byte-identical report files: the metric
+        // pipeline itself introduces no nondeterminism (ordering, float
+        // formatting), so any diff in CI is a real measurement change.
+        let a = sample_report().to_json().to_string_pretty();
+        let b = sample_report().to_json().to_string_pretty();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn malformed_reports_fail_with_context() {
+        for (text, needle) in [
+            ("{}", "bench"),
+            ("{\"bench\": \"x\"}", "metrics"),
+            (
+                "{\"bench\": \"x\", \"metrics\": [{\"name\": \"m\"}]}",
+                "missing 'value'",
+            ),
+            (
+                "{\"bench\": \"x\", \"metrics\": [{\"name\": \"m\", \"value\": 1, \
+                 \"unit\": \"u\", \"direction\": \"sideways\", \"gated\": true}]}",
+                "direction",
+            ),
+        ] {
+            let err = BenchReport::from_json(&JsonValue::parse(text).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "{err:?} lacks {needle:?}");
+        }
+    }
+
+    #[test]
+    fn comparator_passes_improvements_and_tolerated_noise() {
+        let baseline = sample_report();
+        let mut current = BenchReport::new("codec");
+        // Faster decode: an improvement on a higher-is-better gate.
+        current.push(
+            "decode_for_gbps",
+            3.5,
+            "GB/s",
+            Direction::HigherIsBetter,
+            true,
+        );
+        // 4% larger on a lower-is-better gate: inside the 10% tolerance.
+        current.push(
+            "bytes_per_point",
+            6.5,
+            "bytes",
+            Direction::LowerIsBetter,
+            true,
+        );
+        // Ungated wall time may do anything.
+        current.push("wall_ms", 9999.0, "ms", Direction::LowerIsBetter, false);
+        let cmp = compare(&current, &baseline, 0.10);
+        assert!(cmp.passed(), "{cmp}");
+        assert!(cmp.rows.iter().all(|r| r.verdict != Verdict::Regressed));
+    }
+
+    #[test]
+    fn comparator_fails_past_tolerance_regressions() {
+        let baseline = sample_report();
+        let mut current = baseline.clone();
+        // 20% slower decode on a 10% gate.
+        current.metrics[0].value = 2.0;
+        let cmp = compare(&current, &baseline, 0.10);
+        assert!(!cmp.passed());
+        assert_eq!(cmp.rows[0].verdict, Verdict::Regressed);
+        // The same drop passes a 30% tolerance.
+        assert!(compare(&current, &baseline, 0.30).passed());
+        // A lower-is-better metric regresses by growing.
+        let mut bloated = baseline.clone();
+        bloated.metrics[1].value = 8.0;
+        let cmp = compare(&bloated, &baseline, 0.10);
+        assert!(!cmp.passed());
+        assert_eq!(cmp.rows[1].verdict, Verdict::Regressed);
+    }
+
+    #[test]
+    fn comparator_fails_loudly_on_missing_gated_metrics() {
+        let baseline = sample_report();
+        let mut current = BenchReport::new("codec");
+        current.push(
+            "bytes_per_point",
+            6.25,
+            "bytes",
+            Direction::LowerIsBetter,
+            true,
+        );
+        let cmp = compare(&current, &baseline, 0.10);
+        assert!(!cmp.passed(), "a vanished gated metric must fail the gate");
+        assert_eq!(cmp.rows[0].verdict, Verdict::Missing);
+        // A vanished *ungated* metric does not fail.
+        let mut no_wall = sample_report();
+        no_wall.metrics.retain(|m| m.name != "wall_ms");
+        assert!(compare(&no_wall, &baseline, 0.10).passed());
+        // Brand-new metrics are informational until committed.
+        let mut extra = sample_report();
+        extra.push("new_thing", 1.0, "x", Direction::HigherIsBetter, true);
+        assert!(compare(&extra, &baseline, 0.10).passed());
+    }
+
+    #[test]
+    fn timing_summary_is_well_formed() {
+        let mut counter = 0u64;
+        let summary = run_timed(3, 50, || {
+            counter += 1;
+            std::hint::black_box(counter);
+        });
+        assert_eq!(counter, 53, "warmup + measured iterations all ran");
+        assert_eq!(summary.iters, 50);
+        assert!(summary.p50 <= summary.p99);
+        assert!(summary.total >= summary.p50);
+        assert!(summary.per_second() > 0.0);
+        assert!(summary.gbps(1_000_000) > 0.0);
+    }
+}

@@ -22,7 +22,9 @@
 pub mod algorithms;
 pub mod datasets;
 pub mod experiments;
+pub mod harness;
 pub mod table;
 
 pub use algorithms::{algorithm_by_name, standard_algorithms, AlgorithmSet};
 pub use datasets::{DatasetRepository, Scale};
+pub use harness::{compare, run_timed, Baseline, BenchReport, Direction, Metric};

@@ -64,6 +64,9 @@ pub enum CodecError {
     InvalidIndex,
     /// Bytes were left over after the last segment.
     TrailingBytes,
+    /// A structural field (format tag, flag byte, chunk bit width,
+    /// reference overflow) is invalid for the block format being decoded.
+    InvalidFormat,
 }
 
 impl std::fmt::Display for CodecError {
@@ -76,6 +79,7 @@ impl std::fmt::Display for CodecError {
             CodecError::VarintOverflow => write!(f, "varint longer than 10 bytes"),
             CodecError::InvalidIndex => write!(f, "corrupt responsibility index"),
             CodecError::TrailingBytes => write!(f, "trailing bytes after the last segment"),
+            CodecError::InvalidFormat => write!(f, "invalid block format structure"),
         }
     }
 }
@@ -176,6 +180,75 @@ fn checked_index(v: i64) -> Result<usize, CodecError> {
     }
 }
 
+/// On-disk payload format of one encoded block.
+///
+/// The storage layer tags every block record with the format of its
+/// payload, so a single store may mix formats freely: `Varint` blocks
+/// written by older stores remain readable forever, and
+/// [`crate::codec::SegmentCodec::decode_block_into`] dispatches on the
+/// per-block tag, not on any store-wide setting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BlockFormat {
+    /// v1: per-segment zig-zag varint deltas.  Most compact on typical
+    /// fleets; decode is byte-serial (one data-dependent branch per
+    /// varint byte).
+    #[default]
+    Varint,
+    /// v2: chunked fixed-width frame-of-reference columns.  Each column
+    /// of 64 values stores a varint reference (the chunk minimum), one
+    /// bit-width byte and fixed-width packed offsets; decode is a
+    /// branch-lean batched unpack into a reusable [`DecodeArena`].
+    ForFixed,
+}
+
+impl BlockFormat {
+    /// All formats, for sweeping tests and benches.
+    pub const ALL: [BlockFormat; 2] = [BlockFormat::Varint, BlockFormat::ForFixed];
+
+    /// The one-byte tag stored in block records.
+    #[inline]
+    pub fn tag(self) -> u8 {
+        match self {
+            BlockFormat::Varint => 1,
+            BlockFormat::ForFixed => 2,
+        }
+    }
+
+    /// Inverse of [`BlockFormat::tag`]; `None` for unknown tags.
+    #[inline]
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            1 => Some(BlockFormat::Varint),
+            2 => Some(BlockFormat::ForFixed),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase name, accepted back by [`BlockFormat::from_name`].
+    #[inline]
+    pub fn name(self) -> &'static str {
+        match self {
+            BlockFormat::Varint => "varint",
+            BlockFormat::ForFixed => "for",
+        }
+    }
+
+    /// Parses a format name as used by CLIs and bench flags.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "varint" => Some(BlockFormat::Varint),
+            "for" | "for-fixed" | "frame-of-reference" => Some(BlockFormat::ForFixed),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for BlockFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Flag bit: the segment's start point is an interpolated patch point.
 const FLAG_INTERPOLATED_START: u8 = 1 << 0;
 /// Flag bit: the segment's end point is an interpolated patch point.
@@ -184,6 +257,162 @@ const FLAG_INTERPOLATED_END: u8 = 1 << 1;
 /// discontinuity; always set on the first segment, whose start is encoded
 /// as a delta from the origin).
 const FLAG_RESTART: u8 = 1 << 2;
+
+/// Mask of the flag bits the frame-of-reference format stores (restart
+/// information is implicit there: start deltas are unconditional).
+const FOR_FLAG_MASK: u8 = FLAG_INTERPOLATED_START | FLAG_INTERPOLATED_END;
+
+/// Values per frame-of-reference chunk.
+const FOR_CHUNK: usize = 64;
+
+/// Appends one column as chunked frame-of-reference data: per chunk of up
+/// to [`FOR_CHUNK`] values a varint reference (the chunk minimum), a
+/// bit-width byte, then the offsets bit-packed little-endian at that
+/// fixed width.
+fn put_for_column(buf: &mut Vec<u8>, values: &[u64]) {
+    for chunk in values.chunks(FOR_CHUNK) {
+        let min = chunk.iter().copied().min().unwrap_or(0);
+        let max_offset = chunk.iter().map(|v| v - min).max().unwrap_or(0);
+        let width = (64 - max_offset.leading_zeros()) as usize;
+        put_varint(buf, min);
+        buf.push(width as u8);
+        let mut acc: u128 = 0;
+        let mut bits = 0usize;
+        for &v in chunk {
+            acc |= u128::from(v - min) << bits;
+            bits += width;
+            while bits >= 8 {
+                buf.push((acc & 0xff) as u8);
+                acc >>= 8;
+                bits -= 8;
+            }
+        }
+        if bits > 0 {
+            buf.push((acc & 0xff) as u8);
+        }
+    }
+}
+
+/// Reads `n` values of one chunked frame-of-reference column into `out`.
+///
+/// Rejects bit widths above 64 and reference + offset overflow (both are
+/// corruption: the encoder always stores `value - min`).
+fn get_for_column(r: &mut ByteReader<'_>, n: usize, out: &mut Vec<u64>) -> Result<(), CodecError> {
+    let mut done = 0usize;
+    while done < n {
+        let len = (n - done).min(FOR_CHUNK);
+        let min = get_varint(r)?;
+        let width = r.get_u8()? as usize;
+        if width > 64 {
+            return Err(CodecError::InvalidFormat);
+        }
+        let packed = r.get_bytes((len * width).div_ceil(8))?;
+        if width == 0 {
+            // A constant chunk (continuous columns, uniform spans) packs
+            // to zero data bytes.
+            out.extend(std::iter::repeat_n(min, len));
+        } else if width <= 57 {
+            // Branch-lean batched path: the chunk's packed bytes are
+            // byte-aligned, so copying them into a zero-padded stack
+            // buffer makes every value one unaligned little-endian u64
+            // load + shift + mask.  Widths ≤ 57 survive the ≤ 7-bit
+            // intra-byte shift inside one u64.
+            let mut padded = [0u8; FOR_CHUNK * 57 / 8 + 8];
+            padded[..packed.len()].copy_from_slice(packed);
+            let mask = (1u64 << width) - 1;
+            if min.checked_add(mask).is_some() {
+                // No offset can overflow: one check for the whole chunk,
+                // plain adds inside the loop (extend over a range elides
+                // the per-push capacity checks, too).
+                out.extend((0..len).map(|k| {
+                    let bit = k * width;
+                    let at = bit >> 3;
+                    let word = u64::from_le_bytes(padded[at..at + 8].try_into().expect("8 bytes"));
+                    min + ((word >> (bit & 7)) & mask)
+                }));
+            } else {
+                // `min + mask` wraps only for references near u64::MAX —
+                // keep the per-value overflow check on this cold path.
+                let mut bit = 0usize;
+                for _ in 0..len {
+                    let at = bit >> 3;
+                    let word = u64::from_le_bytes(padded[at..at + 8].try_into().expect("8 bytes"));
+                    let offset = (word >> (bit & 7)) & mask;
+                    out.push(min.checked_add(offset).ok_or(CodecError::InvalidFormat)?);
+                    bit += width;
+                }
+            }
+        } else {
+            // Wide values (58..=64 bits) are vanishingly rare in real
+            // columns; the u128 accumulator handles them without
+            // unaligned-load edge cases.
+            let mask: u128 = (!0u128) >> (128 - width);
+            let mut acc: u128 = 0;
+            let mut bits = 0usize;
+            let mut next = 0usize;
+            for _ in 0..len {
+                while bits < width {
+                    // In bounds by construction: `packed` holds exactly the
+                    // ceil(len·width/8) bytes these pulls consume.
+                    acc |= u128::from(packed[next]) << bits;
+                    next += 1;
+                    bits += 8;
+                }
+                let offset = (acc & mask) as u64;
+                acc >>= width;
+                bits -= width;
+                out.push(min.checked_add(offset).ok_or(CodecError::InvalidFormat)?);
+            }
+        }
+        done += len;
+    }
+    Ok(())
+}
+
+/// Reusable decode scratch space: callers that decode many blocks in a
+/// loop (the store's query paths) create one arena per query and reuse
+/// its allocations across blocks instead of allocating a fresh
+/// `SimplifiedTrajectory` per block.
+///
+/// After a successful [`SegmentCodec::decode_block_into`] the arena
+/// exposes the decoded segments and original length; its contents are
+/// replaced by the next decode.  A failed decode leaves the arena empty.
+#[derive(Debug, Default)]
+pub struct DecodeArena {
+    /// Column scratch for frame-of-reference unpacking (8 columns laid
+    /// out contiguously).
+    scratch: Vec<u64>,
+    /// The decoded segments of the most recent block.
+    segments: Vec<SimplifiedSegment>,
+    /// Original point count of the most recent block.
+    original_len: usize,
+}
+
+impl DecodeArena {
+    /// An empty arena; allocations grow on first use and are reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Segments decoded by the most recent `decode_block_into`.
+    #[inline]
+    pub fn segments(&self) -> &[SimplifiedSegment] {
+        &self.segments
+    }
+
+    /// Original point count decoded by the most recent
+    /// `decode_block_into`.
+    #[inline]
+    pub fn original_len(&self) -> usize {
+        self.original_len
+    }
+
+    /// Moves the decoded representation out, leaving the arena empty but
+    /// with its scratch allocation intact.
+    pub fn take_trajectory(&mut self) -> SimplifiedTrajectory {
+        SimplifiedTrajectory::new(std::mem::take(&mut self.segments), self.original_len)
+    }
+}
 
 /// Quantized representation of a point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -318,6 +547,12 @@ impl SegmentCodec {
     ///
     /// Any [`CodecError`] for truncated, overlong or trailing input.
     pub fn decode(&self, bytes: &[u8]) -> Result<SimplifiedTrajectory, CodecError> {
+        self.decode_block(BlockFormat::Varint, bytes)
+    }
+
+    /// [`SegmentCodec::decode`], writing into a reusable arena.
+    fn decode_varint_into(&self, bytes: &[u8], arena: &mut DecodeArena) -> Result<(), CodecError> {
+        let segments = &mut arena.segments;
         let mut r = ByteReader::new(bytes);
         let original_len = get_varint(&mut r)? as usize;
         let num_segments = get_varint(&mut r)? as usize;
@@ -326,7 +561,7 @@ impl SegmentCodec {
         if num_segments > r.remaining() {
             return Err(CodecError::UnexpectedEof);
         }
-        let mut segments = Vec::with_capacity(num_segments);
+        segments.reserve(num_segments);
         let mut prev_end = QPoint::default();
         let mut prev_last_index = 0u64;
         for i in 0..num_segments {
@@ -370,7 +605,189 @@ impl SegmentCodec {
         if r.remaining() != 0 {
             return Err(CodecError::TrailingBytes);
         }
-        Ok(SimplifiedTrajectory::new(segments, original_len))
+        arena.original_len = original_len;
+        Ok(())
+    }
+
+    /// Encodes into the chunked fixed-width frame-of-reference format.
+    fn encode_for(&self, simplified: &SimplifiedTrajectory) -> Result<Vec<u8>, CodecError> {
+        let segments = simplified.segments();
+        let n = segments.len();
+        let mut buf = Vec::with_capacity(16 + n * 9);
+        put_varint(&mut buf, simplified.original_len() as u64);
+        put_varint(&mut buf, n as u64);
+        let mut cols: [Vec<u64>; 8] = Default::default();
+        for col in &mut cols {
+            col.reserve(n);
+        }
+        let mut prev_end = QPoint::default();
+        let mut prev_last_index = 0u64;
+        for s in segments {
+            let start = self.quantize(&s.segment.start)?;
+            let end = self.quantize(&s.segment.end)?;
+            let mut flags = 0u8;
+            if s.interpolated_start {
+                flags |= FLAG_INTERPOLATED_START;
+            }
+            if s.interpolated_end {
+                flags |= FLAG_INTERPOLATED_END;
+            }
+            buf.push(flags);
+            // Start deltas are unconditional: a continuous segment yields
+            // three zeros that frame-of-reference packs at width 0.
+            cols[0].push(zigzag_encode(start.x.wrapping_sub(prev_end.x)));
+            cols[1].push(zigzag_encode(start.y.wrapping_sub(prev_end.y)));
+            cols[2].push(zigzag_encode(start.t.wrapping_sub(prev_end.t)));
+            cols[3].push(zigzag_encode(end.x.wrapping_sub(start.x)));
+            cols[4].push(zigzag_encode(end.y.wrapping_sub(start.y)));
+            cols[5].push(zigzag_encode(end.t.wrapping_sub(start.t)));
+            cols[6].push(zigzag_encode(s.first_index as i64 - prev_last_index as i64));
+            cols[7].push((s.last_index - s.first_index) as u64);
+            prev_end = end;
+            prev_last_index = s.last_index as u64;
+        }
+        for col in &cols {
+            put_for_column(&mut buf, col);
+        }
+        Ok(buf)
+    }
+
+    /// Decodes the frame-of-reference format into a reusable arena.
+    fn decode_for_into(&self, bytes: &[u8], arena: &mut DecodeArena) -> Result<(), CodecError> {
+        let DecodeArena {
+            scratch, segments, ..
+        } = arena;
+        let mut r = ByteReader::new(bytes);
+        let original_len = get_varint(&mut r)? as usize;
+        let n = get_varint(&mut r)? as usize;
+        // Each segment costs at least one flag byte; reject counts the
+        // input cannot possibly hold before allocating.
+        if n > r.remaining() {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let flags = r.get_bytes(n)?;
+        scratch.reserve(8 * n);
+        for _ in 0..8 {
+            get_for_column(&mut r, n, scratch)?;
+        }
+        if r.remaining() != 0 {
+            return Err(CodecError::TrailingBytes);
+        }
+        if flags.iter().any(|f| f & !FOR_FLAG_MASK != 0) {
+            return Err(CodecError::InvalidFormat);
+        }
+        segments.reserve(n);
+        // Split the contiguous scratch into its eight column slices so the
+        // hot loop below runs on zipped iterators, without bounds checks.
+        let (sx, rest) = scratch.split_at(n);
+        let (sy, rest) = rest.split_at(n);
+        let (st, rest) = rest.split_at(n);
+        let (ex, rest) = rest.split_at(n);
+        let (ey, rest) = rest.split_at(n);
+        let (et, rest) = rest.split_at(n);
+        let (idx, span_col) = rest.split_at(n);
+        let mut prev_end = QPoint::default();
+        let mut prev_last_index = 0u64;
+        let columns = sx
+            .iter()
+            .zip(sy)
+            .zip(st)
+            .zip(ex)
+            .zip(ey)
+            .zip(et)
+            .zip(idx)
+            .zip(span_col)
+            .zip(flags);
+        for ((((((((&dsx, &dsy), &dst), &dex), &dey), &det), &didx), &dspan), &flag) in columns {
+            let start = QPoint {
+                x: prev_end.x.wrapping_add(zigzag_decode(dsx)),
+                y: prev_end.y.wrapping_add(zigzag_decode(dsy)),
+                t: prev_end.t.wrapping_add(zigzag_decode(dst)),
+            };
+            let end = QPoint {
+                x: start.x.wrapping_add(zigzag_decode(dex)),
+                y: start.y.wrapping_add(zigzag_decode(dey)),
+                t: start.t.wrapping_add(zigzag_decode(det)),
+            };
+            // Same hardening as the varint path: corrupted index deltas
+            // become errors, never overflow.
+            let delta = zigzag_decode(didx);
+            let first_index =
+                checked_index((prev_last_index as i64).checked_add(delta).unwrap_or(-1))?;
+            let span = checked_index(dspan as i64)?;
+            let last_index = first_index + span; // both ≤ MAX_INDEX: no overflow
+            let mut segment = SimplifiedSegment::new(
+                DirectedSegment::new(self.dequantize(start), self.dequantize(end)),
+                first_index,
+                last_index,
+            );
+            segment.interpolated_start = flag & FLAG_INTERPOLATED_START != 0;
+            segment.interpolated_end = flag & FLAG_INTERPOLATED_END != 0;
+            segments.push(segment);
+            prev_end = end;
+            prev_last_index = last_index as u64;
+        }
+        arena.original_len = original_len;
+        Ok(())
+    }
+
+    /// Encodes a representation in the requested block format.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::ValueOutOfRange`] when a coordinate is too large for
+    /// the configured resolution.
+    pub fn encode_block(
+        &self,
+        format: BlockFormat,
+        simplified: &SimplifiedTrajectory,
+    ) -> Result<Vec<u8>, CodecError> {
+        match format {
+            BlockFormat::Varint => self.encode(simplified),
+            BlockFormat::ForFixed => self.encode_for(simplified),
+        }
+    }
+
+    /// Decodes a block of the given format into `arena`, replacing its
+    /// previous contents.  On error the arena is left empty.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CodecError`] for truncated, overlong, trailing or
+    /// structurally invalid input.
+    pub fn decode_block_into(
+        &self,
+        format: BlockFormat,
+        bytes: &[u8],
+        arena: &mut DecodeArena,
+    ) -> Result<(), CodecError> {
+        arena.segments.clear();
+        arena.scratch.clear();
+        arena.original_len = 0;
+        let result = match format {
+            BlockFormat::Varint => self.decode_varint_into(bytes, arena),
+            BlockFormat::ForFixed => self.decode_for_into(bytes, arena),
+        };
+        if result.is_err() {
+            arena.segments.clear();
+        }
+        result
+    }
+
+    /// Decodes a block of the given format into a fresh representation.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CodecError`] for truncated, overlong, trailing or
+    /// structurally invalid input.
+    pub fn decode_block(
+        &self,
+        format: BlockFormat,
+        bytes: &[u8],
+    ) -> Result<SimplifiedTrajectory, CodecError> {
+        let mut arena = DecodeArena::new();
+        self.decode_block_into(format, bytes, &mut arena)?;
+        Ok(arena.take_trajectory())
     }
 }
 
@@ -581,5 +998,173 @@ mod tests {
         let back = codec.decode(&bytes).unwrap();
         assert_eq!(back.num_segments(), 100);
         assert_eq!(back.validate(), Ok(()));
+    }
+
+    fn wavy(segments: usize) -> SimplifiedTrajectory {
+        let mut out = Vec::new();
+        let mut prev = Point::new(3.7, -12.5, 100.0);
+        for i in 0..segments {
+            let next = Point::new(
+                prev.x + 35.0 + (i as f64).sin(),
+                prev.y + 10.0 * (i as f64 * 0.7).cos(),
+                prev.t + 15.0,
+            );
+            let mut s = SimplifiedSegment::new(
+                DirectedSegment::new(prev, next),
+                i * 10,
+                (i + 1) * 10 + (i % 3),
+            );
+            s.interpolated_start = i % 5 == 0;
+            s.interpolated_end = i % 7 == 0;
+            out.push(s);
+            // Every 11th segment restarts from a displaced point.
+            prev = if i % 11 == 10 {
+                Point::new(next.x + 500.0, next.y - 250.0, next.t + 60.0)
+            } else {
+                next
+            };
+        }
+        SimplifiedTrajectory::new(out, segments * 10 + 3)
+    }
+
+    #[test]
+    fn block_format_tags_and_names_roundtrip() {
+        for format in BlockFormat::ALL {
+            assert_eq!(BlockFormat::from_tag(format.tag()), Some(format));
+            assert_eq!(BlockFormat::from_name(format.name()), Some(format));
+        }
+        assert_eq!(BlockFormat::from_tag(0), None);
+        assert_eq!(BlockFormat::from_tag(3), None);
+        assert_eq!(BlockFormat::from_name("gzip"), None);
+    }
+
+    #[test]
+    fn for_column_roundtrips_extreme_values() {
+        for values in [
+            vec![],
+            vec![0u64],
+            vec![u64::MAX],
+            vec![u64::MAX, 0, u64::MAX, 1],
+            vec![7; 200],
+            (0..130u64).map(|i| i * i * 31).collect::<Vec<_>>(),
+        ] {
+            let mut buf = Vec::new();
+            put_for_column(&mut buf, &values);
+            let mut r = ByteReader::new(&buf);
+            let mut out = Vec::new();
+            get_for_column(&mut r, values.len(), &mut out).unwrap();
+            assert_eq!(out, values);
+            assert_eq!(r.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn for_format_roundtrips_and_matches_varint_decode() {
+        let codec = SegmentCodec::default();
+        for n in [0usize, 1, 2, 63, 64, 65, 200] {
+            let st = wavy(n);
+            let varint = codec.encode_block(BlockFormat::Varint, &st).unwrap();
+            let packed = codec.encode_block(BlockFormat::ForFixed, &st).unwrap();
+            let a = codec.decode_block(BlockFormat::Varint, &varint).unwrap();
+            let b = codec.decode_block(BlockFormat::ForFixed, &packed).unwrap();
+            assert_eq!(a, b, "formats disagree at {n} segments");
+            // Lossy exactly once, for both formats.
+            assert_eq!(codec.encode_block(BlockFormat::ForFixed, &b).unwrap(), {
+                let again = codec.decode_block(BlockFormat::ForFixed, &packed).unwrap();
+                codec.encode_block(BlockFormat::ForFixed, &again).unwrap()
+            });
+        }
+    }
+
+    #[test]
+    fn for_format_rejects_truncation_trailing_and_bombs() {
+        let codec = SegmentCodec::default();
+        let bytes = codec
+            .encode_block(BlockFormat::ForFixed, &wavy(10))
+            .unwrap();
+        for cut in 0..bytes.len() {
+            assert!(
+                codec
+                    .decode_block(BlockFormat::ForFixed, &bytes[..cut])
+                    .is_err(),
+                "truncation at {cut} must error"
+            );
+        }
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert_eq!(
+            codec.decode_block(BlockFormat::ForFixed, &extended),
+            Err(CodecError::TrailingBytes)
+        );
+        let mut bomb = Vec::new();
+        put_varint(&mut bomb, 10);
+        put_varint(&mut bomb, u64::MAX);
+        assert!(codec.decode_block(BlockFormat::ForFixed, &bomb).is_err());
+    }
+
+    #[test]
+    fn for_format_rejects_bad_flags_and_widths() {
+        let codec = SegmentCodec::default();
+        let bytes = codec.encode_block(BlockFormat::ForFixed, &wavy(3)).unwrap();
+        // Header is two one-byte varints here; flag bytes follow.
+        let mut bad_flags = bytes.clone();
+        bad_flags[2] |= FLAG_RESTART;
+        assert_eq!(
+            codec.decode_block(BlockFormat::ForFixed, &bad_flags),
+            Err(CodecError::InvalidFormat)
+        );
+        // A width byte above 64 is structural corruption.  The first
+        // column chunk starts right after the 3 flag bytes: varint min,
+        // then the width byte.
+        let mut r = ByteReader::new(&bytes[5..]);
+        get_varint(&mut r).unwrap();
+        let width_at = 5 + {
+            let mut probe = ByteReader::new(&bytes[5..]);
+            get_varint(&mut probe).unwrap();
+            bytes[5..].len() - probe.remaining()
+        };
+        let mut bad_width = bytes.clone();
+        bad_width[width_at] = 65;
+        assert!(codec
+            .decode_block(BlockFormat::ForFixed, &bad_width)
+            .is_err());
+    }
+
+    #[test]
+    fn arena_reuse_is_equivalent_to_fresh_decode() {
+        let codec = SegmentCodec::default();
+        let mut arena = DecodeArena::new();
+        for n in [5usize, 120, 1, 64] {
+            let st = wavy(n);
+            for format in BlockFormat::ALL {
+                let bytes = codec.encode_block(format, &st).unwrap();
+                codec.decode_block_into(format, &bytes, &mut arena).unwrap();
+                let fresh = codec.decode_block(format, &bytes).unwrap();
+                assert_eq!(arena.segments(), fresh.segments());
+                assert_eq!(arena.original_len(), fresh.original_len());
+            }
+        }
+        // A failed decode leaves the arena empty.
+        assert!(codec
+            .decode_block_into(BlockFormat::ForFixed, &[7, 1], &mut arena)
+            .is_err());
+        assert!(arena.segments().is_empty());
+    }
+
+    #[test]
+    fn for_format_stays_compact() {
+        let st = wavy(100);
+        let codec = SegmentCodec::default();
+        let varint = codec.encode_block(BlockFormat::Varint, &st).unwrap();
+        let packed = codec.encode_block(BlockFormat::ForFixed, &st).unwrap();
+        // Frame-of-reference trades a little space for batched decode; it
+        // must stay in the same ballpark as varint, far below raw form.
+        assert!(
+            packed.len() < varint.len() * 2,
+            "for {} vs varint {}",
+            packed.len(),
+            varint.len()
+        );
+        assert!(packed.len() < 56 * 100 / 2);
     }
 }

@@ -72,7 +72,7 @@ pub mod source;
 pub mod traits;
 pub mod trajectory;
 
-pub use codec::{CodecError, SegmentCodec};
+pub use codec::{BlockFormat, CodecError, DecodeArena, SegmentCodec};
 pub use error::TrajectoryError;
 pub use simplified::{SimplifiedSegment, SimplifiedTrajectory};
 pub use source::CountingSource;

@@ -1,0 +1,285 @@
+//! Differential tests between the two block formats.
+//!
+//! The frame-of-reference (FoR) format is an *alternative encoding* of
+//! the exact same quantized representation the varint format stores, so
+//! the two decoders must agree **point-for-point** on every trajectory:
+//! same segments, same responsibility ranges, same interpolation flags,
+//! same quantization error.  These tests prove that equivalence over tens
+//! of thousands of seeded fleets spanning the ζ regimes the simplifiers
+//! produce, then turn the existing adversarial corpus (random bytes,
+//! bit-flipped encodings, truncations, allocation bombs) against the FoR
+//! decoder: no panic, no over-allocation, corruption detected.
+
+use traj_data::rng::{Rng, SmallRng};
+use traj_geo::{DirectedSegment, Point};
+use traj_model::codec::{put_varint, BlockFormat, DecodeArena, SegmentCodec};
+use traj_model::{SimplifiedSegment, SimplifiedTrajectory};
+
+/// The ζ regimes under test: tight bounds produce dense short segments
+/// with tiny deltas, loose bounds produce long sparse segments with large
+/// deltas and wide responsibility spans — opposite ends of the FoR bit
+/// width spectrum.
+const ZETAS: [f64; 4] = [0.5, 5.0, 50.0, 500.0];
+
+/// A seeded fleet member: segment geometry scaled by ζ (a simplifier
+/// emits segments whose length and span grow with the error bound), with
+/// discontinuities and interpolation flags sprinkled in.
+fn zeta_trajectory(zeta: f64, segments: usize, seed: u64) -> SimplifiedTrajectory {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(segments);
+    let mut prev = Point::new(
+        rng.gen_range(-1e4..1e4),
+        rng.gen_range(-1e4..1e4),
+        rng.gen_range(0.0..1e6),
+    );
+    let mut index = 0usize;
+    for _ in 0..segments {
+        let next = Point::new(
+            prev.x + rng.gen_range(-40.0..40.0) * zeta,
+            prev.y + rng.gen_range(-40.0..40.0) * zeta,
+            prev.t + rng.gen_range(1.0..30.0) * (1.0 + zeta),
+        );
+        let span = rng.gen_range(1..4 + (zeta as usize).min(200));
+        let mut s = SimplifiedSegment::new(DirectedSegment::new(prev, next), index, index + span);
+        s.interpolated_start = rng.gen_bool(0.1);
+        s.interpolated_end = rng.gen_bool(0.1);
+        out.push(s);
+        prev = if rng.gen_bool(0.15) {
+            // Discontinuity, like OPERB emits around anomalies.
+            Point::new(
+                next.x + rng.gen_range(-5.0..5.0) * zeta,
+                next.y + rng.gen_range(-5.0..5.0) * zeta,
+                next.t,
+            )
+        } else {
+            next
+        };
+        index += span;
+    }
+    SimplifiedTrajectory::new(out, index + 1)
+}
+
+/// The differential oracle: both formats decode to the *same* trajectory,
+/// through both the owned and the arena decode paths.
+fn assert_formats_agree(codec: &SegmentCodec, st: &SimplifiedTrajectory, context: &str) {
+    let varint = codec
+        .encode_block(BlockFormat::Varint, st)
+        .expect("varint encode");
+    let packed = codec
+        .encode_block(BlockFormat::ForFixed, st)
+        .expect("for encode");
+    let from_varint = codec
+        .decode_block(BlockFormat::Varint, &varint)
+        .expect("varint decode");
+    let from_packed = codec
+        .decode_block(BlockFormat::ForFixed, &packed)
+        .expect("for decode");
+    assert_eq!(from_varint, from_packed, "{context}: formats disagree");
+
+    let mut arena = DecodeArena::new();
+    codec
+        .decode_block_into(BlockFormat::ForFixed, &packed, &mut arena)
+        .expect("arena decode");
+    assert_eq!(
+        arena.segments(),
+        from_varint.segments(),
+        "{context}: arena decode disagrees"
+    );
+    assert_eq!(arena.original_len(), from_varint.original_len());
+}
+
+#[test]
+fn ten_thousand_seeded_fleets_decode_identically_across_formats() {
+    let codec = SegmentCodec::default();
+    let mut cases = 0usize;
+    for (zi, &zeta) in ZETAS.iter().enumerate() {
+        for case in 0..2_600u64 {
+            let seed = 0x5EED_0000 + (zi as u64) * 1_000_000 + case;
+            let segments = (case % 90) as usize; // includes the empty block
+            let st = zeta_trajectory(zeta, segments, seed);
+            assert_formats_agree(&codec, &st, &format!("zeta {zeta} case {case}"));
+            cases += 1;
+        }
+    }
+    assert!(cases >= 10_000, "only {cases} differential cases");
+}
+
+#[test]
+fn coarse_and_fine_resolutions_agree_too() {
+    // The quantization grid is orthogonal to the packing format: whatever
+    // the codec resolution, both formats must reproduce the same grid
+    // points.  (Re-encode once so the fixture is exactly representable.)
+    for (sp, t) in [(1.0, 1.0), (0.001, 0.0001), (10.0, 60.0)] {
+        let codec = SegmentCodec::new(sp, t);
+        for seed in 0..200u64 {
+            let raw = zeta_trajectory(20.0, 40, 0xC0A & seed | (seed << 8));
+            let canonical = codec
+                .decode(&codec.encode(&raw).expect("encode"))
+                .expect("canonicalize");
+            assert_formats_agree(&codec, &canonical, &format!("resolution ({sp},{t}) {seed}"));
+        }
+    }
+}
+
+// ─────────────────── adversarial corpus vs the FoR decoder ───────────────────
+
+/// Accepted output must be structurally sound and must not have allocated
+/// far beyond what the input could describe: every FoR segment costs at
+/// least its one flag byte, so segments ≤ input length.
+fn assert_sound_for(codec: &SegmentCodec, bytes: &[u8], context: &str) {
+    let mut arena = DecodeArena::new();
+    match codec.decode_block_into(BlockFormat::ForFixed, bytes, &mut arena) {
+        Ok(()) => {
+            assert!(
+                arena.segments().len() <= bytes.len(),
+                "{context}: {} segments decoded from {} bytes — over-allocation",
+                arena.segments().len(),
+                bytes.len()
+            );
+            for s in arena.segments() {
+                assert!(
+                    s.first_index <= s.last_index,
+                    "{context}: inverted responsibility range"
+                );
+            }
+        }
+        Err(_) => {
+            assert!(
+                arena.segments().is_empty(),
+                "{context}: failed decode left data in the arena"
+            );
+        }
+    }
+}
+
+/// A valid FoR encoding of a plausible multi-segment block.
+fn sample_for_encoding(codec: &SegmentCodec, segments: usize, seed: u64) -> Vec<u8> {
+    let st = zeta_trajectory(8.0, segments, seed);
+    codec
+        .encode_block(BlockFormat::ForFixed, &st)
+        .expect("sample FoR encoding")
+}
+
+#[test]
+fn random_byte_strings_never_panic_the_for_decoder() {
+    let codec = SegmentCodec::default();
+    let mut rng = SmallRng::seed_from_u64(0xF0_2026);
+    let mut cases = 0usize;
+    for _ in 0..10_000 {
+        let len = rng.gen_range(0..256usize);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        assert_sound_for(&codec, &bytes, "random bytes");
+        cases += 1;
+    }
+    for fill in [0x80u8, 0xFF, 0x00, 0x7F, 0x40] {
+        for len in 0..64usize {
+            assert_sound_for(&codec, &vec![fill; len], "biased bytes");
+            cases += 1;
+        }
+    }
+    assert!(cases >= 10_000);
+}
+
+#[test]
+fn bit_flipped_for_encodings_never_panic() {
+    let codec = SegmentCodec::default();
+    let mut cases = 0usize;
+    for seed in 0..6u64 {
+        let bytes = sample_for_encoding(&codec, 24, 2000 + seed);
+        codec
+            .decode_block(BlockFormat::ForFixed, &bytes)
+            .expect("unmutated encoding decodes");
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut mutated = bytes.clone();
+                mutated[byte] ^= 1 << bit;
+                assert_sound_for(&codec, &mutated, "single bit flip");
+                cases += 1;
+            }
+        }
+    }
+    assert!(cases >= 10_000, "only {cases} flip cases");
+}
+
+#[test]
+fn every_truncation_of_a_for_encoding_errors_cleanly() {
+    let codec = SegmentCodec::default();
+    let bytes = sample_for_encoding(&codec, 24, 4242);
+    for cut in 0..bytes.len() {
+        assert!(
+            codec
+                .decode_block(BlockFormat::ForFixed, &bytes[..cut])
+                .is_err(),
+            "truncation at {cut}/{} decoded",
+            bytes.len()
+        );
+    }
+    // Trailing garbage is corruption, not slack.
+    let mut extended = bytes.clone();
+    extended.push(0);
+    assert!(codec
+        .decode_block(BlockFormat::ForFixed, &extended)
+        .is_err());
+}
+
+#[test]
+fn for_allocation_bombs_are_rejected_before_allocating() {
+    let codec = SegmentCodec::default();
+    // Tiny inputs claiming huge segment counts: the claimed count requires
+    // one flag byte per segment, so the length check rejects them before
+    // any proportional allocation happens.
+    for claimed in [u64::MAX, 1 << 62, 1 << 48, 1 << 32, 1 << 20] {
+        let mut bomb = Vec::new();
+        put_varint(&mut bomb, 100); // original_len
+        put_varint(&mut bomb, claimed); // num_segments
+        bomb.extend_from_slice(&[0u8; 32]);
+        assert!(
+            codec.decode_block(BlockFormat::ForFixed, &bomb).is_err(),
+            "bomb {claimed} accepted"
+        );
+    }
+}
+
+#[test]
+fn multi_mutation_and_splice_never_panics_the_for_decoder() {
+    let codec = SegmentCodec::default();
+    let mut rng = SmallRng::seed_from_u64(0xDEAD_2026);
+    let base = sample_for_encoding(&codec, 32, 77);
+    for _ in 0..10_000 {
+        let mut mutated = base.clone();
+        for _ in 0..rng.gen_range(1..9u32) {
+            let at = rng.gen_range(0..mutated.len());
+            mutated[at] = rng.next_u64() as u8;
+        }
+        if rng.gen_bool(0.3) {
+            let cut = rng.gen_range(0..mutated.len());
+            mutated.truncate(cut);
+        } else if rng.gen_bool(0.2) {
+            for _ in 0..rng.gen_range(1..16u32) {
+                mutated.push(rng.next_u64() as u8);
+            }
+        }
+        assert_sound_for(&codec, &mutated, "multi mutation");
+    }
+}
+
+#[test]
+fn surviving_mutants_reencode_identically_in_both_formats() {
+    // A mutated FoR block that still decodes is a *valid* representation;
+    // encoding it in either format and decoding again must agree — the
+    // differential property holds even for decoder-accepted garbage.
+    let codec = SegmentCodec::default();
+    let mut rng = SmallRng::seed_from_u64(31337);
+    let base = sample_for_encoding(&codec, 16, 9);
+    let mut survivors = 0usize;
+    for _ in 0..4_000 {
+        let mut mutated = base.clone();
+        let at = rng.gen_range(0..mutated.len());
+        mutated[at] ^= 1 << rng.gen_range(0..8u32);
+        if let Ok(decoded) = codec.decode_block(BlockFormat::ForFixed, &mutated) {
+            survivors += 1;
+            assert_formats_agree(&codec, &decoded, "survivor");
+        }
+    }
+    assert!(survivors > 0, "no mutated input survived — fuzz too weak?");
+}

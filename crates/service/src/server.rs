@@ -89,6 +89,8 @@ pub struct ServerStats {
     pub blocks_in_scope: u64,
     /// Blocks actually decoded over all store queries served.
     pub blocks_decoded: u64,
+    /// How long the server had been up when the snapshot was taken.
+    pub uptime: Duration,
 }
 
 impl ServerStats {
@@ -98,6 +100,13 @@ impl ServerStats {
             return 0.0;
         }
         self.latency_us_total as f64 / self.requests as f64
+    }
+
+    /// Served requests per second of uptime — the server-side throughput
+    /// number (client-observed QPS additionally includes network and
+    /// queueing time).
+    pub fn qps(&self) -> f64 {
+        self.requests as f64 / self.uptime.as_secs_f64().max(1e-12)
     }
 
     /// Aggregate skip ratio over every store query served.
@@ -207,7 +216,7 @@ impl Server {
 
     /// A snapshot of the request counters.
     pub fn stats(&self) -> ServerStats {
-        snapshot(&self.shared.counters)
+        snapshot(&self.shared)
     }
 
     /// Requests a graceful stop: the accept loop closes, queued
@@ -227,7 +236,7 @@ impl Server {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
-        snapshot(&self.shared.counters)
+        snapshot(&self.shared)
     }
 
     /// [`Server::shutdown`] followed by [`Server::join`].
@@ -237,7 +246,8 @@ impl Server {
     }
 }
 
-fn snapshot(c: &Counters) -> ServerStats {
+fn snapshot(shared: &Shared) -> ServerStats {
+    let c = &shared.counters;
     ServerStats {
         requests: c.requests.load(Ordering::Relaxed),
         client_errors: c.client_errors.load(Ordering::Relaxed),
@@ -246,6 +256,7 @@ fn snapshot(c: &Counters) -> ServerStats {
         latency_us_total: c.latency_us_total.load(Ordering::Relaxed),
         blocks_in_scope: c.blocks_in_scope.load(Ordering::Relaxed),
         blocks_decoded: c.blocks_decoded.load(Ordering::Relaxed),
+        uptime: shared.started.elapsed(),
     }
 }
 
@@ -555,7 +566,7 @@ fn handle_position_at(store: &ShardedStore, request: &Request) -> (u16, JsonValu
 
 fn handle_stats(store: &ShardedStore, shared: &Shared) -> (u16, JsonValue) {
     let s = store.stats();
-    let server = snapshot(&shared.counters);
+    let server = snapshot(shared);
     let mut sections = Vec::from([
         (
             "store",

@@ -8,7 +8,7 @@
 //! bound its content was produced under.
 
 use traj_geo::BoundingBox;
-use traj_model::codec::{get_varint, put_varint, ByteReader, CodecError};
+use traj_model::codec::{get_varint, put_varint, BlockFormat, ByteReader, CodecError};
 use traj_model::SimplifiedSegment;
 use traj_pipeline::DeviceId;
 
@@ -140,6 +140,10 @@ pub fn expanded_intersects(covered: &BoundingBox, radius: f64, window: &Bounding
 pub struct Block {
     /// The skipping metadata.
     pub meta: BlockMeta,
+    /// The payload encoding of this particular block.  Stores may mix
+    /// formats: the store's configured format only selects the encoding
+    /// of *new* ingests, while decoding always dispatches on this tag.
+    pub format: BlockFormat,
     /// The codec-encoded segment run.
     pub payload: Vec<u8>,
 }
@@ -152,9 +156,12 @@ impl Block {
     }
 
     /// Serializes the block as one log record (metadata then
-    /// length-prefixed payload) onto `out`.
+    /// length-prefixed payload) onto `out`.  Always writes the current
+    /// (tagged) record layout; [`Block::read_record`] also accepts the
+    /// untagged layout of version-1 store files.
     pub fn write_record(&self, out: &mut Vec<u8>) {
         put_varint(out, self.meta.device);
+        out.push(self.format.tag());
         for v in [
             self.meta.t_min,
             self.meta.t_max,
@@ -174,9 +181,17 @@ impl Block {
         out.extend_from_slice(&self.payload);
     }
 
-    /// Reads one record written by [`Block::write_record`].
-    pub fn read_record(r: &mut ByteReader<'_>) -> Result<Block, CodecError> {
+    /// Reads one record.  `tagged` selects the record layout: `true` for
+    /// the current layout with a format-tag byte (store files of version
+    /// ≥ 2, WAL segments with a `TSWAL2` header), `false` for the
+    /// version-1 layout whose payloads are implicitly varint-encoded.
+    pub fn read_record(r: &mut ByteReader<'_>, tagged: bool) -> Result<Block, CodecError> {
         let device = get_varint(r)?;
+        let format = if tagged {
+            BlockFormat::from_tag(r.get_u8()?).ok_or(CodecError::InvalidFormat)?
+        } else {
+            BlockFormat::Varint
+        };
         let mut floats = [0.0f64; 8];
         for f in &mut floats {
             let raw: [u8; 8] = r.get_bytes(8)?.try_into().expect("8 bytes");
@@ -204,6 +219,7 @@ impl Block {
                 first_index,
                 last_index,
             },
+            format,
             payload,
         })
     }
@@ -278,19 +294,47 @@ mod tests {
     #[test]
     fn record_roundtrip() {
         let meta = BlockMeta::from_segments(42, &sample_segments(), 15.0, 0.014);
+        for format in BlockFormat::ALL {
+            let block = Block {
+                meta,
+                format,
+                payload: vec![1, 2, 3, 4, 5],
+            };
+            let mut out = Vec::new();
+            block.write_record(&mut out);
+            let mut r = ByteReader::new(&out);
+            let back = Block::read_record(&mut r, true).unwrap();
+            assert_eq!(back, block);
+            assert_eq!(r.remaining(), 0);
+            // Truncations error cleanly.
+            for cut in 1..out.len() {
+                assert!(Block::read_record(&mut ByteReader::new(&out[..cut]), true).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn untagged_records_decode_as_varint() {
+        // The version-1 record layout: same fields, no format-tag byte.
+        let meta = BlockMeta::from_segments(42, &sample_segments(), 15.0, 0.014);
         let block = Block {
             meta,
-            payload: vec![1, 2, 3, 4, 5],
+            format: BlockFormat::Varint,
+            payload: vec![9, 8, 7],
         };
-        let mut out = Vec::new();
-        block.write_record(&mut out);
-        let mut r = ByteReader::new(&out);
-        let back = Block::read_record(&mut r).unwrap();
+        let mut tagged = Vec::new();
+        block.write_record(&mut tagged);
+        // Strip the tag byte that follows the one-byte device varint.
+        let mut untagged = vec![tagged[0]];
+        untagged.extend_from_slice(&tagged[2..]);
+        let back = Block::read_record(&mut ByteReader::new(&untagged), false).unwrap();
         assert_eq!(back, block);
-        assert_eq!(r.remaining(), 0);
-        // Truncations error cleanly.
-        for cut in 1..out.len() {
-            assert!(Block::read_record(&mut ByteReader::new(&out[..cut])).is_err());
-        }
+        // An unknown tag in a tagged record is corruption.
+        let mut bad = tagged.clone();
+        bad[1] = 9;
+        assert_eq!(
+            Block::read_record(&mut ByteReader::new(&bad), true),
+            Err(CodecError::InvalidFormat)
+        );
     }
 }

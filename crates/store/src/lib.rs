@@ -84,4 +84,5 @@ pub use sink::{
 pub use store::{
     DeviceMatch, QueryStats, StoreConfig, StoreError, StoreStats, TimeSlice, TrajStore, WindowQuery,
 };
+pub use traj_model::codec::BlockFormat;
 pub use wal::{DurabilityMode, Wal, WalReplayReport, WalStats};

@@ -21,8 +21,13 @@ use crate::block::Block;
 use crate::store::{StoreConfig, StoreError, TrajStore};
 use crate::wal::fault;
 
-/// Current on-disk format version.
-pub const FORMAT_VERSION: usize = 1;
+/// Current on-disk format version.  Version 2 added a per-record block
+/// format tag (varint vs frame-of-reference payloads); version-1 stores
+/// (untagged records, implicitly varint) remain readable forever.
+pub const FORMAT_VERSION: usize = 2;
+
+/// Oldest on-disk format version still accepted by `open`.
+pub const MIN_FORMAT_VERSION: usize = 1;
 
 const MANIFEST_FILE: &str = "manifest.json";
 const LOG_FILE: &str = "segments.log";
@@ -92,7 +97,7 @@ pub(crate) fn validate_block(block: &Block, codec: &SegmentCodec) -> Result<(), 
         return Err("inverted responsibility range".to_string());
     }
     let decoded = codec
-        .decode(&block.payload)
+        .decode_block(block.format, &block.payload)
         .map_err(|e| format!("payload: {e}"))?;
     let segments = decoded.segments();
     if segments.len() != m.num_segments || segments.is_empty() {
@@ -243,11 +248,13 @@ impl TrajStore {
                 .ok_or_else(|| StoreError::Corrupt(format!("manifest missing '{key}'")))
         };
         let version = field("version")? as usize;
-        if version != FORMAT_VERSION {
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(StoreError::Corrupt(format!(
-                "unsupported format version {version} (supported: {FORMAT_VERSION})"
+                "unsupported format version {version} (supported: {MIN_FORMAT_VERSION}..={FORMAT_VERSION})"
             )));
         }
+        // Version-1 logs carry untagged (implicitly varint) records.
+        let tagged = version >= 2;
         // Validate config values before handing them to constructors that
         // assert — a bit-rotted manifest must fail as Corrupt, not panic.
         let positive = |key: &str| -> Result<f64, StoreError> {
@@ -283,7 +290,7 @@ impl TrajStore {
             // successor — but start times are non-decreasing along every
             // device's log), payload decode, and metadata soundness.  A
             // failure surfaces at open time, not mid-query.
-            let checked = Block::read_record(&mut reader)
+            let checked = Block::read_record(&mut reader, tagged)
                 .map_err(|e| format!("segments.log: {e}"))
                 .and_then(|block| {
                     if let Some(&t) = last_t_min.get(&block.meta.device) {
@@ -425,7 +432,7 @@ mod tests {
         // Unsupported version.
         fs::write(
             &manifest_path,
-            manifest.replace("\"version\": 1", "\"version\": 99"),
+            manifest.replace("\"version\": 2", "\"version\": 99"),
         )
         .unwrap();
         let err = TrajStore::open(&dir).unwrap_err();
@@ -434,5 +441,91 @@ mod tests {
         // Missing directory.
         fs::remove_dir_all(&dir).ok();
         assert!(matches!(TrajStore::open(&dir), Err(StoreError::Io(_))));
+    }
+
+    #[test]
+    fn version_1_stores_open_as_varint() {
+        use traj_model::codec::{get_varint, ByteReader};
+        let dir = std::env::temp_dir().join(format!("traj-store-v1-{}", std::process::id()));
+        let store = sample_store();
+        store.save(&dir).unwrap();
+        // Rewrite the directory in the version-1 layout: untagged records
+        // (strip the format-tag byte that follows the device varint) and a
+        // version-1 manifest.
+        let mut v1_log = Vec::new();
+        for block in store.blocks() {
+            let mut tmp = Vec::new();
+            block.write_record(&mut tmp);
+            let mut r = ByteReader::new(&tmp);
+            get_varint(&mut r).unwrap();
+            let device_len = tmp.len() - r.remaining();
+            v1_log.extend_from_slice(&tmp[..device_len]);
+            v1_log.extend_from_slice(&tmp[device_len + 1..]);
+        }
+        fs::write(dir.join("segments.log"), &v1_log).unwrap();
+        let manifest_path = dir.join("manifest.json");
+        let manifest = fs::read_to_string(&manifest_path).unwrap();
+        fs::write(
+            &manifest_path,
+            manifest.replace("\"version\": 2", "\"version\": 1"),
+        )
+        .unwrap();
+        let back = TrajStore::open(&dir).unwrap();
+        assert_eq!(back.stats().blocks, store.stats().blocks);
+        for d in store.devices() {
+            assert_eq!(
+                back.time_slice(d, 0.0, 100.0),
+                store.time_slice(d, 0.0, 100.0)
+            );
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mixed_format_store_roundtrips() {
+        use traj_model::codec::BlockFormat;
+        let dir = std::env::temp_dir().join(format!("traj-store-mixed-{}", std::process::id()));
+        // Build one store holding both formats: ingest even devices as
+        // varint and odd devices as frame-of-reference, then merge the
+        // sealed blocks under one log.
+        let config = StoreConfig::default().with_block_segments(2);
+        let mut varint = TrajStore::new(config.with_format(BlockFormat::Varint));
+        let mut packed = TrajStore::new(config.with_format(BlockFormat::ForFixed));
+        let mut points = 0usize;
+        for d in 0..6u64 {
+            let mut segments = Vec::new();
+            for i in 0..5usize {
+                let a = Point::new(i as f64 * 40.0, d as f64 * 300.0, i as f64 * 12.0);
+                let b = Point::new(
+                    (i + 1) as f64 * 40.0,
+                    d as f64 * 300.0 + 3.0,
+                    (i + 1) as f64 * 12.0,
+                );
+                segments.push(SimplifiedSegment::new(DirectedSegment::new(a, b), i, i + 1));
+            }
+            let st = SimplifiedTrajectory::new(segments, 6);
+            points += 6;
+            let target = if d % 2 == 0 { &mut varint } else { &mut packed };
+            target.ingest(d, &st, 12.5).unwrap();
+        }
+        let mut store = TrajStore::new(config);
+        for block in varint.into_blocks().chain(packed.into_blocks()) {
+            store.append_block(block);
+        }
+        store.set_total_points(points);
+        let formats: std::collections::BTreeSet<_> =
+            store.blocks().map(|b| b.format.tag()).collect();
+        assert_eq!(formats.len(), 2, "store must actually hold both formats");
+        store.save(&dir).unwrap();
+        let back = TrajStore::open(&dir).unwrap();
+        assert_eq!(back.stats(), store.stats());
+        for d in store.devices() {
+            assert_eq!(
+                back.time_slice(d, 0.0, 100.0),
+                store.time_slice(d, 0.0, 100.0)
+            );
+            assert_eq!(back.block_metas(d), store.block_metas(d));
+        }
+        fs::remove_dir_all(&dir).ok();
     }
 }

@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 
 use traj_geo::{BoundingBox, Point};
-use traj_model::codec::{CodecError, SegmentCodec};
+use traj_model::codec::{BlockFormat, CodecError, DecodeArena, SegmentCodec};
 use traj_model::{SimplifiedSegment, SimplifiedTrajectory};
 use traj_pipeline::DeviceId;
 
@@ -24,6 +24,11 @@ pub struct StoreConfig {
     /// The binary codec (quantization resolutions) blocks are encoded
     /// with.
     pub codec: SegmentCodec,
+    /// The payload format **new** ingests are encoded in.  Decoding
+    /// always dispatches on each block's own format tag, so a store may
+    /// hold a mix of formats and changing this setting never invalidates
+    /// existing blocks.
+    pub format: BlockFormat,
     /// How live ingest is made durable (see [`DurabilityMode`]).  A
     /// runtime policy, not part of the on-disk format — it is never
     /// persisted in the manifest, and a store written under one mode
@@ -37,6 +42,7 @@ impl Default for StoreConfig {
             block_segments: 64,
             cell_size: 500.0,
             codec: SegmentCodec::default(),
+            format: BlockFormat::default(),
             durability: DurabilityMode::None,
         }
     }
@@ -59,6 +65,12 @@ impl StoreConfig {
     /// Overrides the codec.
     pub fn with_codec(mut self, codec: SegmentCodec) -> Self {
         self.codec = codec;
+        self
+    }
+
+    /// Overrides the block format used for new ingests.
+    pub fn with_format(mut self, format: BlockFormat) -> Self {
+        self.format = format;
         self
     }
 
@@ -296,6 +308,15 @@ impl TrajStore {
         &self.config
     }
 
+    /// Switches the block format used for *subsequent* ingests.  Existing
+    /// blocks keep the format they were written with (each block record
+    /// carries its own format tag), so a store may legitimately hold a
+    /// mix of formats — e.g. after changing the configured default on an
+    /// archive that already has data.
+    pub fn set_format(&mut self, format: BlockFormat) {
+        self.config.format = format;
+    }
+
     /// Aggregate statistics.
     pub fn stats(&self) -> StoreStats {
         StoreStats {
@@ -432,12 +453,19 @@ impl TrajStore {
                 chunk.to_vec(),
                 chunk.last().expect("chunks are non-empty").last_index + 1,
             );
-            let payload = self.config.codec.encode(&fragment)?;
+            let payload = self
+                .config
+                .codec
+                .encode_block(self.config.format, &fragment)?;
             let mut meta = BlockMeta::from_segments(device, chunk, zeta, slack);
             if let Some(points) = original {
                 meta.extend_with_points(points);
             }
-            blocks.push(Block { meta, payload });
+            blocks.push(Block {
+                meta,
+                format: self.config.format,
+                payload,
+            });
         }
         Ok(Some(PreparedIngest {
             device,
@@ -501,8 +529,13 @@ impl TrajStore {
         self.logs.into_values().flat_map(|log| log.blocks)
     }
 
-    fn decode(&self, block: &Block) -> Result<SimplifiedTrajectory, StoreError> {
-        Ok(self.config.codec.decode(&block.payload)?)
+    /// Decodes a block into a reusable arena, dispatching on the block's
+    /// own format tag (stores may mix formats).
+    fn decode_into(&self, block: &Block, arena: &mut DecodeArena) -> Result<(), StoreError> {
+        Ok(self
+            .config
+            .codec
+            .decode_block_into(block.format, &block.payload, arena)?)
     }
 
     /// The stored segments of `device` whose *responsibility* time span
@@ -524,6 +557,9 @@ impl TrajStore {
             return slice;
         };
         slice.stats.blocks_in_scope = log.blocks.len();
+        // One arena for the whole query: every decoded block reuses its
+        // allocations.
+        let mut arena = DecodeArena::new();
         // Blocks are time-ordered: binary search to the first candidate,
         // stop at the first block past the range.
         let start = log.blocks.partition_point(|b| b.meta.t_max < t0);
@@ -532,8 +568,9 @@ impl TrajStore {
                 break;
             }
             slice.stats.blocks_decoded += 1;
-            let decoded = self.decode(block).expect("stored blocks decode");
-            let segments = decoded.segments();
+            self.decode_into(block, &mut arena)
+                .expect("stored blocks decode");
+            let segments = arena.segments();
             for (j, s) in segments.iter().enumerate() {
                 let (lo, _) = time_span(s);
                 let hi = effective_t_hi(segments, j, &block.meta);
@@ -567,6 +604,7 @@ impl TrajStore {
             },
         };
         let mut current: Option<DeviceMatch> = None;
+        let mut arena = DecodeArena::new();
         for candidate in self.index.candidates(window) {
             let block = &self.logs[&candidate.device].blocks[candidate.block];
             if !block.meta.may_intersect_window(window) {
@@ -578,9 +616,10 @@ impl TrajStore {
                 }
             }
             query.stats.blocks_decoded += 1;
-            let decoded = self.decode(block).expect("stored blocks decode");
+            self.decode_into(block, &mut arena)
+                .expect("stored blocks decode");
             let radius = block.meta.slack_radius();
-            let segments = decoded.segments();
+            let segments = arena.segments();
             for (j, s) in segments.iter().enumerate() {
                 // Absorbing segments are responsible for points the
                 // endpoint box cannot see; fall back to the block's exact
@@ -649,8 +688,10 @@ impl TrajStore {
         if t < block.meta.t_min {
             return None;
         }
-        let decoded = self.decode(block).expect("stored blocks decode");
-        let segments = decoded.segments();
+        let mut arena = DecodeArena::new();
+        self.decode_into(block, &mut arena)
+            .expect("stored blocks decode");
+        let segments = arena.segments();
         // Prefer a segment whose geometric span contains t; fall back to
         // responsibility spans (absorbed tails) with extrapolation.
         for s in segments {

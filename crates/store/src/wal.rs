@@ -87,7 +87,12 @@ impl DurabilityMode {
     }
 }
 
-const SEGMENT_MAGIC: &[u8; 8] = b"TSWAL1\0\n";
+/// Magic of version-1 segments, whose seal-block records are untagged
+/// (implicitly varint payloads).  Still accepted on replay.
+const SEGMENT_MAGIC_V1: &[u8; 8] = b"TSWAL1\0\n";
+/// Magic of the segments this build writes: seal-block records carry a
+/// block-format tag byte.
+const SEGMENT_MAGIC: &[u8; 8] = b"TSWAL2\0\n";
 const SEGMENT_PREFIX: &str = "wal-";
 const SEGMENT_SUFFIX: &str = ".log";
 /// `kind` byte of each record.
@@ -348,7 +353,8 @@ enum Record {
 
 /// Reads one record from `bytes[pos..]`.  `Ok(None)` at a clean end of
 /// input; `Err(reason)` on a torn or corrupt record (replay stops there).
-fn read_record(bytes: &[u8], pos: &mut usize) -> Result<Option<Record>, String> {
+/// `tagged` selects the seal-block layout of the segment's header version.
+fn read_record(bytes: &[u8], pos: &mut usize, tagged: bool) -> Result<Option<Record>, String> {
     if *pos == bytes.len() {
         return Ok(None);
     }
@@ -388,7 +394,8 @@ fn read_record(bytes: &[u8], pos: &mut usize) -> Result<Option<Record>, String> 
             }
         }
         REC_SEAL_BLOCK => {
-            let block = Block::read_record(&mut r).map_err(|e| format!("seal-block: {e}"))?;
+            let block =
+                Block::read_record(&mut r, tagged).map_err(|e| format!("seal-block: {e}"))?;
             if r.remaining() != 0 {
                 return Err("seal-block: trailing bytes".to_string());
             }
@@ -563,20 +570,24 @@ fn segment_header(base_blocks: u64) -> Vec<u8> {
     out
 }
 
-/// Parses a segment header, returning `base_blocks`.
-fn parse_segment_header(bytes: &[u8]) -> Result<u64, String> {
+/// Parses a segment header, returning `(base_blocks, tagged)` — `tagged`
+/// is `false` for version-1 segments, whose seal-block records carry no
+/// format tag.
+fn parse_segment_header(bytes: &[u8]) -> Result<(u64, bool), String> {
     if bytes.len() < 20 {
         return Err("torn segment header".to_string());
     }
-    if &bytes[..8] != SEGMENT_MAGIC {
-        return Err("bad segment magic".to_string());
-    }
+    let tagged = match &bytes[..8] {
+        m if m == SEGMENT_MAGIC => true,
+        m if m == SEGMENT_MAGIC_V1 => false,
+        _ => return Err("bad segment magic".to_string()),
+    };
     let base = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
     let crc = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes"));
     if crc32(0, &bytes[8..16]) != crc {
         return Err("segment header checksum mismatch".to_string());
     }
-    Ok(base)
+    Ok((base, tagged))
 }
 
 impl Wal {
@@ -601,8 +612,8 @@ impl Wal {
         for (seq, path) in segments {
             report.segments_scanned += 1;
             let bytes = fs::read(&path).map_err(|e| io_err("read wal segment", e))?;
-            let base = match parse_segment_header(&bytes) {
-                Ok(base) => base,
+            let (base, tagged) = match parse_segment_header(&bytes) {
+                Ok(parsed) => parsed,
                 Err(reason) => {
                     // A segment with an unreadable header was mid-creation
                     // when the process died; rotation had not completed, so
@@ -623,7 +634,7 @@ impl Wal {
                     store.num_blocks()
                 )));
             }
-            let stopped = Self::replay_segment(&bytes[20..], store, &mut report, seq);
+            let stopped = Self::replay_segment(&bytes[20..], store, &mut report, seq, tagged);
             if stopped {
                 break;
             }
@@ -638,12 +649,13 @@ impl Wal {
         store: &mut TrajStore,
         report: &mut WalReplayReport,
         seq: u64,
+        tagged: bool,
     ) -> bool {
         let mut pos = 0usize;
         let mut pending: Option<(u64, f64, Vec<Block>)> = None;
         loop {
             let record_start = pos;
-            match read_record(bytes, &mut pos) {
+            match read_record(bytes, &mut pos, tagged) {
                 Ok(None) => {
                     if pending.is_some() {
                         // Appended but never committed: the writer was never

@@ -29,7 +29,7 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 use traj_geo::{DirectedSegment, Point};
-use traj_model::{SimplifiedSegment, SimplifiedTrajectory};
+use traj_model::{BlockFormat, SimplifiedSegment, SimplifiedTrajectory};
 use traj_store::wal::fault::{self, CrashMode, FaultPlan};
 use traj_store::{DurabilityMode, ShardedStore, StoreConfig};
 
@@ -76,12 +76,12 @@ fn wave_traj(wave: usize) -> SimplifiedTrajectory {
 /// exercises the save + WAL-rotation path under fire.  After the injected
 /// crash every operation fails, so acknowledgements simply stop — exactly
 /// like a real process death.
-fn run_workload(dir: &Path) -> Vec<(u64, usize)> {
+fn run_workload(dir: &Path, format: BlockFormat) -> Vec<(u64, usize)> {
     let mut acked = Vec::new();
     let Ok((store, _)) = ShardedStore::open_durable(
         dir,
         2,
-        config(DurabilityMode::WalGroupCommit(Duration::ZERO)),
+        config(DurabilityMode::WalGroupCommit(Duration::ZERO)).with_format(format),
     ) else {
         return acked;
     };
@@ -230,37 +230,40 @@ fn group_commit_batches_concurrent_writers() {
 #[test]
 fn crash_sweep_preserves_the_acked_prefix_at_every_site() {
     let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-    // Counting run: same workload, crash site beyond every op.
-    let dir = scratch("sweep-count");
-    fault::arm(FaultPlan {
-        crash_at: usize::MAX,
-        mode: CrashMode::DropOp,
-    });
-    let acked = run_workload(&dir);
-    let total_sites = fault::disarm();
-    fs::remove_dir_all(&dir).ok();
-    assert_eq!(
-        acked.len(),
-        DEVICES as usize * WAVES,
-        "counting run must acknowledge everything"
-    );
-    assert!(
-        total_sites > 30,
-        "expected dozens of durable I/O sites, counted {total_sites}"
-    );
+    // The acked-prefix invariant must hold regardless of block format.
+    for format in BlockFormat::ALL {
+        // Counting run: same workload, crash site beyond every op.
+        let dir = scratch(&format!("sweep-count-{format}"));
+        fault::arm(FaultPlan {
+            crash_at: usize::MAX,
+            mode: CrashMode::DropOp,
+        });
+        let acked = run_workload(&dir, format);
+        let total_sites = fault::disarm();
+        fs::remove_dir_all(&dir).ok();
+        assert_eq!(
+            acked.len(),
+            DEVICES as usize * WAVES,
+            "counting run must acknowledge everything"
+        );
+        assert!(
+            total_sites > 30,
+            "expected dozens of durable I/O sites, counted {total_sites}"
+        );
 
-    for mode in [CrashMode::DropOp, CrashMode::Tear, CrashMode::AfterOp] {
-        for site in 0..total_sites {
-            let context = format!("{mode:?} at site {site}/{total_sites}");
-            let dir = scratch("sweep");
-            fault::arm(FaultPlan {
-                crash_at: site,
-                mode,
-            });
-            let acked = run_workload(&dir);
-            fault::disarm();
-            assert_acked_prefix(&dir, &acked, &context);
-            fs::remove_dir_all(&dir).ok();
+        for mode in [CrashMode::DropOp, CrashMode::Tear, CrashMode::AfterOp] {
+            for site in 0..total_sites {
+                let context = format!("{format} {mode:?} at site {site}/{total_sites}");
+                let dir = scratch("sweep");
+                fault::arm(FaultPlan {
+                    crash_at: site,
+                    mode,
+                });
+                let acked = run_workload(&dir, format);
+                fault::disarm();
+                assert_acked_prefix(&dir, &acked, &context);
+                fs::remove_dir_all(&dir).ok();
+            }
         }
     }
 }

@@ -17,7 +17,7 @@ use std::path::PathBuf;
 
 use traj_data::rng::{Rng, SmallRng};
 use traj_geo::{DirectedSegment, Point};
-use traj_model::{SimplifiedSegment, SimplifiedTrajectory};
+use traj_model::{BlockFormat, SimplifiedSegment, SimplifiedTrajectory};
 use traj_store::{ShardedStore, StoreConfig, StoreError, TrajStore};
 
 /// A scratch directory unique to this test process.
@@ -57,13 +57,23 @@ fn device_streams() -> Vec<(u64, SimplifiedTrajectory)> {
     fleet
 }
 
-/// A deterministic multi-device store with several blocks per device.
-fn build_store() -> TrajStore {
-    let mut store = TrajStore::new(StoreConfig::default().with_block_segments(3));
+/// A deterministic multi-device store with several blocks per device,
+/// encoded in the given block format.
+fn build_store_fmt(format: BlockFormat) -> TrajStore {
+    let mut store = TrajStore::new(
+        StoreConfig::default()
+            .with_block_segments(3)
+            .with_format(format),
+    );
     for (d, simplified) in device_streams() {
         store.ingest(d, &simplified, 15.0).unwrap();
     }
     store
+}
+
+/// The varint-format store most single-format tests use.
+fn build_store() -> TrajStore {
+    build_store_fmt(BlockFormat::Varint)
 }
 
 /// Byte offsets at which each log record starts, plus the total length.
@@ -73,15 +83,23 @@ fn record_offsets(log: &[u8]) -> Vec<usize> {
     let mut reader = ByteReader::new(log);
     while reader.remaining() > 0 {
         offsets.push(log.len() - reader.remaining());
-        traj_store::Block::read_record(&mut reader).expect("intact log parses");
+        traj_store::Block::read_record(&mut reader, true).expect("intact log parses");
     }
     offsets
 }
 
 #[test]
 fn truncation_at_every_byte_of_the_last_block_recovers_the_prefix() {
-    let dir = scratch("truncate");
-    let store = build_store();
+    for format in BlockFormat::ALL {
+        truncation_sweep(format);
+    }
+}
+
+/// Truncates the log at every byte of the last block of a store encoded
+/// in `format` — both on-disk formats must recover the identical prefix.
+fn truncation_sweep(format: BlockFormat) {
+    let dir = scratch(&format!("truncate-{format}"));
+    let store = build_store_fmt(format);
     store.save(&dir).unwrap();
     let log_path = dir.join("segments.log");
     let log = fs::read(&log_path).unwrap();
@@ -144,8 +162,14 @@ fn truncation_at_every_record_boundary_recovers_exactly_those_records() {
 
 #[test]
 fn bit_flips_anywhere_in_the_log_never_panic_or_serve_unvalidated_data() {
-    let dir = scratch("bitflip");
-    let store = build_store();
+    for format in BlockFormat::ALL {
+        log_bit_flip_sweep(format);
+    }
+}
+
+fn log_bit_flip_sweep(format: BlockFormat) {
+    let dir = scratch(&format!("bitflip-{format}"));
+    let store = build_store_fmt(format);
     store.save(&dir).unwrap();
     let log_path = dir.join("segments.log");
     let log = fs::read(&log_path).unwrap();
@@ -205,7 +229,7 @@ fn corrupt_manifests_fail_cleanly_in_both_modes() {
         "not json at all".to_string(),
         "[1,2,3]".to_string(),                          // wrong shape
         manifest.replace("\"version\"", "\"wersion\""), // missing key
-        manifest.replace("\"version\": 1", "\"version\": 99"),
+        manifest.replace("\"version\": 2", "\"version\": 99"),
         manifest.replace("\"cell_size\": 500", "\"cell_size\": 0"),
         manifest.replace("\"cell_size\": 500", "\"cell_size\": -4"),
         manifest.replace("\"cell_size\": 500", "\"cell_size\": \"wide\""),
@@ -281,16 +305,17 @@ const DEVICES: usize = 6;
 const BLOCKS_PER_DEVICE: usize = 4;
 const POINTS_PER_DEVICE: usize = 12;
 
-fn durable_config() -> StoreConfig {
+fn durable_config(format: BlockFormat) -> StoreConfig {
     StoreConfig::default()
         .with_block_segments(3)
+        .with_format(format)
         .with_durability(DurabilityMode::WalGroupCommit(Duration::ZERO))
 }
 
 /// Builds a durable store whose six ingests live only in the WAL (no
 /// checkpoint happened), returning the live segment's path.
-fn build_walled(dir: &Path) -> PathBuf {
-    let (store, report) = ShardedStore::open_durable(dir, 2, durable_config()).unwrap();
+fn build_walled(dir: &Path, format: BlockFormat) -> PathBuf {
+    let (store, report) = ShardedStore::open_durable(dir, 2, durable_config(format)).unwrap();
     assert!(report.is_clean(), "fresh durable store must open clean");
     for (d, simplified) in device_streams() {
         store.ingest(d, &simplified, 15.0).unwrap();
@@ -324,10 +349,16 @@ fn wal_record_offsets(wal: &[u8]) -> Vec<usize> {
 
 #[test]
 fn wal_torn_tail_at_every_byte_recovers_the_acked_ingest_prefix() {
+    for format in BlockFormat::ALL {
+        wal_torn_tail_sweep(format);
+    }
+}
+
+fn wal_torn_tail_sweep(format: BlockFormat) {
     const REC_BEGIN_STREAM: u8 = 1;
     const REC_POINTS_BATCH: u8 = 3;
-    let dir = scratch("wal-torn");
-    let wal_path = build_walled(&dir);
+    let dir = scratch(&format!("wal-torn-{format}"));
+    let wal_path = build_walled(&dir, format);
     let wal = fs::read(&wal_path).unwrap();
     let offsets = wal_record_offsets(&wal);
     let begins: Vec<usize> = offsets
@@ -376,8 +407,14 @@ fn wal_torn_tail_at_every_byte_recovers_the_acked_ingest_prefix() {
 
 #[test]
 fn wal_bit_flips_never_panic_and_never_double_apply() {
-    let dir = scratch("wal-flip");
-    let wal_path = build_walled(&dir);
+    for format in BlockFormat::ALL {
+        wal_bit_flip_sweep(format);
+    }
+}
+
+fn wal_bit_flip_sweep(format: BlockFormat) {
+    let dir = scratch(&format!("wal-flip-{format}"));
+    let wal_path = build_walled(&dir, format);
     let wal = fs::read(&wal_path).unwrap();
 
     let mut clean = 0usize;
@@ -416,9 +453,15 @@ fn wal_bit_flips_never_panic_and_never_double_apply() {
 
 #[test]
 fn wal_duplicated_ingest_is_rejected_not_double_applied() {
+    for format in BlockFormat::ALL {
+        wal_duplicated_ingest_case(format);
+    }
+}
+
+fn wal_duplicated_ingest_case(format: BlockFormat) {
     const REC_BEGIN_STREAM: u8 = 1;
-    let dir = scratch("wal-dup");
-    let wal_path = build_walled(&dir);
+    let dir = scratch(&format!("wal-dup-{format}"));
+    let wal_path = build_walled(&dir, format);
     let wal = fs::read(&wal_path).unwrap();
     let last_begin = wal_record_offsets(&wal)
         .into_iter()
@@ -438,7 +481,7 @@ fn wal_duplicated_ingest_is_rejected_not_double_applied() {
     assert_eq!(store.stats().points, DEVICES * POINTS_PER_DEVICE);
 
     // End to end: a durable open over the same bytes agrees.
-    let (sharded, dreport) = ShardedStore::open_durable(&dir, 2, durable_config()).unwrap();
+    let (sharded, dreport) = ShardedStore::open_durable(&dir, 2, durable_config(format)).unwrap();
     assert_eq!(dreport.wal.ingests_rejected, 1);
     assert_eq!(sharded.stats().points, DEVICES * POINTS_PER_DEVICE);
     assert_eq!(sharded.stats().blocks, DEVICES * BLOCKS_PER_DEVICE);
@@ -447,8 +490,14 @@ fn wal_duplicated_ingest_is_rejected_not_double_applied() {
 
 #[test]
 fn stale_wal_segments_are_skipped_and_rolled_back_manifests_refused() {
-    let dir = scratch("wal-stale");
-    let (store, _) = ShardedStore::open_durable(&dir, 2, durable_config()).unwrap();
+    for format in BlockFormat::ALL {
+        stale_wal_segment_case(format);
+    }
+}
+
+fn stale_wal_segment_case(format: BlockFormat) {
+    let dir = scratch(&format!("wal-stale-{format}"));
+    let (store, _) = ShardedStore::open_durable(&dir, 2, durable_config(format)).unwrap();
     for (d, simplified) in device_streams() {
         store.ingest(d, &simplified, 15.0).unwrap();
     }
@@ -461,7 +510,7 @@ fn stale_wal_segments_are_skipped_and_rolled_back_manifests_refused() {
     // segment is back on disk next to the new one.  Its ingests are
     // already in `segments.log`; replaying them would double every block.
     fs::write(&live, &pre_checkpoint).unwrap();
-    let (reopened, report) = ShardedStore::open_durable(&dir, 2, durable_config()).unwrap();
+    let (reopened, report) = ShardedStore::open_durable(&dir, 2, durable_config(format)).unwrap();
     assert_eq!(report.wal.segments_stale, 1, "old segment skipped whole");
     assert_eq!(report.wal.ingests_replayed, 0);
     assert_eq!(reopened.stats().points, DEVICES * POINTS_PER_DEVICE);
@@ -474,7 +523,7 @@ fn stale_wal_segments_are_skipped_and_rolled_back_manifests_refused() {
     // unrecoverable and must be refused, not guessed at.
     fs::remove_file(dir.join("manifest.json")).unwrap();
     fs::remove_file(dir.join("segments.log")).unwrap();
-    match ShardedStore::open_durable(&dir, 2, durable_config()) {
+    match ShardedStore::open_durable(&dir, 2, durable_config(format)) {
         Err(StoreError::Corrupt(msg)) => {
             assert!(
                 msg.contains("rolled back"),

@@ -27,7 +27,7 @@ use std::path::PathBuf;
 use traj_data::{DatasetGenerator, DatasetKind};
 use traj_geo::BoundingBox;
 use traj_model::json::JsonValue;
-use traj_model::{SimplifiedSegment, Trajectory};
+use traj_model::{BlockFormat, SimplifiedSegment, Trajectory};
 use traj_pipeline::{DeviceId, FleetAlgorithm, PipelineConfig};
 use traj_store::{compress_fleet_into_store, StoreConfig, TrajStore};
 
@@ -83,29 +83,57 @@ fn fixture_path() -> PathBuf {
         .join("golden_e2e.json")
 }
 
-fn build_store() -> (Vec<(DeviceId, Trajectory)>, TrajStore) {
+fn fleet() -> Vec<(DeviceId, Trajectory)> {
     let generator = DatasetGenerator::for_kind(DatasetKind::Taxi, SEED);
-    let fleet: Vec<(DeviceId, Trajectory)> = (0..DEVICES)
+    (0..DEVICES)
         .map(|i| (i as DeviceId, generator.generate_trajectory(i, POINTS)))
-        .collect();
-    let algorithm = FleetAlgorithm::by_name("operb").unwrap();
-    let config = PipelineConfig::new(ZETA)
-        .with_workers(2)
-        .with_batch_size(64);
-    let mut store = TrajStore::new(StoreConfig::default().with_block_segments(16));
-    let (_, ingested) = compress_fleet_into_store(&fleet, &config, &algorithm, &mut store).unwrap();
-    assert_eq!(ingested, DEVICES);
-    (fleet, store)
+        .collect()
 }
 
-/// Runs the canonical query set; returns `(name, count, checksum)` rows.
-fn canonical_queries(
-    fleet: &[(DeviceId, Trajectory)],
-    store: &TrajStore,
-) -> Vec<(String, usize, String)> {
-    let mut rows = Vec::new();
+fn pipeline_config() -> PipelineConfig {
+    PipelineConfig::new(ZETA)
+        .with_workers(2)
+        .with_batch_size(64)
+}
 
-    // Store-level totals.
+fn build_store(fleet: &[(DeviceId, Trajectory)], format: BlockFormat) -> TrajStore {
+    let algorithm = FleetAlgorithm::by_name("operb").unwrap();
+    let mut store = TrajStore::new(
+        StoreConfig::default()
+            .with_block_segments(16)
+            .with_format(format),
+    );
+    let (_, ingested) =
+        compress_fleet_into_store(fleet, &pipeline_config(), &algorithm, &mut store).unwrap();
+    assert_eq!(ingested, DEVICES);
+    store
+}
+
+/// Half the fleet in each format, in one store: the first twelve devices
+/// land in varint blocks, then the configured default flips and the rest
+/// land in FoR blocks.
+fn build_mixed_store(fleet: &[(DeviceId, Trajectory)]) -> TrajStore {
+    let algorithm = FleetAlgorithm::by_name("operb").unwrap();
+    let mut store = TrajStore::new(
+        StoreConfig::default()
+            .with_block_segments(16)
+            .with_format(BlockFormat::Varint),
+    );
+    let half = DEVICES / 2;
+    let (_, a) =
+        compress_fleet_into_store(&fleet[..half], &pipeline_config(), &algorithm, &mut store)
+            .unwrap();
+    store.set_format(BlockFormat::ForFixed);
+    let (_, b) =
+        compress_fleet_into_store(&fleet[half..], &pipeline_config(), &algorithm, &mut store)
+            .unwrap();
+    assert_eq!(a + b, DEVICES);
+    store
+}
+
+/// Store-level totals, including `stored_bytes` — the only number the
+/// block format is *allowed* to change, so it gets a per-format row.
+fn stats_row(store: &TrajStore, label: &str) -> (String, usize, String) {
     let stats = store.stats();
     let mut h = Fnv::new();
     for v in [
@@ -117,7 +145,14 @@ fn canonical_queries(
     ] {
         h.usize(v);
     }
-    rows.push(("stats".to_string(), stats.segments, h.hex()));
+    (format!("stats/{label}"), stats.segments, h.hex())
+}
+
+/// Runs the canonical query set; returns `(name, count, checksum)` rows.
+/// Every row is a pure function of the decoded geometry, so these rows
+/// must be **byte-identical across block formats** — zero tolerance.
+fn query_rows(fleet: &[(DeviceId, Trajectory)], store: &TrajStore) -> Vec<(String, usize, String)> {
+    let mut rows = Vec::new();
 
     // Time slices: five devices, three fractional ranges each.
     for device in [0u64, 5, 11, 17, 23] {
@@ -203,16 +238,51 @@ fn rows_to_json(rows: &[(String, usize, String)]) -> JsonValue {
 
 #[test]
 fn golden_pipeline_store_query_results_match_fixture() {
-    let (fleet, store) = build_store();
-    let rows = canonical_queries(&fleet, &store);
+    let fleet = fleet();
+    let varint = build_store(&fleet, BlockFormat::Varint);
+    let packed = build_store(&fleet, BlockFormat::ForFixed);
+    let mixed = build_mixed_store(&fleet);
 
-    // The same queries against a saved-and-reopened store must agree —
-    // the golden path covers persistence too.
-    let dir = std::env::temp_dir().join(format!("traj-golden-{}", std::process::id()));
-    store.save(&dir).unwrap();
-    let reopened = TrajStore::open(&dir).unwrap();
-    assert_eq!(canonical_queries(&fleet, &reopened), rows);
-    std::fs::remove_dir_all(&dir).ok();
+    // The block format must be invisible to every query: identical rows
+    // (same FNV-1a checksums over exact f64 bit patterns) from the varint
+    // store, the FoR store, and the half-and-half store.  Zero tolerance.
+    let queries = query_rows(&fleet, &varint);
+    assert_eq!(
+        query_rows(&fleet, &packed),
+        queries,
+        "FoR store answers differ from varint store"
+    );
+    assert_eq!(
+        query_rows(&fleet, &mixed),
+        queries,
+        "mixed-format store answers differ"
+    );
+    // Same compressed geometry in fewer/more bytes — but the same blocks,
+    // segments and points.
+    let (vs, ps, ms) = (varint.stats(), packed.stats(), mixed.stats());
+    for s in [&ps, &ms] {
+        assert_eq!(s.blocks, vs.blocks);
+        assert_eq!(s.segments, vs.segments);
+        assert_eq!(s.points, vs.points);
+    }
+
+    // The same queries against saved-and-reopened stores must agree — the
+    // golden path covers persistence for pure and mixed formats alike.
+    for (tag, store) in [("varint", &varint), ("for", &packed), ("mixed", &mixed)] {
+        let dir = std::env::temp_dir().join(format!("traj-golden-{tag}-{}", std::process::id()));
+        store.save(&dir).unwrap();
+        let reopened = TrajStore::open(&dir).unwrap();
+        assert_eq!(query_rows(&fleet, &reopened), queries, "{tag} reopen");
+        assert_eq!(reopened.stats(), store.stats(), "{tag} reopen stats");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    let mut rows = vec![
+        stats_row(&varint, "varint"),
+        stats_row(&packed, "for"),
+        stats_row(&mixed, "mixed"),
+    ];
+    rows.extend(queries);
 
     if std::env::var("GOLDEN_REGEN").is_ok() {
         let mut text = rows_to_json(&rows).to_string_pretty();

@@ -1,7 +1,17 @@
 #!/usr/bin/env bash
 # The full workspace gate: formatting, release build, tests, the storage
-# engine's example + bench smoke runs, rustdoc, clippy.
+# engine's example + bench smoke runs, the bench-regression comparator,
+# rustdoc, clippy.
 # Usage: ./scripts/check.sh
+#
+# The bench gate diffs the fresh BENCH_<name>.json reports against the
+# committed BENCH_baseline.json and fails on a gated regression past the
+# tolerance (default 10%; override with BENCH_TOLERANCE=0.25 on noisy
+# hosts).  After an intentional performance change, refresh the baseline:
+#
+#   BENCH_REGEN=1 ./scripts/check.sh        # reruns benches, rewrites BENCH_baseline.json
+#
+# then commit the updated BENCH_baseline.json with the change.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,14 +37,31 @@ cargo test --release -q --test serve_live_crash
 echo "==> store example (pipeline → store → queries)"
 cargo run --release --example store_query
 
+echo "==> codec_bench (both block formats, differential verification + throughput)"
+BENCH_OUT=target/bench-reports
+mkdir -p "$BENCH_OUT"
+cargo run --release -p traj-bench --bin codec_bench -- --out "$BENCH_OUT"
+
 echo "==> store_bench smoke run (100 devices, skip ratio + ζ verification)"
-cargo run --release -p traj-bench --bin store_bench -- --devices 100 --points 150 --windows 6
+cargo run --release -p traj-bench --bin store_bench -- --devices 100 --points 150 --windows 6 --out "$BENCH_OUT"
 
 echo "==> serve smoke test (in-process server + test client: 200 + valid JSON + shutdown)"
 cargo test --release -q -p traj-service --test serve_http smoke_start_request_shutdown
 
 echo "==> service_bench (32 concurrent clients, 100+ devices, 0 ζ violations required)"
-cargo run --release -p traj-bench --bin service_bench -- --devices 100 --points 120 --clients 32 --requests 10
+cargo run --release -p traj-bench --bin service_bench -- --devices 100 --points 120 --clients 32 --requests 10 --out "$BENCH_OUT"
+
+echo "==> bench-regression gate (BENCH_*.json vs committed BENCH_baseline.json)"
+# The codec and store reports are gated; the service report is recorded in
+# the baseline but its QPS gate is only meaningful on quiet hardware, so
+# check.sh compares it with a loose tolerance instead of the default.
+cargo run --release -p traj-bench --bin bench_compare -- \
+    --baseline BENCH_baseline.json \
+    "$BENCH_OUT/BENCH_codec.json" "$BENCH_OUT/BENCH_store.json"
+BENCH_TOLERANCE="${BENCH_TOLERANCE_SERVICE:-0.60}" \
+    cargo run --release -p traj-bench --bin bench_compare -- \
+    --baseline BENCH_baseline.json \
+    "$BENCH_OUT/BENCH_service.json"
 
 echo "==> cargo doc --no-deps --workspace (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace

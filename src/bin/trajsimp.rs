@@ -52,7 +52,8 @@ const USAGE: &str = "usage: trajsimp <input.csv|input.plt> [--algorithm NAME] [-
        trajsimp fleet [--trajectories N] [--points N] [--workers N] [--batch N]\n\
                       [--algorithm NAME] [--epsilon METERS] [--dataset taxi|truck|sercar|geolife] [--seed N]\n\
        trajsimp store --out DIR [--trajectories N] [--points N] [--workers N] [--algorithm NAME]\n\
-                      [--epsilon METERS] [--dataset NAME] [--seed N] [--input FILE [--device ID]]\n\
+                      [--epsilon METERS] [--dataset NAME] [--seed N] [--format varint|for]\n\
+                      [--input FILE [--device ID]]\n\
        trajsimp query DIR --device N --from T --to T   (time slice)\n\
        trajsimp query DIR --window x0,y0,x1,y1 [--from T --to T]   (spatial window)\n\
        trajsimp query DIR --device N --at T   (interpolated position)\n\
@@ -292,12 +293,14 @@ struct StoreOptions {
     fleet: FleetOptions,
     input: Option<String>,
     device: DeviceId,
+    format: trajsimp::model::codec::BlockFormat,
 }
 
 fn parse_store_args(args: &[String]) -> Result<StoreOptions, String> {
     let mut out = None;
     let mut input = None;
     let mut device: DeviceId = 0;
+    let mut format = trajsimp::model::codec::BlockFormat::default();
     let mut fleet_args: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -312,6 +315,11 @@ fn parse_store_args(args: &[String]) -> Result<StoreOptions, String> {
                 let v = it.next().ok_or("--device needs an id")?;
                 device = v.parse().map_err(|_| format!("invalid device id '{v}'"))?;
             }
+            "--format" | "-f" => {
+                let v = it.next().ok_or("--format needs 'varint' or 'for'")?;
+                format = trajsimp::model::codec::BlockFormat::from_name(v)
+                    .ok_or_else(|| format!("unknown block format '{v}' (varint|for)"))?;
+            }
             other => fleet_args.push(other.to_string()),
         }
     }
@@ -323,6 +331,7 @@ fn parse_store_args(args: &[String]) -> Result<StoreOptions, String> {
         fleet,
         input,
         device,
+        format,
     })
 }
 
@@ -357,7 +366,8 @@ fn run_store(options: &StoreOptions) -> Result<(), String> {
     let config = PipelineConfig::new(options.fleet.epsilon)
         .with_workers(options.fleet.workers)
         .with_batch_size(options.fleet.batch);
-    let mut store = TrajStore::default();
+    let mut store =
+        TrajStore::new(trajsimp::store::StoreConfig::default().with_format(options.format));
     let start = Instant::now();
     let (_, ingested) = compress_fleet_into_store(&fleet, &config, &algorithm, &mut store)?;
     let out = std::path::Path::new(&options.out);
@@ -372,6 +382,7 @@ fn run_store(options: &StoreOptions) -> Result<(), String> {
         algorithm.name(),
         options.fleet.epsilon
     );
+    println!("block format : {}", options.format);
     println!("points       : {} (from {ingested} streams)", stats.points);
     println!(
         "stored bytes : {} ({:.2} B/point, {:.1}x smaller than raw)",
