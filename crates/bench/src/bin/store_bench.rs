@@ -36,7 +36,7 @@ use traj_store::{compress_fleet_into_store, DurabilityMode, ShardedStore, StoreC
 
 const USAGE: &str = "usage: store_bench [--devices N>=100] [--points N] [--epsilon METERS] \
                      [--algorithm NAME] [--windows N] [--window-size METERS] [--seed N] \
-                     [--format varint|for] [--out DIR]";
+                     [--format varint|for] [--min-hit-ratio F] [--out DIR]";
 
 struct Options {
     devices: usize,
@@ -47,6 +47,7 @@ struct Options {
     window_size: f64,
     seed: u64,
     format: BlockFormat,
+    min_hit_ratio: f64,
     out: PathBuf,
 }
 
@@ -61,6 +62,7 @@ impl Default for Options {
             window_size: 600.0,
             seed: 20170401,
             format: BlockFormat::ForFixed,
+            min_hit_ratio: 0.5,
             out: PathBuf::from("."),
         }
     }
@@ -93,6 +95,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let name = value()?;
                 o.format = BlockFormat::from_name(name)
                     .ok_or_else(|| format!("unknown block format '{name}'"))?;
+            }
+            "--min-hit-ratio" => {
+                o.min_hit_ratio = value()?.parse().map_err(|e| format!("{arg}: {e}"))?
             }
             "--out" | "-o" => o.out = PathBuf::from(value()?),
             other => return Err(format!("unexpected argument '{other}'")),
@@ -199,17 +204,21 @@ fn run(options: &Options) -> Result<(), String> {
     let mut worst_skip: f64 = 1.0;
     let mut window_latencies: Vec<Duration> = Vec::with_capacity(options.windows);
     let half = options.window_size / 2.0;
-    for w in 0..options.windows {
-        let (_, probe_traj) = &fleet[(w * 37) % fleet.len()];
-        let centre = probe_traj.point((probe_traj.len() / (w + 2)).min(probe_traj.len() - 1));
-        let window = BoundingBox {
-            min_x: centre.x - half,
-            min_y: centre.y - half,
-            max_x: centre.x + half,
-            max_y: centre.y + half,
-        };
+    let windows: Vec<BoundingBox> = (0..options.windows)
+        .map(|w| {
+            let (_, probe_traj) = &fleet[(w * 37) % fleet.len()];
+            let centre = probe_traj.point((probe_traj.len() / (w + 2)).min(probe_traj.len() - 1));
+            BoundingBox {
+                min_x: centre.x - half,
+                min_y: centre.y - half,
+                max_x: centre.x + half,
+                max_y: centre.y + half,
+            }
+        })
+        .collect();
+    for (w, window) in windows.iter().enumerate() {
         let started = Instant::now();
-        let q = store.window_query(&window, None);
+        let q = store.window_query(window, None);
         let elapsed = started.elapsed();
         window_latencies.push(elapsed);
 
@@ -376,6 +385,10 @@ fn run(options: &Options) -> Result<(), String> {
         Direction::HigherIsBetter,
         false,
     );
+
+    // ── Out-of-core replay through a bounded buffer pool ─────────────────
+    out_of_core_bench(&store, &fleet, &windows, options.min_hit_ratio, &mut bench)?;
+
     let path = bench
         .write_to(&options.out)
         .map_err(|e| format!("writing report: {e}"))?;
@@ -389,6 +402,185 @@ fn run(options: &Options) -> Result<(), String> {
         options.epsilon,
         options.format,
     )?;
+    Ok(())
+}
+
+/// Out-of-core replay: saves the verified store, reopens it with the
+/// payload cache capped at a tenth of the stored bytes under each
+/// eviction policy, and replays the query workload through the bounded
+/// buffer pool.  A cold pass touches every block (10× the cache), then a
+/// hot phase repeats a window prefix whose working set fits the cache.
+/// Every answer must be byte-identical to the in-memory answer (whose
+/// window results were already ζ-verified against the original points);
+/// the steady-state hot hit ratio is a gated regression metric and must
+/// clear `min_hit_ratio`.
+fn out_of_core_bench(
+    store: &TrajStore,
+    fleet: &[(DeviceId, Trajectory)],
+    windows: &[BoundingBox],
+    min_hit_ratio: f64,
+    bench: &mut BenchReport,
+) -> Result<(), String> {
+    use traj_store::EvictionKind;
+
+    let stats = store.stats();
+    let cap = (stats.stored_bytes / 10).max(1);
+    let dir = std::env::temp_dir().join(format!("trajsimp-store-bench-ooc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    store
+        .save(&dir)
+        .map_err(|e| format!("out-of-core: save: {e}"))?;
+
+    // Reference answers from the in-memory store.
+    let window_ref: Vec<_> = windows
+        .iter()
+        .map(|w| store.window_query(w, None))
+        .collect();
+    let slice_ref: Vec<_> = fleet
+        .iter()
+        .map(|(device, traj)| store.time_slice(*device, 0.0, traj.duration()))
+        .collect();
+
+    // The hot phase repeats full-range time slices over the longest
+    // device prefix whose estimated working set stays under half the
+    // cache, so steady state is hits under every policy (a single
+    // device's blocks are a sliver of the fleet's, unlike a spatial
+    // window, whose cross-device working set can exceed the cap and
+    // thrash a loop pattern).
+    let avg_block = stats.stored_bytes as f64 / stats.blocks.max(1) as f64;
+    let mut hot_devices = 0usize;
+    let mut hot_bytes = 0.0;
+    for slice in &slice_ref {
+        hot_bytes += slice.stats.blocks_decoded as f64 * avg_block;
+        if hot_devices > 0 && hot_bytes > cap as f64 / 2.0 {
+            break;
+        }
+        hot_devices += 1;
+    }
+    const HOT_PASSES: usize = 8;
+
+    let mut table = TextTable::new(vec![
+        "policy",
+        "hits",
+        "misses",
+        "evicted",
+        "hot hit ratio",
+        "cold µs/q",
+        "hot µs/q",
+    ]);
+    for kind in EvictionKind::ALL {
+        let config = StoreConfig::default()
+            .with_cache_bytes(Some(cap))
+            .with_eviction(kind);
+        let ooc =
+            TrajStore::open_with(&dir, config).map_err(|e| format!("out-of-core ({kind}): {e}"))?;
+
+        // Cold pass: every device's full time range plus every window.
+        let cold_started = Instant::now();
+        for ((device, traj), want) in fleet.iter().zip(&slice_ref) {
+            if &ooc.time_slice(*device, 0.0, traj.duration()) != want {
+                return Err(format!(
+                    "out-of-core ({kind}): device {device} time slice differs from the \
+                     in-memory answer"
+                ));
+            }
+        }
+        for (w, want) in window_ref.iter().enumerate() {
+            if &ooc.window_query(&windows[w], None) != want {
+                return Err(format!(
+                    "out-of-core ({kind}): window {w} differs from the in-memory answer"
+                ));
+            }
+        }
+        let cold_elapsed = cold_started.elapsed();
+        let cold_queries = fleet.len() + windows.len();
+
+        let before = ooc
+            .memory_stats()
+            .cache
+            .ok_or("out-of-core: store has no cache stats")?;
+        let hot_started = Instant::now();
+        for _ in 0..HOT_PASSES {
+            for ((device, traj), want) in fleet.iter().zip(&slice_ref).take(hot_devices) {
+                if &ooc.time_slice(*device, 0.0, traj.duration()) != want {
+                    return Err(format!(
+                        "out-of-core ({kind}): hot device {device} slice differs from the \
+                         in-memory answer"
+                    ));
+                }
+            }
+        }
+        let hot_elapsed = hot_started.elapsed();
+        let after = ooc
+            .memory_stats()
+            .cache
+            .ok_or("out-of-core: store has no cache stats")?;
+
+        let hot_hits = after.hits - before.hits;
+        let hot_misses = after.misses - before.misses;
+        let hot_ratio = hot_hits as f64 / (hot_hits + hot_misses).max(1) as f64;
+        if after.resident_bytes > cap {
+            return Err(format!(
+                "out-of-core ({kind}): {} resident bytes exceed the {cap}-byte cap",
+                after.resident_bytes
+            ));
+        }
+        if after.evictions == 0 {
+            return Err(format!(
+                "out-of-core ({kind}): a {cap}-byte cache over {} stored bytes never evicted",
+                stats.stored_bytes
+            ));
+        }
+        if hot_ratio < min_hit_ratio {
+            return Err(format!(
+                "out-of-core ({kind}): hot hit ratio {hot_ratio:.3} is below the \
+                 {min_hit_ratio} floor"
+            ));
+        }
+
+        let cold_us = cold_elapsed.as_secs_f64() * 1e6 / cold_queries as f64;
+        let hot_us = hot_elapsed.as_secs_f64() * 1e6 / (HOT_PASSES * hot_devices).max(1) as f64;
+        table.row(vec![
+            kind.name().to_string(),
+            format!("{}", after.hits),
+            format!("{}", after.misses),
+            format!("{}", after.evictions),
+            format!("{:.1}%", hot_ratio * 100.0),
+            format!("{cold_us:.0}"),
+            format!("{hot_us:.0}"),
+        ]);
+        bench.push(
+            format!("ooc_hit_ratio_{}", kind.name()),
+            hot_ratio,
+            "ratio",
+            Direction::HigherIsBetter,
+            true,
+        );
+        bench.push(
+            format!("ooc_cold_query_us_{}", kind.name()),
+            cold_us,
+            "us",
+            Direction::LowerIsBetter,
+            false,
+        );
+        bench.push(
+            format!("ooc_hot_query_us_{}", kind.name()),
+            hot_us,
+            "us",
+            Direction::LowerIsBetter,
+            false,
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    println!(
+        "\n── out-of-core replay ({} stored bytes through a {cap}-byte cache) ──",
+        stats.stored_bytes
+    );
+    println!("{}", table.render());
+    println!(
+        "every answer byte-identical to the in-memory ζ-verified answer; hot phase \
+         repeats {hot_devices} device slices ×{HOT_PASSES}"
+    );
     Ok(())
 }
 

@@ -566,6 +566,7 @@ fn handle_position_at(store: &ShardedStore, request: &Request) -> (u16, JsonValu
 
 fn handle_stats(store: &ShardedStore, shared: &Shared) -> (u16, JsonValue) {
     let s = store.stats();
+    let mem = store.memory_stats();
     let server = snapshot(shared);
     let mut sections = Vec::from([
         (
@@ -576,11 +577,24 @@ fn handle_stats(store: &ShardedStore, shared: &Shared) -> (u16, JsonValue) {
                 ("segments", JsonValue::from(s.segments)),
                 ("points", JsonValue::from(s.points)),
                 ("stored_bytes", JsonValue::from(s.stored_bytes)),
+                ("resident_bytes", JsonValue::from(s.resident_bytes)),
                 ("bytes_per_point", JsonValue::from(s.bytes_per_point())),
                 (
                     "compression_factor",
                     JsonValue::from(s.compression_factor()),
                 ),
+            ]),
+        ),
+        (
+            "memory",
+            JsonValue::object([
+                (
+                    "resident_payload_bytes",
+                    JsonValue::from(mem.resident_payload_bytes),
+                ),
+                ("index_bytes", JsonValue::from(mem.index_bytes)),
+                ("arena_creates", JsonValue::from(mem.arena_creates as f64)),
+                ("arena_reuses", JsonValue::from(mem.arena_reuses as f64)),
             ]),
         ),
         (
@@ -629,6 +643,29 @@ fn handle_stats(store: &ShardedStore, shared: &Shared) -> (u16, JsonValue) {
                 ("records_replayed", JsonValue::from(w.records_replayed)),
                 ("ingests_replayed", JsonValue::from(w.ingests_replayed)),
                 ("checkpoints", JsonValue::from(w.checkpoints as f64)),
+            ]),
+        ));
+    }
+    // Stores opened from disk page payloads through the buffer pool;
+    // report its policy and counters (absent for purely in-memory stores).
+    if let Some(c) = mem.cache {
+        sections.push((
+            "cache",
+            JsonValue::object([
+                ("policy", JsonValue::from(c.policy.name())),
+                (
+                    "capacity_bytes",
+                    match c.capacity_bytes {
+                        Some(cap) => JsonValue::from(cap),
+                        None => JsonValue::Null,
+                    },
+                ),
+                ("resident_bytes", JsonValue::from(c.resident_bytes)),
+                ("resident_pages", JsonValue::from(c.resident_pages)),
+                ("hits", JsonValue::from(c.hits as f64)),
+                ("misses", JsonValue::from(c.misses as f64)),
+                ("evictions", JsonValue::from(c.evictions as f64)),
+                ("hit_ratio", JsonValue::from(c.hit_ratio())),
             ]),
         ));
     }

@@ -160,24 +160,7 @@ impl Block {
     /// (tagged) record layout; [`Block::read_record`] also accepts the
     /// untagged layout of version-1 store files.
     pub fn write_record(&self, out: &mut Vec<u8>) {
-        put_varint(out, self.meta.device);
-        out.push(self.format.tag());
-        for v in [
-            self.meta.t_min,
-            self.meta.t_max,
-            self.meta.bbox.min_x,
-            self.meta.bbox.min_y,
-            self.meta.bbox.max_x,
-            self.meta.bbox.max_y,
-            self.meta.zeta,
-            self.meta.quant_slack,
-        ] {
-            out.extend_from_slice(&v.to_le_bytes());
-        }
-        put_varint(out, self.meta.num_segments as u64);
-        put_varint(out, self.meta.first_index as u64);
-        put_varint(out, (self.meta.last_index - self.meta.first_index) as u64);
-        put_varint(out, self.payload.len() as u64);
+        write_record_header(&self.meta, self.format, self.payload.len(), out);
         out.extend_from_slice(&self.payload);
     }
 
@@ -186,43 +169,98 @@ impl Block {
     /// ≥ 2, WAL segments with a `TSWAL2` header), `false` for the
     /// version-1 layout whose payloads are implicitly varint-encoded.
     pub fn read_record(r: &mut ByteReader<'_>, tagged: bool) -> Result<Block, CodecError> {
-        let device = get_varint(r)?;
-        let format = if tagged {
-            BlockFormat::from_tag(r.get_u8()?).ok_or(CodecError::InvalidFormat)?
-        } else {
-            BlockFormat::Varint
-        };
-        let mut floats = [0.0f64; 8];
-        for f in &mut floats {
-            let raw: [u8; 8] = r.get_bytes(8)?.try_into().expect("8 bytes");
-            *f = f64::from_le_bytes(raw);
-        }
-        let num_segments = get_varint(r)? as usize;
-        let first_index = get_varint(r)? as usize;
-        let last_index = first_index + get_varint(r)? as usize;
-        let payload_len = get_varint(r)? as usize;
-        let payload = r.get_bytes(payload_len)?.to_vec();
+        let header = read_record_header(r, tagged)?;
+        let payload = r.get_bytes(header.payload_len)?.to_vec();
         Ok(Block {
-            meta: BlockMeta {
-                device,
-                t_min: floats[0],
-                t_max: floats[1],
-                bbox: BoundingBox {
-                    min_x: floats[2],
-                    min_y: floats[3],
-                    max_x: floats[4],
-                    max_y: floats[5],
-                },
-                zeta: floats[6],
-                quant_slack: floats[7],
-                num_segments,
-                first_index,
-                last_index,
-            },
-            format,
+            meta: header.meta,
+            format: header.format,
             payload,
         })
     }
+}
+
+/// The parsed fixed part of one log record — everything up to (but not
+/// including) the payload bytes.  The lazy open path reads headers only,
+/// noting each payload's offset and length for on-demand paging.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RecordHeader {
+    /// The block's skipping metadata.
+    pub(crate) meta: BlockMeta,
+    /// The payload's encoding.
+    pub(crate) format: BlockFormat,
+    /// Length of the payload that follows the header.
+    pub(crate) payload_len: usize,
+}
+
+/// Serializes a record header (the counterpart of
+/// [`read_record_header`]); the payload bytes follow it verbatim.
+pub(crate) fn write_record_header(
+    meta: &BlockMeta,
+    format: BlockFormat,
+    payload_len: usize,
+    out: &mut Vec<u8>,
+) {
+    put_varint(out, meta.device);
+    out.push(format.tag());
+    for v in [
+        meta.t_min,
+        meta.t_max,
+        meta.bbox.min_x,
+        meta.bbox.min_y,
+        meta.bbox.max_x,
+        meta.bbox.max_y,
+        meta.zeta,
+        meta.quant_slack,
+    ] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    put_varint(out, meta.num_segments as u64);
+    put_varint(out, meta.first_index as u64);
+    put_varint(out, (meta.last_index - meta.first_index) as u64);
+    put_varint(out, payload_len as u64);
+}
+
+/// Reads a record header, leaving the reader positioned at the first
+/// payload byte.  `tagged` as for [`Block::read_record`].
+pub(crate) fn read_record_header(
+    r: &mut ByteReader<'_>,
+    tagged: bool,
+) -> Result<RecordHeader, CodecError> {
+    let device = get_varint(r)?;
+    let format = if tagged {
+        BlockFormat::from_tag(r.get_u8()?).ok_or(CodecError::InvalidFormat)?
+    } else {
+        BlockFormat::Varint
+    };
+    let mut floats = [0.0f64; 8];
+    for f in &mut floats {
+        let raw: [u8; 8] = r.get_bytes(8)?.try_into().expect("8 bytes");
+        *f = f64::from_le_bytes(raw);
+    }
+    let num_segments = get_varint(r)? as usize;
+    let first_index = get_varint(r)? as usize;
+    let last_index = first_index + get_varint(r)? as usize;
+    let payload_len = get_varint(r)? as usize;
+    Ok(RecordHeader {
+        meta: BlockMeta {
+            device,
+            t_min: floats[0],
+            t_max: floats[1],
+            bbox: BoundingBox {
+                min_x: floats[2],
+                min_y: floats[3],
+                max_x: floats[4],
+                max_y: floats[5],
+            },
+            zeta: floats[6],
+            quant_slack: floats[7],
+            num_segments,
+            first_index,
+            last_index,
+        },
+        format,
+        payload_len,
+    })
 }
 
 /// Nominal metadata record size used for byte accounting (varints make the

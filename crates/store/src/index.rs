@@ -79,6 +79,14 @@ impl GridIndex {
         self.cells.len()
     }
 
+    /// Approximate heap footprint of the index in bytes: every cell entry
+    /// plus every registered block reference (hash-map overhead ignored).
+    pub fn approx_bytes(&self) -> usize {
+        let entry = std::mem::size_of::<(i64, i64)>() + std::mem::size_of::<Vec<BlockRef>>();
+        let refs: usize = self.cells.values().map(Vec::len).sum::<usize>() + self.oversize.len();
+        self.cells.len() * entry + refs * std::mem::size_of::<BlockRef>()
+    }
+
     #[inline]
     fn cell_of(&self, x: f64, y: f64) -> (i64, i64) {
         (

@@ -67,6 +67,7 @@
 
 pub mod block;
 pub mod index;
+pub mod pager;
 pub mod persist;
 pub mod shard;
 pub mod sink;
@@ -75,6 +76,7 @@ pub mod wal;
 
 pub use block::{Block, BlockMeta};
 pub use index::{BlockRef, GridIndex};
+pub use pager::{CacheStats, EvictionKind, EvictionPolicy};
 pub use persist::RecoveryReport;
 pub use shard::{DurableReport, ShardedStore};
 pub use sink::{
@@ -82,7 +84,8 @@ pub use sink::{
     SharedStoreSink, StoreSink,
 };
 pub use store::{
-    DeviceMatch, QueryStats, StoreConfig, StoreError, StoreStats, TimeSlice, TrajStore, WindowQuery,
+    DeviceMatch, MemoryStats, QueryStats, StoreConfig, StoreError, StoreStats, TimeSlice,
+    TrajStore, WindowQuery,
 };
 pub use traj_model::codec::BlockFormat;
 pub use wal::{DurabilityMode, Wal, WalReplayReport, WalStats};

@@ -14,10 +14,13 @@
 use std::fs;
 use std::path::Path;
 
-use traj_model::codec::{ByteReader, SegmentCodec};
+use std::sync::Arc;
+
+use traj_model::codec::{BlockFormat, ByteReader, SegmentCodec};
 use traj_model::json::JsonValue;
 
-use crate::block::Block;
+use crate::block::{read_record_header, Block, BlockMeta};
+use crate::pager::Pager;
 use crate::store::{StoreConfig, StoreError, TrajStore};
 use crate::wal::fault;
 
@@ -72,7 +75,18 @@ impl RecoveryReport {
 /// no-false-negative query guarantees rest on, so a block that fails here
 /// is treated exactly like one that fails to decode.
 pub(crate) fn validate_block(block: &Block, codec: &SegmentCodec) -> Result<(), String> {
-    let m = &block.meta;
+    validate_block_parts(&block.meta, block.format, &block.payload, codec)
+}
+
+/// [`validate_block`] over a record's parts — the lazy open path
+/// validates straight from the log buffer without materializing a
+/// [`Block`].
+pub(crate) fn validate_block_parts(
+    m: &BlockMeta,
+    format: BlockFormat,
+    payload: &[u8],
+    codec: &SegmentCodec,
+) -> Result<(), String> {
     for (name, v) in [
         ("t_min", m.t_min),
         ("t_max", m.t_max),
@@ -97,7 +111,7 @@ pub(crate) fn validate_block(block: &Block, codec: &SegmentCodec) -> Result<(), 
         return Err("inverted responsibility range".to_string());
     }
     let decoded = codec
-        .decode_block(block.format, &block.payload)
+        .decode_block(format, payload)
         .map_err(|e| format!("payload: {e}"))?;
     let segments = decoded.segments();
     if segments.len() != m.num_segments || segments.is_empty() {
@@ -197,21 +211,37 @@ impl TrajStore {
     pub fn save(&self, dir: &Path) -> Result<(), StoreError> {
         let stats = self.stats();
         let mut log = Vec::with_capacity(stats.stored_bytes);
-        for block in self.blocks() {
-            block.write_record(&mut log);
-        }
+        self.append_log_records(&mut log)?;
         write_store_files(dir, self.config(), &stats, &log)
     }
 
     /// Opens a store persisted by [`TrajStore::save`], rebuilding the
     /// grid index from the log.
     ///
+    /// Opening is **lazy**: every record is fully validated (framing,
+    /// decode, metadata soundness), but only the metadata stays resident
+    /// — payloads are re-read on demand through a buffer pool over the
+    /// log file (unbounded by default; see
+    /// [`StoreConfig::with_cache_bytes`] and [`TrajStore::open_with`]).
+    ///
     /// # Errors
     ///
     /// [`StoreError::Io`] on filesystem failures and
     /// [`StoreError::Corrupt`] when the manifest or log fails validation.
     pub fn open(dir: &Path) -> Result<TrajStore, StoreError> {
-        Self::open_impl(dir, false).map(|(store, _)| store)
+        Self::open_impl(dir, false, StoreConfig::default()).map(|(store, _)| store)
+    }
+
+    /// [`TrajStore::open`] with runtime configuration: the store's layout
+    /// (block size, cell size, codec) always comes from the manifest,
+    /// while the *runtime* fields of `config` — durability, buffer-pool
+    /// capacity and eviction policy — come from the caller.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TrajStore::open`].
+    pub fn open_with(dir: &Path, config: StoreConfig) -> Result<TrajStore, StoreError> {
+        Self::open_impl(dir, false, config).map(|(store, _)| store)
     }
 
     /// Opens a store like [`TrajStore::open`], but salvages the longest
@@ -233,10 +263,27 @@ impl TrajStore {
     /// [`StoreError::Io`] on filesystem failures and
     /// [`StoreError::Corrupt`] when the manifest fails validation.
     pub fn open_recover(dir: &Path) -> Result<(TrajStore, RecoveryReport), StoreError> {
-        Self::open_impl(dir, true)
+        Self::open_impl(dir, true, StoreConfig::default())
     }
 
-    fn open_impl(dir: &Path, recover: bool) -> Result<(TrajStore, RecoveryReport), StoreError> {
+    /// [`TrajStore::open_recover`] with runtime configuration (see
+    /// [`TrajStore::open_with`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`TrajStore::open_recover`].
+    pub fn open_recover_with(
+        dir: &Path,
+        config: StoreConfig,
+    ) -> Result<(TrajStore, RecoveryReport), StoreError> {
+        Self::open_impl(dir, true, config)
+    }
+
+    fn open_impl(
+        dir: &Path,
+        recover: bool,
+        runtime: StoreConfig,
+    ) -> Result<(TrajStore, RecoveryReport), StoreError> {
         let manifest_text = fs::read_to_string(dir.join(MANIFEST_FILE))
             .map_err(|e| io_err("read manifest.json", e))?;
         let manifest = JsonValue::parse(&manifest_text)
@@ -272,12 +319,22 @@ impl TrajStore {
             .with_codec(SegmentCodec::new(
                 positive("spatial_resolution")?,
                 positive("time_resolution")?,
-            ));
+            ))
+            // The runtime knobs are the caller's, not the manifest's.
+            .with_durability(runtime.durability)
+            .with_cache_bytes(runtime.cache_bytes)
+            .with_eviction(runtime.eviction);
         let expected_blocks = field("blocks")? as usize;
         let points = field("points")? as usize;
 
+        // The whole log is read once for validation; only metadata and
+        // payload (offset, length) pairs are kept.  Payloads are later
+        // re-read on demand through the pager, which holds its own handle
+        // to this exact file (a later checkpoint renames a new log into
+        // place; the old inode stays readable through the open handle).
         let log_bytes = fs::read(dir.join(LOG_FILE)).map_err(|e| io_err("read segments.log", e))?;
         let mut store = TrajStore::new(config);
+        let codec = config.codec;
         let mut reader = ByteReader::new(&log_bytes);
         let mut last_t_min: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
         let mut dropped_reason = None;
@@ -290,25 +347,34 @@ impl TrajStore {
             // successor — but start times are non-decreasing along every
             // device's log), payload decode, and metadata soundness.  A
             // failure surfaces at open time, not mid-query.
-            let checked = Block::read_record(&mut reader, tagged)
+            let checked = read_record_header(&mut reader, tagged)
                 .map_err(|e| format!("segments.log: {e}"))
-                .and_then(|block| {
-                    if let Some(&t) = last_t_min.get(&block.meta.device) {
-                        if block.meta.t_min < t {
+                .and_then(|header| {
+                    let payload_offset = (log_bytes.len() - reader.remaining()) as u64;
+                    let payload = reader
+                        .get_bytes(header.payload_len)
+                        .map_err(|e| format!("segments.log: {e}"))?;
+                    if let Some(&t) = last_t_min.get(&header.meta.device) {
+                        if header.meta.t_min < t {
                             return Err(format!(
                                 "device {} block out of time order ({} < {})",
-                                block.meta.device, block.meta.t_min, t
+                                header.meta.device, header.meta.t_min, t
                             ));
                         }
                     }
-                    validate_block(&block, &store.config().codec)
+                    validate_block_parts(&header.meta, header.format, payload, &codec)
                         .map_err(|e| format!("block: {e}"))?;
-                    Ok(block)
+                    Ok((header, payload_offset))
                 });
             match checked {
-                Ok(block) => {
-                    last_t_min.insert(block.meta.device, block.meta.t_min);
-                    store.append_block(block);
+                Ok((header, payload_offset)) => {
+                    last_t_min.insert(header.meta.device, header.meta.t_min);
+                    store.append_block_from_disk(
+                        header.meta,
+                        header.format,
+                        payload_offset,
+                        header.payload_len as u32,
+                    );
                 }
                 Err(reason) if recover => {
                     // The drop starts at the failed record's first byte,
@@ -338,9 +404,11 @@ impl TrajStore {
             // The exact fleet-wide counter died with the tail; estimate
             // from the recovered metadata (blocks of one ingest share
             // boundary points, so this slightly overcounts).
-            let estimate = store.blocks().map(|b| b.meta.point_count()).sum();
+            let estimate = store.stored_blocks().map(|b| b.meta.point_count()).sum();
             store.set_total_points(estimate);
         }
+        let pager = Pager::open(&dir.join(LOG_FILE), config.cache_bytes, config.eviction)?;
+        store.set_pager(Arc::new(pager));
         Ok((store, report))
     }
 }
@@ -376,7 +444,12 @@ mod tests {
         let store = sample_store();
         store.save(&dir).unwrap();
         let back = TrajStore::open(&dir).unwrap();
-        assert_eq!(back.stats(), store.stats());
+        // A reopened store is lazy: payloads live on disk, not inline.
+        let want = crate::store::StoreStats {
+            resident_bytes: 0,
+            ..store.stats()
+        };
+        assert_eq!(back.stats(), want);
         assert_eq!(back.config(), store.config());
         for d in store.devices() {
             assert_eq!(back.block_metas(d), store.block_metas(d));
@@ -453,7 +526,7 @@ mod tests {
         // (strip the format-tag byte that follows the device varint) and a
         // version-1 manifest.
         let mut v1_log = Vec::new();
-        for block in store.blocks() {
+        for block in store.blocks_materialized().unwrap() {
             let mut tmp = Vec::new();
             block.write_record(&mut tmp);
             let mut r = ByteReader::new(&tmp);
@@ -514,11 +587,15 @@ mod tests {
         }
         store.set_total_points(points);
         let formats: std::collections::BTreeSet<_> =
-            store.blocks().map(|b| b.format.tag()).collect();
+            store.stored_blocks().map(|b| b.format.tag()).collect();
         assert_eq!(formats.len(), 2, "store must actually hold both formats");
         store.save(&dir).unwrap();
         let back = TrajStore::open(&dir).unwrap();
-        assert_eq!(back.stats(), store.stats());
+        let want = crate::store::StoreStats {
+            resident_bytes: 0,
+            ..store.stats()
+        };
+        assert_eq!(back.stats(), want);
         for d in store.devices() {
             assert_eq!(
                 back.time_slice(d, 0.0, 100.0),

@@ -52,9 +52,10 @@ use traj_model::SimplifiedTrajectory;
 use traj_pipeline::DeviceId;
 
 use crate::block::BlockMeta;
+use crate::pager::Pager;
 use crate::persist::RecoveryReport;
 use crate::store::{
-    QueryStats, StoreConfig, StoreError, StoreStats, TimeSlice, TrajStore, WindowQuery,
+    MemoryStats, QueryStats, StoreConfig, StoreError, StoreStats, TimeSlice, TrajStore, WindowQuery,
 };
 use crate::wal::{DurabilityMode, Wal, WalReplayReport, WalStats};
 
@@ -77,6 +78,9 @@ pub struct ShardedStore {
     ckpt_gate: RwLock<()>,
     /// The directory a durable store checkpoints into.
     durable_dir: Option<PathBuf>,
+    /// The buffer pool all shards page disk-backed payloads through
+    /// (kept here too so cache stats are reported once, not per shard).
+    pager: Option<Arc<Pager>>,
 }
 
 /// What [`ShardedStore::open_durable`] recovered: the main-file salvage
@@ -120,6 +124,7 @@ impl ShardedStore {
             wal: None,
             ckpt_gate: RwLock::new(()),
             durable_dir: None,
+            pager: None,
         }
     }
 
@@ -132,16 +137,27 @@ impl ShardedStore {
     /// over `num_shards` shards (used to serve a store directory written
     /// by the offline `trajsimp store` path).
     pub fn from_store(store: TrajStore, num_shards: usize) -> Self {
-        let sharded = Self::new(*store.config(), num_shards);
-        let points = store.stats().points;
+        let mut sharded = Self::new(*store.config(), num_shards);
         // Blocks are *moved* into their shards — a multi-GB store must
-        // not transiently double in memory while being resharded.
-        for block in store.into_blocks() {
+        // not transiently double in memory while being resharded — and a
+        // lazily opened store's buffer pool is shared by every shard (it
+        // pages one common log file).
+        let (pager, points, blocks) = store.into_stored();
+        if let Some(pager) = &pager {
+            for shard in &sharded.shards {
+                shard
+                    .write()
+                    .expect("store lock poisoned")
+                    .set_pager(Arc::clone(pager));
+            }
+        }
+        sharded.pager = pager;
+        for block in blocks {
             let shard = sharded.shard_of(block.meta.device);
             sharded.shards[shard]
                 .write()
                 .expect("store lock poisoned")
-                .append_block(block);
+                .append_stored(block);
         }
         // The flat format records only the fleet-wide point total; keep it
         // on shard 0 — per-shard counters only ever surface summed.
@@ -162,6 +178,23 @@ impl ShardedStore {
         Ok(Self::from_store(TrajStore::open(dir)?, num_shards))
     }
 
+    /// [`ShardedStore::open`] with runtime configuration — buffer-pool
+    /// capacity and eviction policy (see [`TrajStore::open_with`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`TrajStore::open`].
+    pub fn open_with(
+        dir: &Path,
+        num_shards: usize,
+        config: StoreConfig,
+    ) -> Result<Self, StoreError> {
+        Ok(Self::from_store(
+            TrajStore::open_with(dir, config)?,
+            num_shards,
+        ))
+    }
+
     /// Opens a store directory in recovery mode (see
     /// [`TrajStore::open_recover`]) and shards the salvaged prefix — the
     /// serving path's way back up after a crash mid-append.
@@ -174,6 +207,21 @@ impl ShardedStore {
         num_shards: usize,
     ) -> Result<(Self, crate::persist::RecoveryReport), StoreError> {
         let (store, report) = TrajStore::open_recover(dir)?;
+        Ok((Self::from_store(store, num_shards), report))
+    }
+
+    /// [`ShardedStore::open_recover`] with runtime configuration (see
+    /// [`TrajStore::open_with`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`TrajStore::open_recover`].
+    pub fn open_recover_with(
+        dir: &Path,
+        num_shards: usize,
+        config: StoreConfig,
+    ) -> Result<(Self, crate::persist::RecoveryReport), StoreError> {
+        let (store, report) = TrajStore::open_recover_with(dir, config)?;
         Ok((Self::from_store(store, num_shards), report))
     }
 
@@ -205,7 +253,7 @@ impl ShardedStore {
         config: StoreConfig,
     ) -> Result<(Self, DurableReport), StoreError> {
         let (mut flat, recovery) = if dir.join("manifest.json").exists() {
-            let (flat, recovery) = TrajStore::open_recover(dir)?;
+            let (flat, recovery) = TrajStore::open_recover_with(dir, config)?;
             (flat, recovery)
         } else {
             // A brand-new store: persist the empty baseline immediately so
@@ -228,6 +276,12 @@ impl ShardedStore {
         // base_blocks header, so a crash anywhere past this point can
         // never double-apply.
         flat.save(dir)?;
+        // Re-open the just-saved baseline: WAL-replayed blocks (held
+        // inline so far) become disk-backed records behind the buffer
+        // pool like every other block, and the pager anchors to the fresh
+        // log file.  This is pure reads, so the crash-fault injection
+        // points (writes/syncs/renames) cannot fire here.
+        let flat = TrajStore::open_with(dir, config)?;
         let base_blocks = flat.num_blocks();
         let wal = match config.durability {
             DurabilityMode::None => {
@@ -307,9 +361,8 @@ impl ShardedStore {
             stats.segments += s.segments;
             stats.points += s.points;
             stats.stored_bytes += s.stored_bytes;
-            for block in guard.blocks() {
-                block.write_record(&mut log);
-            }
+            stats.resident_bytes += s.resident_bytes;
+            guard.append_log_records(&mut log)?;
         }
         crate::persist::write_store_files(dir, &self.config, &stats, &log)
     }
@@ -407,7 +460,24 @@ impl ShardedStore {
             total.segments += s.segments;
             total.points += s.points;
             total.stored_bytes += s.stored_bytes;
+            total.resident_bytes += s.resident_bytes;
         }
+        total
+    }
+
+    /// Memory accounting summed over per-shard snapshots, with the shared
+    /// buffer pool's counters reported once (shards page through one
+    /// pool).
+    pub fn memory_stats(&self) -> MemoryStats {
+        let mut total = MemoryStats::default();
+        for shard in &self.shards {
+            let m = shard.read().expect("store lock poisoned").memory_stats();
+            total.resident_payload_bytes += m.resident_payload_bytes;
+            total.index_bytes += m.index_bytes;
+            total.arena_creates += m.arena_creates;
+            total.arena_reuses += m.arena_reuses;
+        }
+        total.cache = self.pager.as_deref().map(Pager::stats);
         total
     }
 
@@ -546,7 +616,12 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("traj-shard-test-{}", std::process::id()));
         sharded.save(&dir).unwrap();
         let back = ShardedStore::open(&dir, 2).unwrap();
-        assert_eq!(back.stats(), flat.stats());
+        // The reopened store is lazy: payloads live on disk, not inline.
+        let want = StoreStats {
+            resident_bytes: 0,
+            ..flat.stats()
+        };
+        assert_eq!(back.stats(), want);
         for d in 0..10u64 {
             assert_eq!(
                 back.time_slice(d, 0.0, 100.0).segments,

@@ -1,14 +1,16 @@
 //! The storage engine: per-device segment logs + grid index + queries.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use traj_geo::{BoundingBox, Point};
 use traj_model::codec::{BlockFormat, CodecError, DecodeArena, SegmentCodec};
 use traj_model::{SimplifiedSegment, SimplifiedTrajectory};
 use traj_pipeline::DeviceId;
 
-use crate::block::{expanded_intersects, Block, BlockMeta};
+use crate::block::{expanded_intersects, write_record_header, Block, BlockMeta, META_RECORD_BYTES};
 use crate::index::{BlockRef, GridIndex};
+use crate::pager::{ArenaPool, CacheStats, EvictionKind, Pager};
 use crate::wal::DurabilityMode;
 
 /// Tuning knobs of a [`TrajStore`].
@@ -34,6 +36,15 @@ pub struct StoreConfig {
     /// persisted in the manifest, and a store written under one mode
     /// opens under any other.
     pub durability: DurabilityMode,
+    /// Capacity of the payload buffer pool an opened store reads through
+    /// (`None` = unbounded: every fetched payload stays cached, matching
+    /// the old fully-resident behavior).  Like `durability`, a runtime
+    /// policy — never persisted, and it does not affect query results,
+    /// only which payloads are resident at a given moment.
+    pub cache_bytes: Option<usize>,
+    /// Which eviction policy a bounded buffer pool runs.  Irrelevant when
+    /// `cache_bytes` is `None`.
+    pub eviction: EvictionKind,
 }
 
 impl Default for StoreConfig {
@@ -44,6 +55,8 @@ impl Default for StoreConfig {
             codec: SegmentCodec::default(),
             format: BlockFormat::default(),
             durability: DurabilityMode::None,
+            cache_bytes: None,
+            eviction: EvictionKind::default(),
         }
     }
 }
@@ -77,6 +90,18 @@ impl StoreConfig {
     /// Overrides the durability mode.
     pub fn with_durability(mut self, durability: DurabilityMode) -> Self {
         self.durability = durability;
+        self
+    }
+
+    /// Bounds the payload buffer pool (`None` = unbounded).
+    pub fn with_cache_bytes(mut self, cache_bytes: Option<usize>) -> Self {
+        self.cache_bytes = cache_bytes;
+        self
+    }
+
+    /// Overrides the eviction policy of a bounded buffer pool.
+    pub fn with_eviction(mut self, eviction: EvictionKind) -> Self {
+        self.eviction = eviction;
         self
     }
 }
@@ -194,8 +219,14 @@ pub struct StoreStats {
     /// Number of original trajectory points the stored representations
     /// are responsible for.
     pub points: usize,
-    /// Stored bytes (payloads plus nominal per-block metadata).
+    /// Stored bytes (payloads plus nominal per-block metadata).  For a
+    /// lazily opened store this counts on-disk record sizes, not memory.
     pub stored_bytes: usize,
+    /// Exact payload bytes held *inline* in the store (freshly ingested,
+    /// not yet checkpointed blocks).  Disk-backed payloads served through
+    /// the buffer pool are accounted in
+    /// [`crate::pager::CacheStats::resident_bytes`] instead.
+    pub resident_bytes: usize,
 }
 
 impl StoreStats {
@@ -219,10 +250,76 @@ impl StoreStats {
     }
 }
 
+/// Exact memory accounting of a store, beyond the logical counters of
+/// [`StoreStats`]: where the bytes actually are (inline, cached, index)
+/// and how well the reuse machinery is doing.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MemoryStats {
+    /// Payload bytes held inline (same as [`StoreStats::resident_bytes`]).
+    pub resident_payload_bytes: usize,
+    /// Approximate heap footprint of the grid index.
+    pub index_bytes: usize,
+    /// Decode arenas allocated by queries.
+    pub arena_creates: u64,
+    /// Queries that reused a pooled decode arena instead of allocating.
+    pub arena_reuses: u64,
+    /// Buffer-pool counters (`None` for a purely in-memory store that has
+    /// no disk-backed payloads to page).
+    pub cache: Option<CacheStats>,
+}
+
+/// Where a stored block's payload bytes live.
+#[derive(Debug, Clone)]
+pub(crate) enum PayloadSlot {
+    /// Held inline — freshly ingested (or WAL-replayed) blocks that have
+    /// no on-disk home yet.  Never evicted.
+    Resident(Vec<u8>),
+    /// A record in the store's `segments.log`, fetched on demand through
+    /// the buffer pool.
+    Disk {
+        /// Byte offset of the payload within the log file.
+        offset: u64,
+        /// Payload length.
+        len: u32,
+    },
+}
+
+/// A sealed block as the store holds it: metadata always resident,
+/// payload either inline or on disk behind the pager.
+#[derive(Debug, Clone)]
+pub(crate) struct StoredBlock {
+    pub(crate) meta: BlockMeta,
+    pub(crate) format: BlockFormat,
+    pub(crate) payload: PayloadSlot,
+}
+
+impl StoredBlock {
+    fn from_block(block: Block) -> Self {
+        Self {
+            meta: block.meta,
+            format: block.format,
+            payload: PayloadSlot::Resident(block.payload),
+        }
+    }
+
+    fn payload_len(&self) -> usize {
+        match &self.payload {
+            PayloadSlot::Resident(bytes) => bytes.len(),
+            PayloadSlot::Disk { len, .. } => *len as usize,
+        }
+    }
+
+    /// Approximate storage footprint: payload plus the serialized
+    /// metadata record (the counterpart of [`Block::stored_bytes`]).
+    fn stored_bytes(&self) -> usize {
+        self.payload_len() + META_RECORD_BYTES
+    }
+}
+
 /// A device's append-only block log.
 #[derive(Debug, Clone, Default)]
 struct DeviceLog {
-    blocks: Vec<Block>,
+    blocks: Vec<StoredBlock>,
 }
 
 /// A fully validated, encoded ingest that has not been applied yet — the
@@ -271,15 +368,41 @@ pub(crate) struct PreparedIngest {
 /// let position = store.position_at(17, 1.0).unwrap();
 /// assert!(position.x > 0.0 && position.x < 100.0);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct TrajStore {
     config: StoreConfig,
     logs: BTreeMap<DeviceId, DeviceLog>,
     index: GridIndex,
+    /// The buffer pool disk-backed payloads are fetched through.  `None`
+    /// for purely in-memory stores (everything resident); shared across
+    /// shards of one [`crate::ShardedStore`].
+    pager: Option<Arc<Pager>>,
+    /// Reusable decode scratch for queries.
+    arenas: ArenaPool,
     total_blocks: usize,
     total_segments: usize,
     total_points: usize,
     stored_bytes: usize,
+    resident_payload_bytes: usize,
+}
+
+impl Clone for TrajStore {
+    fn clone(&self) -> Self {
+        Self {
+            config: self.config,
+            logs: self.logs.clone(),
+            index: self.index.clone(),
+            // The clone pages through the same pool (same underlying log
+            // file) but warms its own arena pool.
+            pager: self.pager.clone(),
+            arenas: ArenaPool::default(),
+            total_blocks: self.total_blocks,
+            total_segments: self.total_segments,
+            total_points: self.total_points,
+            stored_bytes: self.stored_bytes,
+            resident_payload_bytes: self.resident_payload_bytes,
+        }
+    }
 }
 
 impl Default for TrajStore {
@@ -296,10 +419,13 @@ impl TrajStore {
             config,
             logs: BTreeMap::new(),
             index,
+            pager: None,
+            arenas: ArenaPool::default(),
             total_blocks: 0,
             total_segments: 0,
             total_points: 0,
             stored_bytes: 0,
+            resident_payload_bytes: 0,
         }
     }
 
@@ -325,6 +451,21 @@ impl TrajStore {
             segments: self.total_segments,
             points: self.total_points,
             stored_bytes: self.stored_bytes,
+            resident_bytes: self.resident_payload_bytes,
+        }
+    }
+
+    /// Exact memory accounting: inline payload bytes, index footprint,
+    /// decode-arena reuse and (for lazily opened stores) buffer-pool
+    /// counters.
+    pub fn memory_stats(&self) -> MemoryStats {
+        let (arena_creates, arena_reuses) = self.arenas.counters();
+        MemoryStats {
+            resident_payload_bytes: self.resident_payload_bytes,
+            index_bytes: self.index.approx_bytes(),
+            arena_creates,
+            arena_reuses,
+            cache: self.pager.as_deref().map(Pager::stats),
         }
     }
 
@@ -488,9 +629,30 @@ impl TrajStore {
         appended
     }
 
-    /// Appends an already-sealed block (ingest and the persistence loader
-    /// share this path).  Does **not** touch the point counter.
+    /// Appends an already-sealed block with its payload inline (ingest
+    /// and WAL replay share this path).  Does **not** touch the point
+    /// counter.
     pub(crate) fn append_block(&mut self, block: Block) {
+        self.append_stored(StoredBlock::from_block(block));
+    }
+
+    /// Appends a block whose payload stays on disk, to be fetched through
+    /// the store's pager (the lazy open path).
+    pub(crate) fn append_block_from_disk(
+        &mut self,
+        meta: BlockMeta,
+        format: BlockFormat,
+        offset: u64,
+        len: u32,
+    ) {
+        self.append_stored(StoredBlock {
+            meta,
+            format,
+            payload: PayloadSlot::Disk { offset, len },
+        });
+    }
+
+    pub(crate) fn append_stored(&mut self, block: StoredBlock) {
         let device = block.meta.device;
         let log = self.logs.entry(device).or_default();
         self.index.insert(
@@ -503,7 +665,16 @@ impl TrajStore {
         self.total_blocks += 1;
         self.total_segments += block.meta.num_segments;
         self.stored_bytes += block.stored_bytes();
+        if let PayloadSlot::Resident(bytes) = &block.payload {
+            self.resident_payload_bytes += bytes.len();
+        }
         log.blocks.push(block);
+    }
+
+    /// Attaches the buffer pool disk-backed payloads are fetched through
+    /// (persistence loader and resharding).
+    pub(crate) fn set_pager(&mut self, pager: Arc<Pager>) {
+        self.pager = Some(pager);
     }
 
     /// Restores the original-point counter (persistence loader only).
@@ -517,25 +688,112 @@ impl TrajStore {
         self.total_points += points;
     }
 
-    /// Iterates every block in (device, append-order) order —
+    /// Iterates every stored block in (device, append-order) order —
     /// persistence and diagnostics.
-    pub(crate) fn blocks(&self) -> impl Iterator<Item = &Block> + '_ {
+    pub(crate) fn stored_blocks(&self) -> impl Iterator<Item = &StoredBlock> + '_ {
         self.logs.values().flat_map(|log| log.blocks.iter())
     }
 
-    /// Consumes the store, yielding every block in (device, append-order)
-    /// order without copying payloads — the resharding path.
-    pub(crate) fn into_blocks(self) -> impl Iterator<Item = Block> {
-        self.logs.into_values().flat_map(|log| log.blocks)
+    /// Materializes one stored block (fetching a disk-backed payload
+    /// through the pager, bypassing the cache).
+    #[cfg(test)]
+    pub(crate) fn materialize(&self, block: &StoredBlock) -> Result<Block, StoreError> {
+        let payload = match &block.payload {
+            PayloadSlot::Resident(bytes) => bytes.clone(),
+            PayloadSlot::Disk { offset, len } => self
+                .pager
+                .as_ref()
+                .expect("disk-backed block without a pager")
+                .read_raw(*offset, *len)?,
+        };
+        Ok(Block {
+            meta: block.meta,
+            format: block.format,
+            payload,
+        })
     }
 
-    /// Decodes a block into a reusable arena, dispatching on the block's
-    /// own format tag (stores may mix formats).
-    fn decode_into(&self, block: &Block, arena: &mut DecodeArena) -> Result<(), StoreError> {
-        Ok(self
-            .config
-            .codec
-            .decode_block_into(block.format, &block.payload, arena)?)
+    /// Every block in (device, append-order) order, payloads materialized
+    /// — diagnostics and format-migration paths, not queries.
+    #[cfg(test)]
+    pub(crate) fn blocks_materialized(&self) -> Result<Vec<Block>, StoreError> {
+        self.stored_blocks().map(|b| self.materialize(b)).collect()
+    }
+
+    /// Serializes every block as log records onto `out` in (device,
+    /// append-order) order — the save path.  Disk-backed payloads are
+    /// streamed straight from the log file without entering the cache.
+    pub(crate) fn append_log_records(&self, out: &mut Vec<u8>) -> Result<(), StoreError> {
+        for block in self.stored_blocks() {
+            write_record_header(&block.meta, block.format, block.payload_len(), out);
+            match &block.payload {
+                PayloadSlot::Resident(bytes) => out.extend_from_slice(bytes),
+                PayloadSlot::Disk { offset, len } => {
+                    let bytes = self
+                        .pager
+                        .as_ref()
+                        .expect("disk-backed block without a pager")
+                        .read_raw(*offset, *len)?;
+                    out.extend_from_slice(&bytes);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Consumes the store, yielding every block in (device, append-order)
+    /// order, materializing payloads — kept for tests that re-pack
+    /// in-memory stores.
+    #[cfg(test)]
+    pub(crate) fn into_blocks(self) -> impl Iterator<Item = Block> {
+        let blocks = self
+            .blocks_materialized()
+            .expect("materialize store blocks");
+        blocks.into_iter()
+    }
+
+    /// Consumes the store, yielding its pager, point counter and every
+    /// stored block in (device, append-order) order without copying
+    /// payloads — the resharding path.
+    pub(crate) fn into_stored(
+        self,
+    ) -> (Option<Arc<Pager>>, usize, impl Iterator<Item = StoredBlock>) {
+        (
+            self.pager,
+            self.total_points,
+            self.logs.into_values().flat_map(|log| log.blocks),
+        )
+    }
+
+    /// Decodes a stored block into a reusable arena, dispatching on the
+    /// block's own format tag (stores may mix formats).  Disk-backed
+    /// payloads come through the buffer pool; the fetched `Arc` pins the
+    /// bytes for the duration of the decode, so a concurrent eviction can
+    /// never free them under the decoder.
+    fn decode_stored(
+        &self,
+        block: &StoredBlock,
+        arena: &mut DecodeArena,
+    ) -> Result<(), StoreError> {
+        match &block.payload {
+            PayloadSlot::Resident(bytes) => {
+                Ok(self
+                    .config
+                    .codec
+                    .decode_block_into(block.format, bytes, arena)?)
+            }
+            PayloadSlot::Disk { offset, len } => {
+                let pinned = self
+                    .pager
+                    .as_ref()
+                    .expect("disk-backed block without a pager")
+                    .fetch(*offset, *len)?;
+                Ok(self
+                    .config
+                    .codec
+                    .decode_block_into(block.format, &pinned, arena)?)
+            }
+        }
     }
 
     /// The stored segments of `device` whose *responsibility* time span
@@ -557,9 +815,9 @@ impl TrajStore {
             return slice;
         };
         slice.stats.blocks_in_scope = log.blocks.len();
-        // One arena for the whole query: every decoded block reuses its
-        // allocations.
-        let mut arena = DecodeArena::new();
+        // One pooled arena for the whole query: every decoded block
+        // reuses its allocations, and repeated queries reuse the arena.
+        let mut arena = self.arenas.checkout();
         // Blocks are time-ordered: binary search to the first candidate,
         // stop at the first block past the range.
         let start = log.blocks.partition_point(|b| b.meta.t_max < t0);
@@ -568,7 +826,7 @@ impl TrajStore {
                 break;
             }
             slice.stats.blocks_decoded += 1;
-            self.decode_into(block, &mut arena)
+            self.decode_stored(block, &mut arena)
                 .expect("stored blocks decode");
             let segments = arena.segments();
             for (j, s) in segments.iter().enumerate() {
@@ -579,6 +837,7 @@ impl TrajStore {
                 }
             }
         }
+        self.arenas.checkin(arena);
         slice.stats.segments_returned = slice.segments.len();
         slice
     }
@@ -604,7 +863,7 @@ impl TrajStore {
             },
         };
         let mut current: Option<DeviceMatch> = None;
-        let mut arena = DecodeArena::new();
+        let mut arena = self.arenas.checkout();
         for candidate in self.index.candidates(window) {
             let block = &self.logs[&candidate.device].blocks[candidate.block];
             if !block.meta.may_intersect_window(window) {
@@ -616,7 +875,7 @@ impl TrajStore {
                 }
             }
             query.stats.blocks_decoded += 1;
-            self.decode_into(block, &mut arena)
+            self.decode_stored(block, &mut arena)
                 .expect("stored blocks decode");
             let radius = block.meta.slack_radius();
             let segments = arena.segments();
@@ -658,6 +917,7 @@ impl TrajStore {
         if let Some(done) = current.take() {
             query.matches.push(done);
         }
+        self.arenas.checkin(arena);
         query.stats.segments_returned = query.matches.iter().map(|m| m.segments.len()).sum();
         query
     }
@@ -688,33 +948,40 @@ impl TrajStore {
         if t < block.meta.t_min {
             return None;
         }
-        let mut arena = DecodeArena::new();
-        self.decode_into(block, &mut arena)
+        let mut arena = self.arenas.checkout();
+        self.decode_stored(block, &mut arena)
             .expect("stored blocks decode");
-        let segments = arena.segments();
-        // Prefer a segment whose geometric span contains t; fall back to
-        // responsibility spans (absorbed tails) with extrapolation.
-        for s in segments {
-            let (lo, hi) = time_span(s);
-            if lo <= t && t <= hi {
-                return Some(position_on(s, t));
-            }
-        }
-        for (j, s) in segments.iter().enumerate() {
-            let (lo, _) = time_span(s);
-            if lo <= t && t <= effective_t_hi(segments, j, &block.meta) {
-                // Inside an attributed-but-not-fitted run the stored data
-                // no longer says how far along the line the device got;
-                // clamping to the segment end returns the last recorded
-                // fix (restamped to the queried instant) instead of
-                // extrapolating at an assumed speed.
-                let mut p = position_on(s, t.min(time_span(s).1));
-                p.t = t;
-                return Some(p);
-            }
-        }
-        None
+        let position = position_in_block(arena.segments(), &block.meta, t);
+        self.arenas.checkin(arena);
+        position
     }
+}
+
+/// The position-interpolation body of [`TrajStore::position_at`], over
+/// one decoded block's segments.
+fn position_in_block(segments: &[SimplifiedSegment], meta: &BlockMeta, t: f64) -> Option<Point> {
+    // Prefer a segment whose geometric span contains t; fall back to
+    // responsibility spans (absorbed tails) with extrapolation.
+    for s in segments {
+        let (lo, hi) = time_span(s);
+        if lo <= t && t <= hi {
+            return Some(position_on(s, t));
+        }
+    }
+    for (j, s) in segments.iter().enumerate() {
+        let (lo, _) = time_span(s);
+        if lo <= t && t <= effective_t_hi(segments, j, meta) {
+            // Inside an attributed-but-not-fitted run the stored data
+            // no longer says how far along the line the device got;
+            // clamping to the segment end returns the last recorded
+            // fix (restamped to the queried instant) instead of
+            // extrapolating at an assumed speed.
+            let mut p = position_on(s, t.min(time_span(s).1));
+            p.t = t;
+            return Some(p);
+        }
+    }
+    None
 }
 
 /// Time-linear position on a segment's supporting line.

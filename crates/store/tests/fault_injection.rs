@@ -561,3 +561,64 @@ fn sharded_open_recover_matches_flat_recovery() {
     }
     fs::remove_dir_all(&dir).ok();
 }
+
+/// Crash recovery with a tiny bounded payload cache behaves exactly like
+/// unbounded recovery: the pager only *reads* the log, and fault
+/// injection covers writes, syncs and renames — so a 512-byte cap must
+/// change nothing about what is salvaged or answered.
+#[test]
+fn recovery_under_a_tiny_cache_matches_unbounded_recovery() {
+    for format in BlockFormat::ALL {
+        // Torn checkpoint log → open_recover_with under each policy.
+        let dir = scratch(&format!("tiny-cache-{format}"));
+        let store = build_store_fmt(format);
+        store.save(&dir).unwrap();
+        let log_path = dir.join("segments.log");
+        let log = fs::read(&log_path).unwrap();
+        let cut = *record_offsets(&log).last().unwrap() + 7;
+        fs::write(&log_path, &log[..cut]).unwrap();
+
+        let (unbounded, report) = TrajStore::open_recover(&dir).unwrap();
+        for kind in traj_store::EvictionKind::ALL {
+            let config = StoreConfig::default()
+                .with_cache_bytes(Some(512))
+                .with_eviction(kind);
+            let (bounded, brep) = TrajStore::open_recover_with(&dir, config).unwrap();
+            assert_eq!(brep.blocks_recovered, report.blocks_recovered, "{kind}");
+            assert_eq!(bounded.stats(), unbounded.stats(), "{kind}");
+            for d in unbounded.devices().collect::<Vec<_>>() {
+                assert_eq!(
+                    bounded.time_slice(d, 0.0, 150.0),
+                    unbounded.time_slice(d, 0.0, 150.0),
+                    "{kind}: salvaged answers diverged under the tiny cache"
+                );
+            }
+            let cache = bounded.memory_stats().cache.expect("cache stats");
+            assert!(cache.resident_bytes <= 512, "{kind}: cap exceeded");
+        }
+        fs::remove_dir_all(&dir).ok();
+
+        // Torn WAL tail → open_durable with a bounded cache: the same
+        // acknowledged prefix as a flat replay of the damaged WAL.
+        let dir = scratch(&format!("tiny-cache-wal-{format}"));
+        let wal_path = build_walled(&dir, format);
+        let wal = fs::read(&wal_path).unwrap();
+        fs::write(&wal_path, &wal[..wal.len() - 3]).unwrap();
+        let (reference, _) = replay_fresh(&dir);
+        let config = durable_config(format).with_cache_bytes(Some(512));
+        let (durable, report) = ShardedStore::open_durable(&dir, 2, config).unwrap();
+        assert!(!report.is_clean(), "a torn tail must be reported");
+        let (got, want) = (durable.stats(), reference.stats());
+        assert_eq!(got.points, want.points);
+        assert_eq!(got.blocks, want.blocks);
+        assert_eq!(got.devices, want.devices);
+        for d in reference.devices().collect::<Vec<_>>() {
+            assert_eq!(
+                durable.time_slice(d, 0.0, 200.0).segments,
+                reference.time_slice(d, 0.0, 200.0).segments,
+                "replayed answers diverged under the tiny cache"
+            );
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -42,7 +42,11 @@ BENCH_OUT=target/bench-reports
 mkdir -p "$BENCH_OUT"
 cargo run --release -p traj-bench --bin codec_bench -- --out "$BENCH_OUT"
 
-echo "==> store_bench smoke run (100 devices, skip ratio + ζ verification)"
+echo "==> store_bench smoke run (100 devices, skip ratio + ζ verification + out-of-core gate)"
+# The out-of-core section reopens the store with the payload cache capped
+# at stored_bytes/10 under each eviction policy (lru, clock, sieve),
+# requires every answer byte-identical to the in-memory ζ-verified one,
+# and fails below a 50% steady-state hit ratio.
 cargo run --release -p traj-bench --bin store_bench -- --devices 100 --points 150 --windows 6 --out "$BENCH_OUT"
 
 echo "==> serve smoke test (in-process server + test client: 200 + valid JSON + shutdown)"

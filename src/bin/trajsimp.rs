@@ -46,7 +46,7 @@ use trajsimp::pipeline::fleet::verify_error_bound;
 use trajsimp::pipeline::{
     compress_fleet, compress_fleet_sequential, DeviceId, FleetAlgorithm, PipelineConfig, Speedup,
 };
-use trajsimp::store::{compress_fleet_into_store, TrajStore};
+use trajsimp::store::{compress_fleet_into_store, EvictionKind, TrajStore};
 
 const USAGE: &str = "usage: trajsimp <input.csv|input.plt> [--algorithm NAME] [--epsilon METERS] [--output FILE]\n\
        trajsimp fleet [--trajectories N] [--points N] [--workers N] [--batch N]\n\
@@ -57,8 +57,10 @@ const USAGE: &str = "usage: trajsimp <input.csv|input.plt> [--algorithm NAME] [-
        trajsimp query DIR --device N --from T --to T   (time slice)\n\
        trajsimp query DIR --window x0,y0,x1,y1 [--from T --to T]   (spatial window)\n\
        trajsimp query DIR --device N --at T   (interpolated position)\n\
+                      query also takes [--cache-bytes N] [--eviction lru|clock|sieve]\n\
        trajsimp serve [DIR] [--addr HOST] [--port P] [--server-workers N] [--shards N] [--live WAVES]\n\
                       [--durable DIR] [--durability async|group-commit[:MS]]\n\
+                      [--cache-bytes N] [--eviction lru|clock|sieve]\n\
                       [--no-shutdown-endpoint] [--trajectories N] [--points N] [--algorithm NAME]\n\
                       [--epsilon METERS] [--dataset NAME] [--seed N]   (HTTP query server; GET /shutdown stops it)\n\
                      algorithms: operb (default: operb-a), operb-a, raw-operb, raw-operb-a, dp, td-tr, opw, bqs, fbqs";
@@ -405,6 +407,14 @@ struct QueryOptions {
     to: Option<f64>,
     at: Option<f64>,
     window: Option<BoundingBox>,
+    cache_bytes: Option<usize>,
+    eviction: EvictionKind,
+}
+
+/// Parses an `--eviction` value into a policy kind.
+fn parse_eviction(value: &str) -> Result<EvictionKind, String> {
+    EvictionKind::from_name(value)
+        .ok_or_else(|| format!("--eviction must be one of lru, clock, sieve; got '{value}'"))
 }
 
 fn parse_query_args(args: &[String]) -> Result<QueryOptions, String> {
@@ -415,6 +425,8 @@ fn parse_query_args(args: &[String]) -> Result<QueryOptions, String> {
         to: None,
         at: None,
         window: None,
+        cache_bytes: None,
+        eviction: EvictionKind::default(),
     };
     let mut it = args.iter();
     fn num(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<f64, String> {
@@ -447,6 +459,17 @@ fn parse_query_args(args: &[String]) -> Result<QueryOptions, String> {
                     max_y: parts[1].max(parts[3]),
                 });
             }
+            "--cache-bytes" => {
+                let v = it.next().ok_or("--cache-bytes needs a byte count")?;
+                o.cache_bytes = Some(
+                    v.parse()
+                        .map_err(|_| format!("invalid --cache-bytes '{v}'"))?,
+                );
+            }
+            "--eviction" => {
+                let v = it.next().ok_or("--eviction needs a policy name")?;
+                o.eviction = parse_eviction(v)?;
+            }
             other if o.dir.is_empty() && !other.starts_with('-') => {
                 o.dir = other.to_string();
             }
@@ -460,7 +483,11 @@ fn parse_query_args(args: &[String]) -> Result<QueryOptions, String> {
 }
 
 fn run_query(options: &QueryOptions) -> Result<(), String> {
-    let store = TrajStore::open(std::path::Path::new(&options.dir)).map_err(|e| e.to_string())?;
+    let config = trajsimp::store::StoreConfig::default()
+        .with_cache_bytes(options.cache_bytes)
+        .with_eviction(options.eviction);
+    let store = TrajStore::open_with(std::path::Path::new(&options.dir), config)
+        .map_err(|e| e.to_string())?;
     let stats = store.stats();
     eprintln!(
         "opened {} ({} devices, {} blocks, {} segments)",
@@ -525,6 +552,19 @@ fn run_query(options: &QueryOptions) -> Result<(), String> {
             )
         }
     }
+    if options.cache_bytes.is_some() {
+        if let Some(cache) = store.memory_stats().cache {
+            eprintln!(
+                "cache[{}]: {} hits, {} misses, {} evictions; hit ratio {:.1}%, {} resident bytes",
+                cache.policy,
+                cache.hits,
+                cache.misses,
+                cache.evictions,
+                cache.hit_ratio() * 100.0,
+                cache.resident_bytes
+            );
+        }
+    }
     Ok(())
 }
 
@@ -538,6 +578,8 @@ struct ServeOptions {
     shutdown_endpoint: bool,
     durable: Option<String>,
     durability: trajsimp::store::DurabilityMode,
+    cache_bytes: Option<usize>,
+    eviction: EvictionKind,
     fleet: FleetOptions,
 }
 
@@ -578,6 +620,8 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
     let mut durable = None;
     let mut durability =
         trajsimp::store::DurabilityMode::WalGroupCommit(std::time::Duration::from_millis(2));
+    let mut cache_bytes = None;
+    let mut eviction = EvictionKind::default();
     let mut fleet_args: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -597,6 +641,11 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
             "--live" => live_waves = value()?.parse().map_err(|e| format!("{arg}: {e}"))?,
             "--durable" => durable = Some(value()?.to_string()),
             "--durability" => durability = parse_durability(value()?)?,
+            "--cache-bytes" => {
+                let v = value()?;
+                cache_bytes = Some(v.parse().map_err(|e| format!("{arg}: {e}"))?);
+            }
+            "--eviction" => eviction = parse_eviction(value()?)?,
             other if dir.is_none() && !other.starts_with('-') => {
                 dir = Some(other.to_string());
             }
@@ -623,6 +672,8 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
         shutdown_endpoint,
         durable,
         durability,
+        cache_bytes,
+        eviction,
         fleet,
     })
 }
@@ -668,8 +719,11 @@ fn run_serve(options: &ServeOptions) -> Result<(), String> {
         Some(dir) => {
             // Recovery mode: after a crash mid-append the store comes back
             // up with the longest valid log prefix instead of refusing.
+            let config = StoreConfig::default()
+                .with_cache_bytes(options.cache_bytes)
+                .with_eviction(options.eviction);
             let (store, report) =
-                ShardedStore::open_recover(std::path::Path::new(dir), options.shards)
+                ShardedStore::open_recover_with(std::path::Path::new(dir), options.shards, config)
                     .map_err(|e| e.to_string())?;
             if report.is_clean() {
                 eprintln!("opened {dir} ({} blocks)", report.blocks_recovered);
@@ -701,7 +755,10 @@ fn run_serve(options: &ServeOptions) -> Result<(), String> {
                     )
                 })
                 .collect();
-            let store_config = StoreConfig::default().with_block_segments(32);
+            let store_config = StoreConfig::default()
+                .with_block_segments(32)
+                .with_cache_bytes(options.cache_bytes)
+                .with_eviction(options.eviction);
             let store = match &options.durable {
                 // Durable live ingest: every acknowledged stream is in the
                 // write-ahead log before the sink moves on, and a crash
