@@ -30,6 +30,7 @@ use traj_geo::{BoundingBox, DirectedSegment, Point};
 use traj_model::codec::BlockFormat;
 use traj_model::json::JsonValue;
 use traj_model::{SimplifiedSegment, Trajectory};
+use traj_obs::{Histogram, HistogramSnapshot};
 use traj_pipeline::{DeviceId, FleetAlgorithm, PipelineConfig};
 use traj_service::{client, Server, ServiceConfig};
 use traj_store::{compress_fleet_into_shared_store, ShardedStore, StoreConfig};
@@ -163,10 +164,12 @@ fn nearest(segments: &[SimplifiedSegment], p: &Point) -> f64 {
         .fold(f64::INFINITY, f64::min)
 }
 
-/// What one client measured.
-#[derive(Default)]
+/// What one client measured.  Latencies go straight into a log-bucket
+/// [`Histogram`]; the per-client snapshots are merged for the fleet-wide
+/// percentiles, the same path the server's own `/metrics` histograms use.
 struct ClientOutcome {
-    latencies_us: Vec<u64>,
+    latency: HistogramSnapshot,
+    max_us: u64,
     violations: u64,
     errors: u64,
 }
@@ -183,7 +186,13 @@ fn client_loop(
     first_failure: &Mutex<Option<String>>,
 ) -> ClientOutcome {
     let mut rng = SmallRng::seed_from_u64(options.seed ^ (0x5EED << 8) ^ client_id as u64);
-    let mut outcome = ClientOutcome::default();
+    let latency_hist = Histogram::new();
+    let mut outcome = ClientOutcome {
+        latency: latency_hist.snapshot(),
+        max_us: 0,
+        violations: 0,
+        errors: 0,
+    };
     let fail = |msg: String| {
         let mut slot = first_failure.lock().expect("failure slot");
         if slot.is_none() {
@@ -250,7 +259,8 @@ fn client_loop(
                 continue;
             }
         };
-        outcome.latencies_us.push(latency_us);
+        latency_hist.record(latency_us);
+        outcome.max_us = outcome.max_us.max(latency_us);
 
         // ζ verification against the originals.
         match kind {
@@ -325,15 +335,8 @@ fn client_loop(
             }
         }
     }
+    outcome.latency = latency_hist.snapshot();
     outcome
-}
-
-fn percentile(sorted_us: &[u64], p: f64) -> f64 {
-    if sorted_us.is_empty() {
-        return 0.0;
-    }
-    let rank = ((sorted_us.len() - 1) as f64 * p).round() as usize;
-    sorted_us[rank] as f64
 }
 
 fn run(options: &Options) -> Result<(), String> {
@@ -429,31 +432,29 @@ fn run(options: &Options) -> Result<(), String> {
     let server_stats = server.stop();
 
     // ── Report ───────────────────────────────────────────────────────────
-    let mut latencies: Vec<u64> = outcomes
-        .iter()
-        .flat_map(|o| o.latencies_us.iter().copied())
-        .collect();
-    latencies.sort_unstable();
+    let mut latency = Histogram::new().snapshot();
+    for o in &outcomes {
+        latency.merge(&o.latency);
+    }
+    let completed = latency.count();
+    let max_us = outcomes.iter().map(|o| o.max_us).max().unwrap_or(0);
     let violations: u64 = outcomes.iter().map(|o| o.violations).sum();
     let errors: u64 = outcomes.iter().map(|o| o.errors).sum();
     let total = options.clients * options.requests;
-    let qps = latencies.len() as f64 / wall.as_secs_f64().max(1e-12);
+    let qps = completed as f64 / wall.as_secs_f64().max(1e-12);
     println!(
         "\n── load ({} clients × {} requests, closed loop) ───────",
         options.clients, options.requests
     );
     println!(
-        "completed        : {}/{} requests in {:.0} ms",
-        latencies.len(),
-        total,
+        "completed        : {completed}/{total} requests in {:.0} ms",
         wall.as_secs_f64() * 1e3
     );
     println!("throughput       : {qps:.0} requests/s");
     println!(
-        "latency          : p50 {:.0} µs, p99 {:.0} µs, max {:.0} µs",
-        percentile(&latencies, 0.50),
-        percentile(&latencies, 0.99),
-        latencies.last().copied().unwrap_or(0) as f64
+        "latency          : p50 {} µs, p99 {} µs, max {max_us} µs (log-bucket bounds)",
+        latency.quantile(0.50),
+        latency.quantile(0.99),
     );
     println!(
         "server counters  : {} served, {} rejected (503), mean handler {:.0} µs, skip ratio {:.1}%",
@@ -474,27 +475,25 @@ fn run(options: &Options) -> Result<(), String> {
             "{violations} ζ violations, {errors} errors — first: {detail}"
         ));
     }
-    println!(
-        "\nall {} answers respected the stored error bound.",
-        latencies.len()
-    );
+    println!("\nall {completed} answers respected the stored error bound.");
 
     // ── Machine-readable report ──────────────────────────────────────────
     // The client-observed QPS is the gated headline (the comparator fails
-    // on a > tolerance drop); latency percentiles and the server's own
-    // counters ride along ungated for trend-watching.
+    // on a > tolerance drop); latency percentiles — read off the merged
+    // log-bucket histograms, so they are bucket upper bounds — and the
+    // server's own counters ride along ungated for trend-watching.
     let mut report = BenchReport::new("service");
     report.push("qps", qps, "req/s", Direction::HigherIsBetter, true);
     report.push(
         "p50_us",
-        percentile(&latencies, 0.50),
+        latency.quantile(0.50) as f64,
         "µs",
         Direction::LowerIsBetter,
         false,
     );
     report.push(
         "p99_us",
-        percentile(&latencies, 0.99),
+        latency.quantile(0.99) as f64,
         "µs",
         Direction::LowerIsBetter,
         false,

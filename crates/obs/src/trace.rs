@@ -1,0 +1,409 @@
+//! Span-based tracing: a bounded per-request trace assembled from RAII
+//! span guards, plus the process-wide slow-query ring.
+//!
+//! A trace is thread-local: [`trace_begin`] arms the current thread,
+//! every [`span`] guard dropped while it is armed records itself, and
+//! [`TraceGuard::finish`] collects the result.  A [`span`] on a thread
+//! with no active trace does nothing beyond one thread-local check, so
+//! instrumentation deep in the store costs (almost) nothing for
+//! untraced callers — e.g. the WAL syncer thread or an unprofiled CLI
+//! query.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Spans kept per trace; further spans are counted, not stored.
+pub const MAX_SPANS: usize = 256;
+
+/// Finished traces kept in the slow-query ring.
+pub const SLOW_LOG_CAPACITY: usize = 64;
+
+/// One closed span inside a [`Trace`].
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// This span's id (ids start at 1; 0 is the trace root itself).
+    pub id: u32,
+    /// The enclosing span's id, or 0 when opened directly under the root.
+    pub parent: u32,
+    /// Static span name, e.g. `"index_walk"`.
+    pub name: &'static str,
+    /// Microseconds from the start of the trace to the span opening.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+    /// Key/value attributes attached while the span was open.
+    pub attrs: Vec<(&'static str, String)>,
+}
+
+/// A finished bounded trace.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// Root name — for a served request, the endpoint path.
+    pub name: String,
+    /// Total wall time from [`trace_begin`] to [`TraceGuard::finish`].
+    pub total_us: u64,
+    /// Closed spans in completion order.
+    pub spans: Vec<SpanRecord>,
+    /// Spans dropped once the [`MAX_SPANS`] bound was hit.
+    pub dropped_spans: u32,
+}
+
+impl Trace {
+    /// The trace as an indented tree, children under their parents:
+    ///
+    /// ```text
+    /// /window — 1234 µs total, 5 spans
+    ///   index_walk 12 µs [cells=4]
+    ///   decode 210 µs [bytes=1536]
+    ///     pager_fetch 170 µs [hit=false]
+    /// ```
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} — {} µs total, {} spans{}",
+            self.name,
+            self.total_us,
+            self.spans.len(),
+            if self.dropped_spans > 0 {
+                format!(" ({} dropped)", self.dropped_spans)
+            } else {
+                String::new()
+            }
+        );
+        self.render_children(0, 1, &mut out);
+        out
+    }
+
+    fn render_children(&self, parent: u32, depth: usize, out: &mut String) {
+        use std::fmt::Write as _;
+        let mut children: Vec<&SpanRecord> =
+            self.spans.iter().filter(|s| s.parent == parent).collect();
+        children.sort_by_key(|s| s.start_us);
+        for child in children {
+            let _ = write!(
+                out,
+                "{}{} {} µs",
+                "  ".repeat(depth),
+                child.name,
+                child.dur_us
+            );
+            if !child.attrs.is_empty() {
+                let attrs: Vec<String> = child
+                    .attrs
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect();
+                let _ = write!(out, " [{}]", attrs.join(","));
+            }
+            out.push('\n');
+            self.render_children(child.id, depth + 1, out);
+        }
+    }
+}
+
+struct ActiveTrace {
+    started: Instant,
+    next_id: u32,
+    /// Open span ids, innermost last.
+    stack: Vec<u32>,
+    spans: Vec<SpanRecord>,
+    dropped: u32,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<ActiveTrace>> = const { RefCell::new(None) };
+}
+
+/// Arms tracing on the current thread and returns the guard that will
+/// collect the trace.  Replaces any trace already active on the thread.
+pub fn trace_begin(name: impl Into<String>) -> TraceGuard {
+    ACTIVE.with(|active| {
+        *active.borrow_mut() = Some(ActiveTrace {
+            started: Instant::now(),
+            next_id: 1,
+            stack: Vec::new(),
+            spans: Vec::new(),
+            dropped: 0,
+        });
+    });
+    TraceGuard {
+        name: name.into(),
+        finished: false,
+    }
+}
+
+/// The handle to an in-progress trace; dropping it unfinished discards
+/// the trace. Not `Send` — the trace lives in this thread's storage.
+#[derive(Debug)]
+pub struct TraceGuard {
+    name: String,
+    finished: bool,
+}
+
+impl TraceGuard {
+    /// Disarms tracing on this thread and returns the collected trace.
+    #[must_use]
+    pub fn finish(mut self) -> Trace {
+        self.finished = true;
+        let name = std::mem::take(&mut self.name);
+        ACTIVE.with(|active| {
+            let state = active.borrow_mut().take();
+            match state {
+                Some(t) => Trace {
+                    name,
+                    total_us: instant_us(t.started.elapsed()),
+                    spans: t.spans,
+                    dropped_spans: t.dropped,
+                },
+                // A nested trace_begin replaced us: return an empty trace.
+                None => Trace {
+                    name,
+                    total_us: 0,
+                    spans: Vec::new(),
+                    dropped_spans: 0,
+                },
+            }
+        })
+    }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        if !self.finished {
+            ACTIVE.with(|active| active.borrow_mut().take());
+        }
+    }
+}
+
+fn instant_us(d: std::time::Duration) -> u64 {
+    d.as_micros().min(u64::MAX as u128) as u64
+}
+
+/// Opens a span on the current thread.  When no trace is active this is
+/// a no-op guard whose construction costs one thread-local check.
+pub fn span(name: &'static str) -> Span {
+    let armed = ACTIVE.with(|active| {
+        let mut slot = active.borrow_mut();
+        let trace = slot.as_mut()?;
+        let id = trace.next_id;
+        trace.next_id += 1;
+        let parent = trace.stack.last().copied().unwrap_or(0);
+        trace.stack.push(id);
+        Some(Armed {
+            id,
+            parent,
+            start_us: instant_us(trace.started.elapsed()),
+            started: Instant::now(),
+        })
+    });
+    Span {
+        name,
+        armed,
+        attrs: Vec::new(),
+    }
+}
+
+#[derive(Debug)]
+struct Armed {
+    id: u32,
+    parent: u32,
+    start_us: u64,
+    started: Instant,
+}
+
+/// An RAII span guard: records itself into the thread's active trace on
+/// drop.  Disarmed (free) when no trace was active at construction.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    armed: Option<Armed>,
+    attrs: Vec<(&'static str, String)>,
+}
+
+impl Span {
+    /// Attaches a key/value attribute (no-op on a disarmed span).
+    pub fn attr(&mut self, key: &'static str, value: impl ToString) {
+        if self.armed.is_some() {
+            self.attrs.push((key, value.to_string()));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(armed) = self.armed.take() else {
+            return;
+        };
+        let record = SpanRecord {
+            id: armed.id,
+            parent: armed.parent,
+            name: self.name,
+            start_us: armed.start_us,
+            dur_us: instant_us(armed.started.elapsed()),
+            attrs: std::mem::take(&mut self.attrs),
+        };
+        ACTIVE.with(|active| {
+            let mut slot = active.borrow_mut();
+            // The trace this span belongs to may already be finished (a
+            // span outliving its TraceGuard); then there is nothing to
+            // record into.
+            let Some(trace) = slot.as_mut() else { return };
+            // Spans are strictly nested per thread, so ours is on top;
+            // being defensive about out-of-order drops keeps the stack
+            // consistent anyway.
+            if trace.stack.last() == Some(&armed.id) {
+                trace.stack.pop();
+            } else {
+                trace.stack.retain(|&id| id != armed.id);
+            }
+            if trace.spans.len() < MAX_SPANS {
+                trace.spans.push(record);
+            } else {
+                trace.dropped += 1;
+            }
+        });
+    }
+}
+
+/// A bounded ring of finished traces — the store behind `/trace`.
+pub struct SlowLog {
+    capacity: usize,
+    inner: Mutex<VecDeque<Trace>>,
+}
+
+impl SlowLog {
+    /// An empty ring keeping at most `capacity` traces.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        SlowLog {
+            capacity: capacity.max(1),
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Appends a trace, evicting the oldest past capacity.
+    pub fn push(&self, trace: Trace) {
+        let mut inner = self.inner.lock().expect("slow log poisoned");
+        if inner.len() == self.capacity {
+            inner.pop_front();
+        }
+        inner.push_back(trace);
+    }
+
+    /// The retained traces, newest first.
+    #[must_use]
+    pub fn recent(&self) -> Vec<Trace> {
+        let inner = self.inner.lock().expect("slow log poisoned");
+        inner.iter().rev().cloned().collect()
+    }
+
+    /// Number of retained traces.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("slow log poisoned").len()
+    }
+
+    /// Whether the ring is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The process-wide slow-query ring (capacity [`SLOW_LOG_CAPACITY`]).
+pub fn slow_log() -> &'static SlowLog {
+    static SLOW: OnceLock<SlowLog> = OnceLock::new();
+    SLOW.get_or_init(|| SlowLog::new(SLOW_LOG_CAPACITY))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_parenting_and_attrs() {
+        let guard = trace_begin("/window");
+        {
+            let _outer = span("handler");
+            {
+                let mut inner = span("index_walk");
+                inner.attr("cells", 4);
+            }
+            {
+                let _decode = span("decode");
+                let _fetch = span("pager_fetch");
+            }
+        }
+        let trace = guard.finish();
+        assert_eq!(trace.name, "/window");
+        assert_eq!(trace.spans.len(), 4);
+        let by_name = |n: &str| {
+            trace
+                .spans
+                .iter()
+                .find(|s| s.name == n)
+                .unwrap_or_else(|| panic!("span {n} missing"))
+        };
+        let handler = by_name("handler");
+        assert_eq!(handler.parent, 0);
+        assert_eq!(by_name("index_walk").parent, handler.id);
+        assert_eq!(
+            by_name("index_walk").attrs,
+            vec![("cells", "4".to_string())]
+        );
+        let decode = by_name("decode");
+        assert_eq!(decode.parent, handler.id);
+        assert_eq!(by_name("pager_fetch").parent, decode.id);
+        let rendered = trace.render_text();
+        assert!(rendered.contains("index_walk"));
+        assert!(rendered.contains("[cells=4]"));
+    }
+
+    #[test]
+    fn spans_without_a_trace_are_disarmed() {
+        let mut s = span("orphan");
+        s.attr("ignored", 1);
+        drop(s);
+        // Still disarmed: a later trace sees none of it.
+        let guard = trace_begin("t");
+        let trace = guard.finish();
+        assert!(trace.spans.is_empty());
+    }
+
+    #[test]
+    fn traces_are_bounded() {
+        let guard = trace_begin("burst");
+        for _ in 0..(MAX_SPANS + 10) {
+            let _s = span("tick");
+        }
+        let trace = guard.finish();
+        assert_eq!(trace.spans.len(), MAX_SPANS);
+        assert_eq!(trace.dropped_spans, 10);
+    }
+
+    #[test]
+    fn dropping_an_unfinished_guard_disarms_the_thread() {
+        drop(trace_begin("abandoned"));
+        let guard = trace_begin("fresh");
+        let _s = span("only");
+        drop(_s);
+        assert_eq!(guard.finish().spans.len(), 1);
+    }
+
+    #[test]
+    fn slow_log_is_a_ring() {
+        let log = SlowLog::new(2);
+        for name in ["a", "b", "c"] {
+            log.push(trace_begin(name).finish());
+        }
+        let recent = log.recent();
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].name, "c");
+        assert_eq!(recent[1].name, "b");
+    }
+}

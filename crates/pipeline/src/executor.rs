@@ -133,9 +133,10 @@ impl FleetPipeline {
             let algorithm = algorithm.clone();
             let result_tx: Sender<FleetResult> = result_tx.clone();
             let epsilon = config.epsilon;
+            let metrics = WorkerMetrics::register(worker_index);
             let handle = std::thread::Builder::new()
                 .name(format!("fleet-worker-{worker_index}"))
-                .spawn(move || worker_loop(rx, result_tx, algorithm, epsilon))
+                .spawn(move || worker_loop(rx, result_tx, algorithm, epsilon, &metrics))
                 .expect("spawn pipeline worker");
             senders.push(tx);
             handles.push(handle);
@@ -306,11 +307,79 @@ fn finalize(
     }
 }
 
+/// Ingest counters one worker bumps as it compresses: aggregate series
+/// (fleet totals) plus the same counts labelled by worker, all in the
+/// process-global registry so a server scraping `/metrics` sees every
+/// pipeline this process ever ran.
+struct WorkerMetrics {
+    points: traj_obs::Counter,
+    streams: traj_obs::Counter,
+    chunks: traj_obs::Counter,
+    worker_points: traj_obs::Counter,
+    worker_streams: traj_obs::Counter,
+}
+
+impl WorkerMetrics {
+    fn register(worker_index: usize) -> Self {
+        let registry = traj_obs::Registry::global();
+        let worker = worker_index.to_string();
+        WorkerMetrics {
+            points: registry.counter(
+                "pipeline_points_total",
+                "Points compressed through the fleet pipeline.",
+                &[],
+            ),
+            streams: registry.counter(
+                "pipeline_streams_total",
+                "Trajectory streams finished by the fleet pipeline.",
+                &[],
+            ),
+            chunks: registry.counter(
+                "pipeline_chunks_total",
+                "Point chunks dispatched to pipeline workers.",
+                &[],
+            ),
+            worker_points: registry.counter(
+                "pipeline_worker_points_total",
+                "Points compressed, by pipeline worker.",
+                &[("worker", &worker)],
+            ),
+            worker_streams: registry.counter(
+                "pipeline_worker_streams_total",
+                "Streams finished, by pipeline worker.",
+                &[("worker", &worker)],
+            ),
+        }
+    }
+}
+
+/// Registers the pipeline's aggregate ingest counters (at zero if no
+/// pipeline ran yet), so a metrics scrape always sees the series.
+pub fn ensure_metrics_registered() {
+    let registry = traj_obs::Registry::global();
+    registry.counter(
+        "pipeline_points_total",
+        "Points compressed through the fleet pipeline.",
+        &[],
+    );
+    registry.counter(
+        "pipeline_streams_total",
+        "Trajectory streams finished by the fleet pipeline.",
+        &[],
+    );
+    registry.counter(
+        "pipeline_chunks_total",
+        "Point chunks dispatched to pipeline workers.",
+        &[],
+    );
+}
+
 fn worker_loop(
     rx: Receiver<Job>,
     results: Sender<FleetResult>,
     algorithm: FleetAlgorithm,
     epsilon: f64,
+    metrics: &WorkerMetrics,
 ) -> WorkerOutcome {
     let mut streams: HashMap<DeviceId, StreamState> = HashMap::new();
     let mut outcome = WorkerOutcome {
@@ -326,6 +395,9 @@ fn worker_loop(
         } = job;
         let work_started = Instant::now();
         outcome.points += points.len();
+        metrics.chunks.inc();
+        metrics.points.add(points.len() as u64);
+        metrics.worker_points.add(points.len() as u64);
         let state = streams
             .entry(device)
             .or_insert_with(|| new_stream_state(&algorithm, epsilon));
@@ -344,6 +416,8 @@ fn worker_loop(
         }
         if close {
             outcome.streams += 1;
+            metrics.streams.inc();
+            metrics.worker_streams.inc();
             let state = streams.remove(&device).expect("state just touched");
             let result = finalize(state, &algorithm, epsilon, device);
             // A disconnected collector is not an error: the caller may have
@@ -357,6 +431,8 @@ fn worker_loop(
     // flush what we have so no data is silently lost.
     for (device, state) in streams.drain() {
         outcome.streams += 1;
+        metrics.streams.inc();
+        metrics.worker_streams.inc();
         let _ = results.send(finalize(state, &algorithm, epsilon, device));
     }
     outcome

@@ -234,8 +234,19 @@ pub fn write_json_response(
     status: u16,
     body: &str,
 ) -> std::io::Result<()> {
+    write_response(stream, status, "application/json", body)
+}
+
+/// Writes one length-framed response with an explicit content type —
+/// `/metrics` serves Prometheus text exposition, everything else JSON.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         reason(status),
         body.len(),
     );

@@ -12,9 +12,13 @@ use std::time::{Duration, Instant};
 use traj_geo::BoundingBox;
 use traj_model::json::JsonValue;
 use traj_model::SimplifiedSegment;
+use traj_obs::{Gauge, Histogram, Registry, SpanRecord, Trace};
 use traj_store::{QueryStats, ShardedStore};
 
-use crate::http::{read_request, write_json_response, Request};
+use crate::http::{read_request, write_json_response, write_response, Request};
+
+/// `Content-Type` for `/metrics` (Prometheus text exposition format).
+const METRICS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -31,6 +35,11 @@ pub struct ServiceConfig {
     /// server binds loopback for this repo's deployments, and a clean
     /// remote stop is what the CLI and the test gate need.
     pub enable_shutdown_endpoint: bool,
+    /// Requests at least this slow are traced into the global slow-query
+    /// log served by `GET /trace`.  `Duration::ZERO` traces every request;
+    /// `None` disables tracing entirely (spans cost one thread-local check
+    /// each).
+    pub slow_query: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -40,6 +49,7 @@ impl Default for ServiceConfig {
             queue_depth: 64,
             io_timeout: Duration::from_secs(10),
             enable_shutdown_endpoint: true,
+            slow_query: Some(Duration::from_millis(250)),
         }
     }
 }
@@ -54,6 +64,12 @@ impl ServiceConfig {
     /// Overrides the connection queue depth (clamped to ≥ 1).
     pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
         self.queue_depth = queue_depth.max(1);
+        self
+    }
+
+    /// Overrides the slow-query threshold (`None` disables tracing).
+    pub fn with_slow_query_threshold(mut self, threshold: Option<Duration>) -> Self {
+        self.slow_query = threshold;
         self
     }
 }
@@ -118,6 +134,54 @@ impl ServerStats {
     }
 }
 
+/// The fixed endpoint set, each with a pre-registered latency histogram —
+/// created once at startup so the per-request path touches only atomics
+/// (no registry mutex), and so unknown paths collapse onto one `other`
+/// series instead of creating a label per probe.
+struct EndpointMetrics {
+    devices: Histogram,
+    time_slice: Histogram,
+    window: Histogram,
+    position_at: Histogram,
+    stats: Histogram,
+    metrics: Histogram,
+    trace: Histogram,
+    other: Histogram,
+}
+
+impl EndpointMetrics {
+    const NAME: &'static str = "service_request_duration_us";
+    const HELP: &'static str = "Wall-clock request handling time in microseconds, by endpoint.";
+
+    fn register(registry: &Registry) -> Self {
+        let hist =
+            |endpoint: &str| registry.histogram(Self::NAME, Self::HELP, &[("endpoint", endpoint)]);
+        EndpointMetrics {
+            devices: hist("/devices"),
+            time_slice: hist("/time_slice"),
+            window: hist("/window"),
+            position_at: hist("/position_at"),
+            stats: hist("/stats"),
+            metrics: hist("/metrics"),
+            trace: hist("/trace"),
+            other: hist("other"),
+        }
+    }
+
+    fn for_path(&self, path: &str) -> &Histogram {
+        match path {
+            "/devices" => &self.devices,
+            "/time_slice" => &self.time_slice,
+            "/window" => &self.window,
+            "/position_at" => &self.position_at,
+            "/stats" => &self.stats,
+            "/metrics" => &self.metrics,
+            "/trace" => &self.trace,
+            _ => &self.other,
+        }
+    }
+}
+
 /// Everything a worker needs to answer requests.
 struct Shared {
     store: Arc<ShardedStore>,
@@ -126,6 +190,13 @@ struct Shared {
     shutdown: AtomicBool,
     addr: SocketAddr,
     started: Instant,
+    /// Per-server metrics: endpoint latency histograms and the queue-depth
+    /// gauge live here; `/metrics` merges in the process-global registry
+    /// (pipeline ingest counters) and appends store/pager/WAL series read
+    /// at scrape time.
+    registry: Registry,
+    endpoints: EndpointMetrics,
+    queue_depth: Gauge,
 }
 
 impl Shared {
@@ -175,6 +246,17 @@ impl Server {
         let local = listener.local_addr()?;
         let workers = config.workers.max(1);
         let queue_depth = config.queue_depth.max(1);
+        // Pipeline ingest counters live in the process-global registry;
+        // make sure the aggregate series exist (at zero) before the first
+        // scrape even if no pipeline ran in this process.
+        traj_pipeline::executor::ensure_metrics_registered();
+        let registry = Registry::new();
+        let endpoints = EndpointMetrics::register(&registry);
+        let depth_gauge = registry.gauge(
+            "service_queue_depth",
+            "Accepted connections currently queued ahead of the workers.",
+            &[],
+        );
         let shared = Arc::new(Shared {
             store,
             counters: Counters::default(),
@@ -182,6 +264,9 @@ impl Server {
             shutdown: AtomicBool::new(false),
             addr: local,
             started: Instant::now(),
+            registry,
+            endpoints,
+            queue_depth: depth_gauge,
         });
 
         let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(queue_depth);
@@ -281,7 +366,9 @@ fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &SyncSender<TcpStrea
             return;
         }
         match tx.try_send(stream) {
-            Ok(()) => {}
+            Ok(()) => {
+                shared.queue_depth.add(1);
+            }
             Err(TrySendError::Full(mut stream)) => {
                 // Bounded pool: refuse instead of buffering without bound.
                 shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
@@ -303,8 +390,30 @@ fn worker_loop(shared: &Shared, rx: &Arc<Mutex<Receiver<TcpStream>>>) {
             Err(_) => return,
         };
         let Ok(stream) = stream else { return };
+        shared.queue_depth.add(-1);
         handle_connection(shared, stream);
     }
+}
+
+/// A response body: JSON for the query endpoints, plain text for the
+/// Prometheus exposition on `/metrics`.
+enum Body {
+    Json(JsonValue),
+    Text(String),
+}
+
+/// The trace name for a request: the full target, so the slow log shows
+/// which query was slow, not just which endpoint.
+fn trace_name(request: &Request) -> String {
+    if request.params.is_empty() {
+        return request.path.clone();
+    }
+    let query: Vec<String> = request
+        .params
+        .iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect();
+    format!("{}?{}", request.path, query.join("&"))
 }
 
 fn handle_connection(shared: &Shared, mut stream: TcpStream) {
@@ -315,17 +424,40 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
         Ok(s) => s,
         Err(_) => return,
     });
-    let (status, body) = match read_request(&mut reader) {
-        Ok(request) => respond(shared, &request),
+    let (status, body, endpoint_path) = match read_request(&mut reader) {
+        Ok(request) => {
+            // Trace the whole handler when tracing is on; the finished
+            // trace goes to the slow log only past the threshold.
+            let guard = shared
+                .config
+                .slow_query
+                .map(|_| traj_obs::trace_begin(trace_name(&request)));
+            let (status, body) = respond(shared, &request);
+            if let (Some(guard), Some(threshold)) = (guard, shared.config.slow_query) {
+                let trace = guard.finish();
+                if Duration::from_micros(trace.total_us) >= threshold {
+                    traj_obs::slow_log().push(trace);
+                }
+            }
+            (status, body, Some(request.path))
+        }
         Err(e) => (
             e.status(),
-            JsonValue::object([("error", JsonValue::from(e.to_string()))]),
+            Body::Json(JsonValue::object([(
+                "error",
+                JsonValue::from(e.to_string()),
+            )])),
+            None,
         ),
     };
     let latency_us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
     let c = &shared.counters;
     c.requests.fetch_add(1, Ordering::Relaxed);
     c.latency_us_total.fetch_add(latency_us, Ordering::Relaxed);
+    shared
+        .endpoints
+        .for_path(endpoint_path.as_deref().unwrap_or("other"))
+        .record(latency_us);
     match status {
         400..=499 => {
             c.client_errors.fetch_add(1, Ordering::Relaxed);
@@ -335,28 +467,39 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
         }
         _ => {}
     }
-    // Attach the per-request latency so clients see the handler cost
-    // separate from network time.
-    let body = match body {
-        JsonValue::Object(mut pairs) => {
-            pairs.push(("latency_us".to_string(), JsonValue::from(latency_us as f64)));
-            JsonValue::Object(pairs)
+    match body {
+        Body::Json(body) => {
+            // Attach the per-request latency so clients see the handler
+            // cost separate from network time.
+            let body = match body {
+                JsonValue::Object(mut pairs) => {
+                    pairs.push(("latency_us".to_string(), JsonValue::from(latency_us as f64)));
+                    JsonValue::Object(pairs)
+                }
+                other => other,
+            };
+            let _ = write_json_response(&mut stream, status, &body.to_string());
         }
-        other => other,
-    };
-    let _ = write_json_response(&mut stream, status, &body.to_string());
+        Body::Text(text) => {
+            let _ = write_response(&mut stream, status, METRICS_CONTENT_TYPE, &text);
+        }
+    }
 }
 
 /// Routes one parsed request.  Returns `(status, body)`; the caller adds
-/// the latency field and writes the response.
-fn respond(shared: &Shared, request: &Request) -> (u16, JsonValue) {
+/// the latency field (JSON bodies only) and writes the response.
+fn respond(shared: &Shared, request: &Request) -> (u16, Body) {
     let store = shared.store.as_ref();
-    match request.path.as_str() {
+    if request.path == "/metrics" {
+        return (200, Body::Text(render_metrics(shared)));
+    }
+    let (status, body) = match request.path.as_str() {
         "/devices" => handle_devices(store, request),
         "/time_slice" => handle_time_slice(store, shared, request),
         "/window" => handle_window(store, shared, request),
         "/position_at" => handle_position_at(store, request),
         "/stats" => handle_stats(store, shared),
+        "/trace" => handle_trace(request),
         "/shutdown" if shared.config.enable_shutdown_endpoint => {
             shared.signal_shutdown();
             (200, JsonValue::object([("ok", JsonValue::from(true))]))
@@ -368,7 +511,8 @@ fn respond(shared: &Shared, request: &Request) -> (u16, JsonValue) {
                 JsonValue::from(format!("no such endpoint: {}", request.path)),
             )]),
         ),
-    }
+    };
+    (status, Body::Json(body))
 }
 
 fn bad_request(msg: impl Into<String>) -> (u16, JsonValue) {
@@ -670,4 +814,291 @@ fn handle_stats(store: &ShardedStore, shared: &Shared) -> (u16, JsonValue) {
         ));
     }
     (200, JsonValue::object(sections))
+}
+
+/// Builds the `/metrics` exposition: the server's own registry (endpoint
+/// latency histograms, queue depth), merged with the process-global
+/// registry (pipeline ingest counters), plus store / pager / WAL series
+/// read at scrape time.  Every family is always emitted — a store without
+/// a buffer pool or WAL reports zeros rather than dropping the series, so
+/// dashboards and the smoke gate see a stable schema.
+fn render_metrics(shared: &Shared) -> String {
+    let mut snap = shared.registry.snapshot();
+    snap.merge(&Registry::global().snapshot());
+    let server = snapshot(shared);
+
+    // Service.
+    snap.put_counter(
+        "service_requests_total",
+        "Requests answered (any status).",
+        &[],
+        server.requests,
+    );
+    snap.put_counter(
+        "service_client_errors_total",
+        "Responses with a 4xx status.",
+        &[],
+        server.client_errors,
+    );
+    snap.put_counter(
+        "service_server_errors_total",
+        "Responses with a 5xx status.",
+        &[],
+        server.server_errors,
+    );
+    snap.put_counter(
+        "service_rejected_total",
+        "Connections refused with 503 because the worker queue was full.",
+        &[],
+        server.rejected,
+    );
+    snap.put_gauge(
+        "service_queue_capacity",
+        "Bound on connections queued ahead of the workers.",
+        &[],
+        shared.config.queue_depth as f64,
+    );
+    snap.put_gauge(
+        "service_workers",
+        "Worker threads answering requests.",
+        &[],
+        shared.config.workers as f64,
+    );
+    snap.put_gauge(
+        "service_uptime_seconds",
+        "Seconds since the server started.",
+        &[],
+        server.uptime.as_secs_f64(),
+    );
+    snap.put_gauge(
+        "service_slow_queries_logged",
+        "Traces currently held in the slow-query ring buffer.",
+        &[],
+        traj_obs::slow_log().len() as f64,
+    );
+
+    // Store.
+    let s = shared.store.stats();
+    let mem = shared.store.memory_stats();
+    snap.put_gauge(
+        "store_devices",
+        "Device streams stored.",
+        &[],
+        s.devices as f64,
+    );
+    snap.put_gauge(
+        "store_blocks",
+        "Sealed blocks stored.",
+        &[],
+        s.blocks as f64,
+    );
+    snap.put_gauge(
+        "store_segments",
+        "Simplified segments stored.",
+        &[],
+        s.segments as f64,
+    );
+    snap.put_gauge(
+        "store_points",
+        "Original trajectory points the store is responsible for.",
+        &[],
+        s.points as f64,
+    );
+    snap.put_gauge(
+        "store_stored_bytes",
+        "Stored bytes: payloads plus nominal per-block metadata.",
+        &[],
+        s.stored_bytes as f64,
+    );
+    snap.put_gauge(
+        "store_resident_payload_bytes",
+        "Payload bytes held inline (not yet checkpointed to disk).",
+        &[],
+        mem.resident_payload_bytes as f64,
+    );
+    snap.put_gauge(
+        "store_index_bytes",
+        "Approximate heap footprint of the grid index.",
+        &[],
+        mem.index_bytes as f64,
+    );
+    snap.put_counter(
+        "store_arena_creates_total",
+        "Decode arenas allocated by queries.",
+        &[],
+        mem.arena_creates,
+    );
+    snap.put_counter(
+        "store_arena_reuses_total",
+        "Queries that reused a pooled decode arena instead of allocating.",
+        &[],
+        mem.arena_reuses,
+    );
+    snap.put_counter(
+        "store_blocks_in_scope_total",
+        "Blocks in scope over all store queries served.",
+        &[],
+        server.blocks_in_scope,
+    );
+    snap.put_counter(
+        "store_blocks_decoded_total",
+        "Blocks actually decoded over all store queries served.",
+        &[],
+        server.blocks_decoded,
+    );
+    for (shard, blocks) in shared.store.per_shard_blocks().iter().enumerate() {
+        snap.put_gauge(
+            "store_shard_blocks",
+            "Sealed blocks resident, by shard.",
+            &[("shard", &shard.to_string())],
+            *blocks as f64,
+        );
+    }
+
+    // Pager (buffer pool).  Zeros under policy "none" when the store has
+    // no disk-backed payloads to page.
+    let cache = mem.cache;
+    let policy = cache.as_ref().map_or("none", |c| c.policy.name());
+    let labels = [("eviction_policy", policy)];
+    snap.put_counter(
+        "pager_hits_total",
+        "Block fetches served from the buffer pool.",
+        &labels,
+        cache.as_ref().map_or(0, |c| c.hits),
+    );
+    snap.put_counter(
+        "pager_misses_total",
+        "Block fetches that read from disk.",
+        &labels,
+        cache.as_ref().map_or(0, |c| c.misses),
+    );
+    snap.put_counter(
+        "pager_evictions_total",
+        "Pages evicted to stay under the cache budget.",
+        &labels,
+        cache.as_ref().map_or(0, |c| c.evictions),
+    );
+    snap.put_gauge(
+        "pager_resident_bytes",
+        "Payload bytes resident in the buffer pool.",
+        &labels,
+        cache.as_ref().map_or(0, |c| c.resident_bytes) as f64,
+    );
+    snap.put_gauge(
+        "pager_resident_pages",
+        "Pages resident in the buffer pool.",
+        &labels,
+        cache.as_ref().map_or(0, |c| c.resident_pages) as f64,
+    );
+    snap.put_gauge(
+        "pager_capacity_bytes",
+        "Configured cache budget in bytes (0 = unbounded or no pager).",
+        &labels,
+        cache.as_ref().and_then(|c| c.capacity_bytes).unwrap_or(0) as f64,
+    );
+
+    // WAL.  Zeros under mode "none" for non-durable stores.
+    let wal = shared.store.wal_stats();
+    let mode = wal.as_ref().map_or("none", |w| w.mode);
+    let labels = [("mode", mode)];
+    snap.put_counter(
+        "wal_appends_total",
+        "Ingest batches appended to the write-ahead log.",
+        &labels,
+        wal.as_ref().map_or(0, |w| w.ingests_appended),
+    );
+    snap.put_counter(
+        "wal_records_total",
+        "Records appended to the write-ahead log.",
+        &labels,
+        wal.as_ref().map_or(0, |w| w.records_appended),
+    );
+    snap.put_counter(
+        "wal_syncs_total",
+        "Group-commit fsync batches completed.",
+        &labels,
+        wal.as_ref().map_or(0, |w| w.syncs),
+    );
+    snap.put_counter(
+        "wal_checkpoints_total",
+        "Checkpoints folding the log into the base store.",
+        &labels,
+        wal.as_ref().map_or(0, |w| w.checkpoints),
+    );
+    snap.put_gauge(
+        "wal_bytes",
+        "Bytes in the live write-ahead log segment.",
+        &labels,
+        wal.as_ref().map_or(0, |w| w.wal_bytes) as f64,
+    );
+    snap.put_gauge(
+        "wal_records_replayed",
+        "Records the last recovery replayed.",
+        &labels,
+        wal.as_ref().map_or(0, |w| w.records_replayed) as f64,
+    );
+    let sync_latency = shared
+        .store
+        .wal_sync_latency()
+        .unwrap_or_else(|| Histogram::new().snapshot());
+    snap.put_histogram(
+        "wal_sync_duration_us",
+        "Group-commit fsync latency in microseconds.",
+        &labels,
+        sync_latency,
+    );
+
+    snap.render_prometheus()
+}
+
+fn span_json(s: &SpanRecord) -> JsonValue {
+    JsonValue::object([
+        ("id", JsonValue::from(s.id as f64)),
+        ("parent", JsonValue::from(s.parent as f64)),
+        ("name", JsonValue::from(s.name)),
+        ("start_us", JsonValue::from(s.start_us as f64)),
+        ("dur_us", JsonValue::from(s.dur_us as f64)),
+        (
+            "attrs",
+            JsonValue::Object(
+                s.attrs
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), JsonValue::from(v.as_str())))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn trace_json(t: &Trace) -> JsonValue {
+    JsonValue::object([
+        ("name", JsonValue::from(t.name.as_str())),
+        ("total_us", JsonValue::from(t.total_us as f64)),
+        ("dropped_spans", JsonValue::from(t.dropped_spans as f64)),
+        (
+            "spans",
+            JsonValue::Array(t.spans.iter().map(span_json).collect()),
+        ),
+    ])
+}
+
+/// `GET /trace`: the slow-query ring buffer, newest first.  `limit` caps
+/// how many traces are returned.
+fn handle_trace(request: &Request) -> (u16, JsonValue) {
+    let limit = match request.param("limit") {
+        None => usize::MAX,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return bad_request(format!("parameter 'limit' is not a count: '{raw}'")),
+        },
+    };
+    let traces = traj_obs::slow_log().recent();
+    let listed: Vec<JsonValue> = traces.iter().take(limit).map(trace_json).collect();
+    (
+        200,
+        JsonValue::object([
+            ("count", JsonValue::from(traces.len())),
+            ("traces", JsonValue::Array(listed)),
+        ]),
+    )
 }

@@ -134,6 +134,13 @@ impl GridIndex {
     /// [`BlockMeta::may_intersect_window`] check — a cell is coarser than
     /// a bounding box.
     pub fn candidates(&self, window: &BoundingBox) -> Vec<BlockRef> {
+        let mut span = traj_obs::span("index_walk");
+        let out = self.candidates_impl(window);
+        span.attr("candidates", out.len());
+        out
+    }
+
+    fn candidates_impl(&self, window: &BoundingBox) -> Vec<BlockRef> {
         if window.is_empty() {
             return Vec::new();
         }

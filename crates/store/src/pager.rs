@@ -2,7 +2,7 @@
 //!
 //! An opened store keeps only [`crate::BlockMeta`] (plus each payload
 //! record's file offset and length) resident; payload bytes are fetched
-//! on demand through a [`Pager`] — a capacity-bounded cache over
+//! on demand through a `Pager` — a capacity-bounded cache over
 //! `segments.log` with a pluggable [`EvictionPolicy`].  With the default
 //! unbounded capacity nothing is ever evicted, so query behavior matches
 //! the old fully-resident store exactly; with `StoreConfig::cache_bytes`
@@ -362,7 +362,8 @@ impl EvictionPolicy for SievePolicy {
     }
 }
 
-/// Counters of a [`Pager`], surfaced through store stats and `/stats`.
+/// Counters of the buffer-pool pager, surfaced through store stats and
+/// `/stats`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CacheStats {
     /// The configured eviction policy.
@@ -450,14 +451,18 @@ impl Pager {
     /// file.  The returned `Arc` pins the bytes for the caller regardless
     /// of any concurrent eviction.
     pub(crate) fn fetch(&self, offset: u64, len: u32) -> Result<Arc<Vec<u8>>, StoreError> {
+        let mut span = traj_obs::span("pager_fetch");
+        span.attr("bytes", len);
         {
             let mut inner = self.inner.lock().expect("pager lock poisoned");
             if let Some(page) = inner.pages.get(&offset).cloned() {
                 inner.policy.on_access(offset);
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                span.attr("hit", true);
                 return Ok(page);
             }
         }
+        span.attr("hit", false);
         self.misses.fetch_add(1, Ordering::Relaxed);
         // File I/O strictly outside the pool lock.
         let page = Arc::new(self.read_raw(offset, len)?);

@@ -341,6 +341,22 @@ impl ShardedStore {
         self.wal.as_ref().map(|wal| wal.stats())
     }
 
+    /// The WAL's sync-latency histogram (`None` without a log) — the
+    /// distribution behind [`WalStats::sync_p50_us`], exposable through
+    /// a metrics [`traj_obs::Snapshot`] and mergeable across stores.
+    pub fn wal_sync_latency(&self) -> Option<traj_obs::HistogramSnapshot> {
+        self.wal.as_ref().map(|wal| wal.sync_latency_snapshot())
+    }
+
+    /// Per-shard block counts, indexed by shard — the balance view a
+    /// shard-labelled metrics series reports.
+    pub fn per_shard_blocks(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("store lock poisoned").stats().blocks)
+            .collect()
+    }
+
     /// Persists the store in the flat single-store format (shards are an
     /// in-memory construct; the on-disk layout stays shard-count
     /// agnostic).  Takes read locks shard by shard and serializes records

@@ -775,14 +775,18 @@ impl TrajStore {
         block: &StoredBlock,
         arena: &mut DecodeArena,
     ) -> Result<(), StoreError> {
+        let mut span = traj_obs::span("decode");
+        span.attr("format", block.format.name());
         match &block.payload {
             PayloadSlot::Resident(bytes) => {
+                span.attr("bytes", bytes.len());
                 Ok(self
                     .config
                     .codec
                     .decode_block_into(block.format, bytes, arena)?)
             }
             PayloadSlot::Disk { offset, len } => {
+                span.attr("bytes", *len);
                 let pinned = self
                     .pager
                     .as_ref()
@@ -807,6 +811,7 @@ impl TrajStore {
     /// [`TrajStore::ingest_with_original`], whose block metadata is
     /// exact).
     pub fn time_slice(&self, device: DeviceId, t0: f64, t1: f64) -> TimeSlice {
+        let mut query_span = traj_obs::span("time_slice");
         let mut slice = TimeSlice {
             segments: Vec::new(),
             stats: QueryStats::default(),
@@ -820,7 +825,11 @@ impl TrajStore {
         let mut arena = self.arenas.checkout();
         // Blocks are time-ordered: binary search to the first candidate,
         // stop at the first block past the range.
-        let start = log.blocks.partition_point(|b| b.meta.t_max < t0);
+        let start = {
+            let mut seek = traj_obs::span("index_walk");
+            seek.attr("scope", "device_log");
+            log.blocks.partition_point(|b| b.meta.t_max < t0)
+        };
         for block in &log.blocks[start..] {
             if block.meta.t_min > t1 {
                 break;
@@ -839,6 +848,7 @@ impl TrajStore {
         }
         self.arenas.checkin(arena);
         slice.stats.segments_returned = slice.segments.len();
+        query_span.attr("blocks_decoded", slice.stats.blocks_decoded);
         slice
     }
 
@@ -855,6 +865,7 @@ impl TrajStore {
     /// window is within `ζ + slack` of some returned segment of its
     /// device — no false negatives with respect to the stored bound.
     pub fn window_query(&self, window: &BoundingBox, time: Option<(f64, f64)>) -> WindowQuery {
+        let mut query_span = traj_obs::span("window_query");
         let mut query = WindowQuery {
             matches: Vec::new(),
             stats: QueryStats {
@@ -919,6 +930,7 @@ impl TrajStore {
         }
         self.arenas.checkin(arena);
         query.stats.segments_returned = query.matches.iter().map(|m| m.segments.len()).sum();
+        query_span.attr("blocks_decoded", query.stats.blocks_decoded);
         query
     }
 
@@ -942,8 +954,13 @@ impl TrajStore {
     /// from `raw-operb` output (optimization 5 off) do not have such
     /// runs and interpolate within the bound everywhere.
     pub fn position_at(&self, device: DeviceId, t: f64) -> Option<Point> {
+        let _query_span = traj_obs::span("position_at");
         let log = self.logs.get(&device)?;
-        let idx = log.blocks.partition_point(|b| b.meta.t_max < t);
+        let idx = {
+            let mut seek = traj_obs::span("index_walk");
+            seek.attr("scope", "device_log");
+            log.blocks.partition_point(|b| b.meta.t_max < t)
+        };
         let block = log.blocks.get(idx)?;
         if t < block.meta.t_min {
             return None;

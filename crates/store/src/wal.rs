@@ -52,6 +52,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use traj_model::codec::{get_varint, put_varint, ByteReader};
+use traj_obs::{Histogram, HistogramSnapshot};
 
 use crate::block::Block;
 use crate::store::{StoreError, TrajStore};
@@ -103,8 +104,6 @@ const REC_CHECKPOINT: u8 = 4;
 /// Upper bound on a single record payload — anything larger is corruption,
 /// not data (a block is a few KiB).
 const MAX_RECORD_BYTES: usize = 1 << 30;
-/// Sync latency samples kept for the p50/p99 estimate (ring buffer).
-const LATENCY_SAMPLES: usize = 512;
 
 fn io_err(context: &str, e: std::io::Error) -> StoreError {
     StoreError::Io(format!("{context}: {e}"))
@@ -438,9 +437,6 @@ struct SyncState {
     /// A failed sync is sticky: once the log cannot be made durable, no
     /// later acknowledgement may succeed.
     error: Option<String>,
-    syncs: u64,
-    latencies_us: Vec<u64>,
-    latency_pos: usize,
 }
 
 #[derive(Debug)]
@@ -448,6 +444,9 @@ struct SyncShared {
     state: Mutex<SyncState>,
     appended: Condvar,
     synced: Condvar,
+    /// Sync latency distribution, recorded lock-free by the syncer; its
+    /// count doubles as the sync counter.
+    latency: Histogram,
 }
 
 /// Point-in-time WAL counters, surfaced through `/stats` and the bench.
@@ -463,9 +462,12 @@ pub struct WalStats {
     pub records_appended: u64,
     /// Group-commit `sync_all` calls since open.
     pub syncs: u64,
-    /// Median observed sync latency, microseconds (0 with no syncs).
+    /// Median sync latency in microseconds (0 with no syncs), extracted
+    /// from the shared power-of-two-bucket histogram — the reported
+    /// value is the upper bound of the bucket holding the median.
     pub sync_p50_us: u64,
-    /// 99th-percentile observed sync latency, microseconds.
+    /// 99th-percentile sync latency, microseconds, at the same bucket
+    /// resolution.
     pub sync_p99_us: u64,
     /// Records replayed from the WAL when the store was opened.
     pub records_replayed: usize,
@@ -816,12 +818,10 @@ impl Wal {
                 synced_lsn: 0,
                 shutdown: false,
                 error: None,
-                syncs: 0,
-                latencies_us: Vec::with_capacity(LATENCY_SAMPLES),
-                latency_pos: 0,
             }),
             appended: Condvar::new(),
             synced: Condvar::new(),
+            latency: Histogram::new(),
         });
         let file = Arc::new(file);
         let file_mirror = Arc::new(Mutex::new(Arc::clone(&file)));
@@ -906,6 +906,8 @@ impl Wal {
         blocks: &[Block],
         original_len: usize,
     ) -> Result<(), StoreError> {
+        let mut span = traj_obs::span("wal_append");
+        span.attr("blocks", blocks.len());
         let mut buf =
             Vec::with_capacity(64 + blocks.iter().map(|b| b.payload.len() + 96).sum::<usize>());
         put_ingest(&mut buf, device, zeta, blocks, original_len);
@@ -925,7 +927,10 @@ impl Wal {
         match self.mode {
             DurabilityMode::None => unreachable!("checked at construction"),
             DurabilityMode::WalAsync => Ok(()),
-            DurabilityMode::WalGroupCommit(_) => self.wait_synced(lsn),
+            DurabilityMode::WalGroupCommit(_) => {
+                let _span = traj_obs::span("wal_commit_wait");
+                self.wait_synced(lsn)
+            }
         }
     }
 
@@ -980,16 +985,15 @@ impl Wal {
             let inner = self.inner.lock().expect("wal mutex poisoned");
             (inner.segment_bytes,)
         };
-        let st = self.sync.state.lock().expect("wal sync state poisoned");
-        let (p50, p99) = percentiles(&st.latencies_us);
+        let latency = self.sync.latency.snapshot();
         WalStats {
             mode: self.mode.name(),
             wal_bytes,
             ingests_appended: self.ingests_appended.load(Ordering::Relaxed),
             records_appended: self.records_appended.load(Ordering::Relaxed),
-            syncs: st.syncs,
-            sync_p50_us: p50,
-            sync_p99_us: p99,
+            syncs: latency.count(),
+            sync_p50_us: latency.quantile(0.5),
+            sync_p99_us: latency.quantile(0.99),
             records_replayed: self.records_replayed,
             ingests_replayed: self.ingests_replayed,
             checkpoints: self.checkpoints.load(Ordering::Relaxed),
@@ -999,6 +1003,12 @@ impl Wal {
     /// The durability mode this WAL runs in.
     pub fn mode(&self) -> DurabilityMode {
         self.mode
+    }
+
+    /// The sync-latency distribution, mergeable with other histograms
+    /// and renderable through a metrics [`traj_obs::Snapshot`].
+    pub fn sync_latency_snapshot(&self) -> HistogramSnapshot {
+        self.sync.latency.snapshot()
     }
 }
 
@@ -1019,17 +1029,6 @@ impl Drop for Wal {
             }
         }
     }
-}
-
-/// `(p50, p99)` of the samples (0 when empty).
-fn percentiles(samples: &[u64]) -> (u64, u64) {
-    if samples.is_empty() {
-        return (0, 0);
-    }
-    let mut sorted = samples.to_vec();
-    sorted.sort_unstable();
-    let at = |q: f64| sorted[((sorted.len() - 1) as f64 * q).round() as usize];
-    (at(0.5), at(0.99))
 }
 
 fn syncer_loop(sync: &SyncShared, file_source: &Mutex<Arc<fs::File>>, window: Duration) {
@@ -1065,14 +1064,7 @@ fn syncer_loop(sync: &SyncShared, file_source: &Mutex<Arc<fs::File>>, window: Du
         match result {
             Ok(()) => {
                 st.synced_lsn = st.synced_lsn.max(target);
-                st.syncs += 1;
-                if st.latencies_us.len() < LATENCY_SAMPLES {
-                    st.latencies_us.push(elapsed_us);
-                } else {
-                    let pos = st.latency_pos;
-                    st.latencies_us[pos] = elapsed_us;
-                    st.latency_pos = (pos + 1) % LATENCY_SAMPLES;
-                }
+                sync.latency.record(elapsed_us);
             }
             Err(e) => {
                 st.error = Some(e.to_string());

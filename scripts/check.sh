@@ -52,6 +52,13 @@ cargo run --release -p traj-bench --bin store_bench -- --devices 100 --points 15
 echo "==> serve smoke test (in-process server + test client: 200 + valid JSON + shutdown)"
 cargo test --release -q -p traj-service --test serve_http smoke_start_request_shutdown
 
+echo "==> /metrics smoke (CLI store → paged serve → Prometheus scrape + /trace span tree)"
+# Starts a real trajsimp serve child over a persisted store, scrapes
+# /metrics (valid exposition text, required series for every subsystem,
+# >= 20 distinct series) and checks /trace parents index walk, pager
+# fetch and decode spans correctly.
+cargo test --release -q --test metrics_smoke
+
 echo "==> service_bench (32 concurrent clients, 100+ devices, 0 ζ violations required)"
 cargo run --release -p traj-bench --bin service_bench -- --devices 100 --points 120 --clients 32 --requests 10 --out "$BENCH_OUT"
 

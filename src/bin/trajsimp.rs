@@ -57,10 +57,10 @@ const USAGE: &str = "usage: trajsimp <input.csv|input.plt> [--algorithm NAME] [-
        trajsimp query DIR --device N --from T --to T   (time slice)\n\
        trajsimp query DIR --window x0,y0,x1,y1 [--from T --to T]   (spatial window)\n\
        trajsimp query DIR --device N --at T   (interpolated position)\n\
-                      query also takes [--cache-bytes N] [--eviction lru|clock|sieve]\n\
+                      query also takes [--cache-bytes N] [--eviction lru|clock|sieve] [--profile]\n\
        trajsimp serve [DIR] [--addr HOST] [--port P] [--server-workers N] [--shards N] [--live WAVES]\n\
                       [--durable DIR] [--durability async|group-commit[:MS]]\n\
-                      [--cache-bytes N] [--eviction lru|clock|sieve]\n\
+                      [--cache-bytes N] [--eviction lru|clock|sieve] [--slow-query-ms MS]\n\
                       [--no-shutdown-endpoint] [--trajectories N] [--points N] [--algorithm NAME]\n\
                       [--epsilon METERS] [--dataset NAME] [--seed N]   (HTTP query server; GET /shutdown stops it)\n\
                      algorithms: operb (default: operb-a), operb-a, raw-operb, raw-operb-a, dp, td-tr, opw, bqs, fbqs";
@@ -409,6 +409,7 @@ struct QueryOptions {
     window: Option<BoundingBox>,
     cache_bytes: Option<usize>,
     eviction: EvictionKind,
+    profile: bool,
 }
 
 /// Parses an `--eviction` value into a policy kind.
@@ -427,6 +428,7 @@ fn parse_query_args(args: &[String]) -> Result<QueryOptions, String> {
         window: None,
         cache_bytes: None,
         eviction: EvictionKind::default(),
+        profile: false,
     };
     let mut it = args.iter();
     fn num(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<f64, String> {
@@ -470,6 +472,7 @@ fn parse_query_args(args: &[String]) -> Result<QueryOptions, String> {
                 let v = it.next().ok_or("--eviction needs a policy name")?;
                 o.eviction = parse_eviction(v)?;
             }
+            "--profile" => o.profile = true,
             other if o.dir.is_empty() && !other.starts_with('-') => {
                 o.dir = other.to_string();
             }
@@ -493,6 +496,11 @@ fn run_query(options: &QueryOptions) -> Result<(), String> {
         "opened {} ({} devices, {} blocks, {} segments)",
         options.dir, stats.devices, stats.blocks, stats.segments
     );
+    // Under --profile the query runs traced and the span tree (index walk,
+    // pager fetches, block decodes) is printed as a stage breakdown.
+    let profile_guard = options
+        .profile
+        .then(|| trajsimp::obs::trace_begin("trajsimp query"));
     match (options.window, options.at, options.device) {
         // Spatial window query across the fleet.
         (Some(window), None, None) => {
@@ -552,6 +560,10 @@ fn run_query(options: &QueryOptions) -> Result<(), String> {
             )
         }
     }
+    if let Some(guard) = profile_guard {
+        let trace = guard.finish();
+        eprintln!("profile:\n{}", trace.render_text());
+    }
     if options.cache_bytes.is_some() {
         if let Some(cache) = store.memory_stats().cache {
             eprintln!(
@@ -580,6 +592,7 @@ struct ServeOptions {
     durability: trajsimp::store::DurabilityMode,
     cache_bytes: Option<usize>,
     eviction: EvictionKind,
+    slow_query_ms: Option<u64>,
     fleet: FleetOptions,
 }
 
@@ -622,6 +635,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
         trajsimp::store::DurabilityMode::WalGroupCommit(std::time::Duration::from_millis(2));
     let mut cache_bytes = None;
     let mut eviction = EvictionKind::default();
+    let mut slow_query_ms = None;
     let mut fleet_args: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -646,6 +660,9 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
                 cache_bytes = Some(v.parse().map_err(|e| format!("{arg}: {e}"))?);
             }
             "--eviction" => eviction = parse_eviction(value()?)?,
+            "--slow-query-ms" => {
+                slow_query_ms = Some(value()?.parse().map_err(|e| format!("{arg}: {e}"))?)
+            }
             other if dir.is_none() && !other.starts_with('-') => {
                 dir = Some(other.to_string());
             }
@@ -674,6 +691,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
         durability,
         cache_bytes,
         eviction,
+        slow_query_ms,
         fleet,
     })
 }
@@ -816,6 +834,12 @@ fn run_serve(options: &ServeOptions) -> Result<(), String> {
 
     let mut service_config = ServiceConfig::default().with_workers(options.server_workers);
     service_config.enable_shutdown_endpoint = options.shutdown_endpoint;
+    if let Some(ms) = options.slow_query_ms {
+        // 0 traces every request into the slow log — handy for probing a
+        // healthy server's span tree.
+        service_config =
+            service_config.with_slow_query_threshold(Some(std::time::Duration::from_millis(ms)));
+    }
     if options.shutdown_endpoint && options.addr != "127.0.0.1" && options.addr != "localhost" {
         eprintln!(
             "warning: binding {} with the unauthenticated /shutdown endpoint enabled — \

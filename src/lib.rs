@@ -11,6 +11,7 @@ pub use traj_data as data;
 pub use traj_geo as geo;
 pub use traj_metrics as metrics;
 pub use traj_model as model;
+pub use traj_obs as obs;
 pub use traj_pipeline as pipeline;
 pub use traj_service as service;
 pub use traj_store as store;
