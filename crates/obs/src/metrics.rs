@@ -178,8 +178,10 @@ impl HistogramSnapshot {
 
     /// The quantile `q` in `[0, 1]` at bucket resolution: the upper
     /// bound of the bucket holding the `ceil(q * count)`-th smallest
-    /// observation.  The true value lies in `(result/2, result]`.
-    /// Returns 0 for an empty histogram.
+    /// observation.  The true value lies in `(result/2, result]` when
+    /// `result > 1`; a result of 1 is bucket 0, whose range is `0..=1`
+    /// (an all-zero histogram therefore reports 1, the bucket bound,
+    /// not 0).  Returns 0 only for an *empty* histogram.
     #[must_use]
     pub fn quantile(&self, q: f64) -> u64 {
         let count = self.count();
@@ -677,6 +679,51 @@ mod tests {
         assert_eq!(h.snapshot().quantile(0.5), 0);
         assert_eq!(h.snapshot().count(), 0);
         assert_eq!(h.snapshot().mean(), 0.0);
+    }
+
+    #[test]
+    fn all_zero_histogram_reports_bucket_zero_bound() {
+        // Observations of 0 land in bucket 0 (range 0..=1); the quantile
+        // is that bucket's *upper bound*, 1 — distinguishable from the
+        // empty histogram's 0.  Pinned: a "fix" that returned 0 here
+        // would make all-zero and empty snapshots indistinguishable.
+        let h = Histogram::new();
+        for _ in 0..10 {
+            h.record(0);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 10);
+        assert_eq!(s.sum, 0);
+        assert_eq!(s.mean(), 0.0);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(s.quantile(q), 1, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn quantiles_of_values_exactly_on_bucket_bounds() {
+        // A value exactly on a bucket's upper bound belongs to that
+        // bucket, so the quantile returns the value itself — no
+        // off-by-one into the next bucket.
+        for value in [1u64, 2, 4, 1024, 1 << 31] {
+            let h = Histogram::new();
+            h.record(value);
+            assert_eq!(h.snapshot().quantile(1.0), value, "value {value}");
+        }
+        // One past a bound rounds up to the next bucket's bound…
+        let h = Histogram::new();
+        h.record(1025);
+        assert_eq!(h.snapshot().quantile(1.0), 2048);
+        // …and everything past the top bucket clamps to its bound.
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.snapshot().quantile(0.5), bucket_upper_bound(BUCKETS - 1));
+        assert_eq!(bucket_upper_bound(BUCKETS - 1), 1 << 31);
+        // q = 0 clamps to rank 1 (the smallest observation), never rank 0.
+        let h = Histogram::new();
+        h.record(3);
+        h.record(1 << 20);
+        assert_eq!(h.snapshot().quantile(0.0), 4);
     }
 
     #[test]

@@ -120,11 +120,19 @@ fn percent_decode(s: &str) -> String {
                 i += 1;
             }
             b'%' => {
-                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
-                    std::str::from_utf8(h)
-                        .ok()
-                        .and_then(|h| u8::from_str_radix(h, 16).ok())
-                });
+                // Both escape characters must be hex digits before the
+                // radix parse runs: `from_str_radix` accepts a leading
+                // sign, so without this check `%+5` would "decode" to
+                // byte 0x05 and corrupt the value (and `+` would lose
+                // its as-space meaning inside a malformed escape).
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .filter(|h| h.iter().all(u8::is_ascii_hexdigit))
+                    .and_then(|h| {
+                        std::str::from_utf8(h)
+                            .ok()
+                            .and_then(|h| u8::from_str_radix(h, 16).ok())
+                    });
                 match hex {
                     Some(b) => {
                         out.push(b);
@@ -282,6 +290,40 @@ mod tests {
         assert_eq!(req.param("k"), Some("1,2"));
         assert_eq!(req.param("s"), Some("x y"));
         assert_eq!(req.param("bad"), Some("%zz"));
+    }
+
+    #[test]
+    fn percent_decode_handles_malformed_escapes() {
+        // (input, expected): malformed escapes pass through literally,
+        // `+` always means space outside a *valid* escape, and a sign
+        // character is never accepted as a hex digit (`from_str_radix`
+        // would otherwise parse "+5" as 5, corrupting the value).
+        let cases: &[(&str, &str)] = &[
+            ("plain", "plain"),
+            ("a+b", "a b"),
+            ("%41", "A"),
+            ("%2C", ","),
+            ("%2c", ","),
+            ("100%", "100%"), // trailing % with no digits
+            ("%2", "%2"),     // truncated escape
+            ("%G1", "%G1"),   // non-hex first digit
+            ("%1G", "%1G"),   // non-hex second digit
+            ("%zz", "%zz"),   // non-hex pair
+            ("%+5", "% 5"),   // sign must not reach the radix parse
+            ("%-5", "%-5"),   // ditto for minus
+            ("% 20", "% 20"), // space is not a hex digit
+            ("%%41", "%A"),   // first % literal, second escape valid
+            ("%25", "%"),     // escaped percent round-trips
+            ("%2B", "+"),     // escaped plus stays a plus, not a space
+            ("a%2Gb+c", "a%2Gb c"),
+        ];
+        for (input, expected) in cases {
+            assert_eq!(
+                percent_decode(input),
+                *expected,
+                "percent_decode({input:?})"
+            );
+        }
     }
 
     #[test]

@@ -9,11 +9,11 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use traj_geo::BoundingBox;
+use traj_geo::{BoundingBox, Point};
 use traj_model::json::JsonValue;
 use traj_model::SimplifiedSegment;
 use traj_obs::{Gauge, Histogram, Registry, SpanRecord, Trace};
-use traj_store::{QueryStats, ShardedStore};
+use traj_store::{GeofenceAlert, GeofenceRegistry, Planner, QueryStats, ShardedStore};
 
 use crate::http::{read_request, write_json_response, write_response, Request};
 
@@ -143,6 +143,10 @@ struct EndpointMetrics {
     time_slice: Histogram,
     window: Histogram,
     position_at: Histogram,
+    knn: Histogram,
+    geofences: Histogram,
+    geofence_add: Histogram,
+    subscribe: Histogram,
     stats: Histogram,
     metrics: Histogram,
     trace: Histogram,
@@ -161,6 +165,10 @@ impl EndpointMetrics {
             time_slice: hist("/time_slice"),
             window: hist("/window"),
             position_at: hist("/position_at"),
+            knn: hist("/knn"),
+            geofences: hist("/geofences"),
+            geofence_add: hist("/geofence_add"),
+            subscribe: hist("/subscribe"),
             stats: hist("/stats"),
             metrics: hist("/metrics"),
             trace: hist("/trace"),
@@ -174,6 +182,10 @@ impl EndpointMetrics {
             "/time_slice" => &self.time_slice,
             "/window" => &self.window,
             "/position_at" => &self.position_at,
+            "/knn" => &self.knn,
+            "/geofences" => &self.geofences,
+            "/geofence_add" => &self.geofence_add,
+            "/subscribe" => &self.subscribe,
             "/stats" => &self.stats,
             "/metrics" => &self.metrics,
             "/trace" => &self.trace,
@@ -197,6 +209,10 @@ struct Shared {
     registry: Registry,
     endpoints: EndpointMetrics,
     queue_depth: Gauge,
+    /// The selectivity-driven predicate planner `/window` queries run
+    /// through — shared so every request feeds the same kill-ratio
+    /// statistics (see [`traj_store::Planner`]).
+    planner: Planner,
 }
 
 impl Shared {
@@ -250,6 +266,8 @@ impl Server {
         // make sure the aggregate series exist (at zero) before the first
         // scrape even if no pipeline ran in this process.
         traj_pipeline::executor::ensure_metrics_registered();
+        traj_store::query::knn::ensure_metrics_registered();
+        GeofenceRegistry::ensure_metrics_registered();
         let registry = Registry::new();
         let endpoints = EndpointMetrics::register(&registry);
         let depth_gauge = registry.gauge(
@@ -267,6 +285,7 @@ impl Server {
             registry,
             endpoints,
             queue_depth: depth_gauge,
+            planner: Planner::new(),
         });
 
         let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(queue_depth);
@@ -498,6 +517,10 @@ fn respond(shared: &Shared, request: &Request) -> (u16, Body) {
         "/time_slice" => handle_time_slice(store, shared, request),
         "/window" => handle_window(store, shared, request),
         "/position_at" => handle_position_at(store, request),
+        "/knn" => handle_knn(store, request),
+        "/geofences" => handle_geofences(store),
+        "/geofence_add" => handle_geofence_add(store, request),
+        "/subscribe" => handle_subscribe(store, request),
         "/stats" => handle_stats(store, shared),
         "/trace" => handle_trace(request),
         "/shutdown" if shared.config.enable_shutdown_endpoint => {
@@ -657,7 +680,7 @@ fn handle_window(store: &ShardedStore, shared: &Shared, request: &Request) -> (u
         Ok(t) => t,
         Err(e) => return e,
     };
-    let q = store.window_query(&window, time);
+    let q = store.planned_window_query(&shared.planner, &window, time);
     record_query_stats(shared, &q.stats);
     let matches: Vec<JsonValue> = q
         .matches
@@ -704,6 +727,231 @@ fn handle_position_at(store: &ShardedStore, request: &Request) -> (u16, JsonValu
             ("device", JsonValue::from(device as f64)),
             ("t", JsonValue::from(t)),
             ("position", position),
+        ]),
+    )
+}
+
+/// Parses the query point set of `/knn`: either `points=x1,y1;x2,y2;…`
+/// or a single `x`/`y` pair.
+fn parse_query_points(request: &Request) -> Result<Vec<Point>, (u16, JsonValue)> {
+    if let Some(raw) = request.param("points") {
+        let mut points = Vec::new();
+        for (i, pair) in raw.split(';').filter(|p| !p.is_empty()).enumerate() {
+            let mut coords = pair.split(',');
+            let (Some(x), Some(y), None) = (coords.next(), coords.next(), coords.next()) else {
+                return Err(bad_request(format!(
+                    "point {i} is not 'x,y': '{pair}' (separate points with ';')"
+                )));
+            };
+            let (Ok(x), Ok(y)) = (x.trim().parse::<f64>(), y.trim().parse::<f64>()) else {
+                return Err(bad_request(format!(
+                    "point {i} has non-numeric coordinates: '{pair}'"
+                )));
+            };
+            if !x.is_finite() || !y.is_finite() {
+                return Err(bad_request(format!(
+                    "point {i} must have finite coordinates"
+                )));
+            }
+            points.push(Point::new(x, y, 0.0));
+        }
+        if points.is_empty() {
+            return Err(bad_request("'points' lists no points"));
+        }
+        return Ok(points);
+    }
+    let x = require_f64(request, "x")?;
+    let y = require_f64(request, "y")?;
+    Ok(vec![Point::new(x, y, 0.0)])
+}
+
+/// `GET /knn?x=…&y=…&k=…` (or `points=x1,y1;x2,y2`): the k devices whose
+/// stored trajectories are nearest the query point set, pruned on the
+/// ζ+slack metadata bound but with exact (brute-force-identical)
+/// distances.
+fn handle_knn(store: &ShardedStore, request: &Request) -> (u16, JsonValue) {
+    let query = match parse_query_points(request) {
+        Ok(q) => q,
+        Err(e) => return e,
+    };
+    let k = match request.param("k").unwrap_or("1").parse::<usize>() {
+        Ok(k) if k >= 1 => k,
+        _ => return bad_request("parameter 'k' must be a positive count"),
+    };
+    let result = store.knn(&query, k);
+    let neighbors: Vec<JsonValue> = result
+        .neighbors
+        .iter()
+        .map(|n| {
+            JsonValue::object([
+                ("device", JsonValue::from(n.device as f64)),
+                ("distance", JsonValue::from(n.distance)),
+            ])
+        })
+        .collect();
+    (
+        200,
+        JsonValue::object([
+            ("k", JsonValue::from(k)),
+            ("query_points", JsonValue::from(query.len())),
+            ("neighbors", JsonValue::Array(neighbors)),
+            (
+                "stats",
+                JsonValue::object([
+                    ("devices_total", JsonValue::from(result.stats.devices_total)),
+                    (
+                        "devices_pruned",
+                        JsonValue::from(result.stats.devices_pruned),
+                    ),
+                    ("blocks_total", JsonValue::from(result.stats.blocks_total)),
+                    (
+                        "blocks_decoded",
+                        JsonValue::from(result.stats.blocks_decoded),
+                    ),
+                    (
+                        "device_prune_ratio",
+                        JsonValue::from(result.stats.device_prune_ratio()),
+                    ),
+                    (
+                        "block_prune_ratio",
+                        JsonValue::from(result.stats.block_prune_ratio()),
+                    ),
+                ]),
+            ),
+        ]),
+    )
+}
+
+/// `GET /geofences`: the registered standing queries and the registry's
+/// accounting.
+fn handle_geofences(store: &ShardedStore) -> (u16, JsonValue) {
+    let fences = store.geofences();
+    let listed: Vec<JsonValue> = fences
+        .fences()
+        .iter()
+        .map(|f| {
+            let mut pairs = vec![
+                ("id".to_string(), JsonValue::from(f.id as f64)),
+                ("name".to_string(), JsonValue::from(f.name.as_str())),
+                ("min_x".to_string(), JsonValue::from(f.region.min_x)),
+                ("min_y".to_string(), JsonValue::from(f.region.min_y)),
+                ("max_x".to_string(), JsonValue::from(f.region.max_x)),
+                ("max_y".to_string(), JsonValue::from(f.region.max_y)),
+            ];
+            if let Some((t0, t1)) = f.time {
+                pairs.push(("from".to_string(), JsonValue::from(t0)));
+                pairs.push(("to".to_string(), JsonValue::from(t1)));
+            }
+            JsonValue::Object(pairs)
+        })
+        .collect();
+    let stats = fences.stats();
+    (
+        200,
+        JsonValue::object([
+            ("fences", JsonValue::Array(listed)),
+            ("stats", geofence_stats_json(&stats)),
+        ]),
+    )
+}
+
+fn geofence_stats_json(stats: &traj_store::GeofenceStats) -> JsonValue {
+    JsonValue::object([
+        ("fences", JsonValue::from(stats.fences)),
+        ("alerts_fired", JsonValue::from(stats.alerts_fired as f64)),
+        (
+            "blocks_checked",
+            JsonValue::from(stats.blocks_checked as f64),
+        ),
+        (
+            "blocks_skipped",
+            JsonValue::from(stats.blocks_skipped as f64),
+        ),
+        ("subscriptions", JsonValue::from(stats.subscriptions)),
+        ("ring_evicted", JsonValue::from(stats.ring_evicted as f64)),
+        (
+            "subscriber_dropped",
+            JsonValue::from(stats.subscriber_dropped as f64),
+        ),
+    ])
+}
+
+/// `GET /geofence_add?name=…&min_x=…&min_y=…&max_x=…&max_y=…[&from=…&to=…]`:
+/// registers a standing fence; alerts fire for blocks sealed from now on.
+fn handle_geofence_add(store: &ShardedStore, request: &Request) -> (u16, JsonValue) {
+    let name = request.param("name").unwrap_or("fence");
+    let mut coords = [0.0f64; 4];
+    for (slot, key) in coords.iter_mut().zip(["min_x", "min_y", "max_x", "max_y"]) {
+        *slot = match require_f64(request, key) {
+            Ok(v) => v,
+            Err(e) => return e,
+        };
+    }
+    let region = BoundingBox {
+        min_x: coords[0],
+        min_y: coords[1],
+        max_x: coords[2],
+        max_y: coords[3],
+    };
+    let time = match optional_time_range(request) {
+        Ok(t) => t,
+        Err(e) => return e,
+    };
+    match store.geofences().register(name, region, time) {
+        Ok(id) => (
+            200,
+            JsonValue::object([
+                ("id", JsonValue::from(id as f64)),
+                ("name", JsonValue::from(name)),
+            ]),
+        ),
+        Err(reason) => bad_request(reason),
+    }
+}
+
+fn alert_json(a: &GeofenceAlert) -> JsonValue {
+    JsonValue::object([
+        ("seq", JsonValue::from(a.seq as f64)),
+        ("fence_id", JsonValue::from(a.fence_id as f64)),
+        ("fence_name", JsonValue::from(&*a.fence_name)),
+        ("device", JsonValue::from(a.device as f64)),
+        ("block", JsonValue::from(a.block)),
+        ("t_min", JsonValue::from(a.t_min)),
+        ("t_max", JsonValue::from(a.t_max)),
+        ("num_segments", JsonValue::from(a.num_segments)),
+    ])
+}
+
+/// `GET /subscribe?cursor=…[&limit=…][&fence=…]`: cursor-based polling of
+/// the geofence alert stream.  Pass the returned `next_cursor` to the
+/// next poll; a nonzero `missed` means the client fell further behind
+/// than the alert ring holds.
+fn handle_subscribe(store: &ShardedStore, request: &Request) -> (u16, JsonValue) {
+    let cursor = match request.param("cursor").unwrap_or("0").parse::<u64>() {
+        Ok(c) => c,
+        Err(_) => return bad_request("parameter 'cursor' is not a sequence number"),
+    };
+    let limit = match request.param("limit").unwrap_or("100").parse::<usize>() {
+        Ok(n) if n >= 1 => n,
+        _ => return bad_request("parameter 'limit' must be a positive count"),
+    };
+    let fence = match request.param("fence") {
+        None => None,
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(id) => Some(id),
+            Err(_) => return bad_request(format!("parameter 'fence' is not a fence id: '{raw}'")),
+        },
+    };
+    let poll = store.geofences().alerts_after(cursor, limit, fence);
+    (
+        200,
+        JsonValue::object([
+            (
+                "alerts",
+                JsonValue::Array(poll.alerts.iter().map(alert_json).collect()),
+            ),
+            ("next_cursor", JsonValue::from(poll.next_cursor as f64)),
+            ("missed", JsonValue::from(poll.missed as f64)),
         ]),
     )
 }
@@ -764,6 +1012,55 @@ fn handle_stats(store: &ShardedStore, shared: &Shared) -> (u16, JsonValue) {
             ]),
         ),
     ]);
+    // The query engine: standing geofence accounting and the planner's
+    // learned predicate order.
+    let planner = shared.planner.snapshot();
+    sections.push((
+        "query",
+        JsonValue::object([
+            ("geofence", geofence_stats_json(&store.geofences().stats())),
+            (
+                "planner",
+                JsonValue::object([
+                    (
+                        "order",
+                        JsonValue::Array(
+                            planner
+                                .order
+                                .iter()
+                                .map(|&i| {
+                                    JsonValue::from(traj_store::PlannerSnapshot::predicate_name(i))
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "predicates",
+                        JsonValue::Array(
+                            planner
+                                .predicates
+                                .iter()
+                                .enumerate()
+                                .map(|(i, p)| {
+                                    JsonValue::object([
+                                        (
+                                            "name",
+                                            JsonValue::from(
+                                                traj_store::PlannerSnapshot::predicate_name(i),
+                                            ),
+                                        ),
+                                        ("evaluated", JsonValue::from(p.evaluated as f64)),
+                                        ("killed", JsonValue::from(p.killed as f64)),
+                                        ("kill_ratio", JsonValue::from(p.kill_ratio())),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+        ]),
+    ));
     // Durable stores additionally report their write-ahead log: how much
     // of the live segment is unfolded, what group commit costs, and what
     // the last recovery replayed.
@@ -946,6 +1243,44 @@ fn render_metrics(shared: &Shared) -> String {
         &[],
         server.blocks_decoded,
     );
+    // Query engine.  The cumulative geofence/kNN counters live in the
+    // merged global registry (registered at zero at startup); this store's
+    // registry-local view is exported as gauges so a restart is visible.
+    let geofence = shared.store.geofences().stats();
+    snap.put_gauge(
+        "geofence_fences",
+        "Standing geofence queries registered on the served store.",
+        &[],
+        geofence.fences as f64,
+    );
+    snap.put_gauge(
+        "geofence_subscriptions",
+        "Live geofence alert subscriptions.",
+        &[],
+        geofence.subscriptions as f64,
+    );
+    snap.put_gauge(
+        "geofence_ring_evicted",
+        "Alerts evicted from this store's polling ring.",
+        &[],
+        geofence.ring_evicted as f64,
+    );
+    let planner = shared.planner.snapshot();
+    for (i, p) in planner.predicates.iter().enumerate() {
+        let name = traj_store::PlannerSnapshot::predicate_name(i);
+        snap.put_counter(
+            "planner_predicate_evaluations_total",
+            "Window-query block predicate evaluations, by predicate.",
+            &[("predicate", name)],
+            p.evaluated,
+        );
+        snap.put_counter(
+            "planner_predicate_kills_total",
+            "Blocks dismissed by a window-query predicate, by predicate.",
+            &[("predicate", name)],
+            p.killed,
+        );
+    }
     for (shard, blocks) in shared.store.per_shard_blocks().iter().enumerate() {
         snap.put_gauge(
             "store_shard_blocks",

@@ -144,6 +144,21 @@ impl GridIndex {
         if window.is_empty() {
             return Vec::new();
         }
+        // Hostile non-finite windows must never reach the cell walk.
+        // `is_empty()` (a `min > max` comparison) does not catch NaN —
+        // every NaN comparison is false — and `(NaN / cell).floor() as
+        // i64` saturates to 0, silently walking the cells around the
+        // origin.  A NaN bound can match nothing (all downstream
+        // comparisons are false), so answer that directly; an infinite
+        // bound means "unbounded on that side", which is exactly the
+        // full-scan path (the precise per-block check still runs).
+        let bounds = [window.min_x, window.min_y, window.max_x, window.max_y];
+        if bounds.iter().any(|v| v.is_nan()) {
+            return Vec::new();
+        }
+        if bounds.iter().any(|v| v.is_infinite()) {
+            return self.all_candidates();
+        }
         let ((x0, y0), (x1, y1)) = self.cell_range(window, 0.0);
         // A window spanning absurdly many cells (possible with untrusted
         // query parameters) degrades to a full candidate scan instead of
@@ -151,11 +166,7 @@ impl GridIndex {
         let span =
             (x1.saturating_sub(x0) as u64 + 1).saturating_mul(y1.saturating_sub(y0) as u64 + 1);
         if x0 > x1 || y0 > y1 || span > MAX_CELLS_PER_QUERY {
-            let mut out: Vec<BlockRef> = self.cells.values().flatten().copied().collect();
-            out.extend_from_slice(&self.oversize);
-            out.sort_unstable();
-            out.dedup();
-            return out;
+            return self.all_candidates();
         }
         let mut out = Vec::new();
         for cx in x0..=x1 {
@@ -167,6 +178,16 @@ impl GridIndex {
         }
         // Oversize blocks are never skipped at the cell level; the precise
         // metadata check downstream prunes them.
+        out.extend_from_slice(&self.oversize);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Every registered block, deduplicated and ordered — the degraded
+    /// answer for windows the cell walk cannot bound.
+    fn all_candidates(&self) -> Vec<BlockRef> {
+        let mut out: Vec<BlockRef> = self.cells.values().flatten().copied().collect();
         out.extend_from_slice(&self.oversize);
         out.sort_unstable();
         out.dedup();
@@ -302,6 +323,64 @@ mod tests {
         // candidates) promptly instead of walking the range.
         let hits = index.candidates(&window(-1e300, -1e300, 1e300, 1e300));
         assert_eq!(hits.len(), 5);
+    }
+
+    #[test]
+    fn nan_window_bounds_are_rejected_before_the_cell_walk() {
+        let mut index = GridIndex::new(100.0);
+        // A block registered around the origin: exactly the cells a
+        // saturated NaN cast would land on.
+        let meta = meta_at(1, 0.0, 0.0, 5.0);
+        index.insert(
+            BlockRef {
+                device: 1,
+                block: 0,
+            },
+            &meta,
+        );
+        // `is_empty()` cannot catch these (NaN comparisons are false);
+        // they must yield no candidates, not a walk of cell (0, 0).
+        for w in [
+            window(f64::NAN, -10.0, 100.0, 10.0),
+            window(-10.0, f64::NAN, 100.0, 10.0),
+            window(-10.0, -10.0, f64::NAN, 10.0),
+            window(-10.0, -10.0, 100.0, f64::NAN),
+            window(f64::NAN, f64::NAN, f64::NAN, f64::NAN),
+        ] {
+            assert!(
+                index.candidates(&w).is_empty(),
+                "NaN-bounded window {w:?} must produce no candidates"
+            );
+        }
+    }
+
+    #[test]
+    fn infinite_window_bounds_route_to_the_full_scan() {
+        let mut index = GridIndex::new(100.0);
+        for d in 0..5u64 {
+            let meta = meta_at(d, d as f64 * 1000.0, 0.0, 5.0);
+            index.insert(
+                BlockRef {
+                    device: d,
+                    block: 0,
+                },
+                &meta,
+            );
+        }
+        // An unbounded side selects everything (precise per-block checks
+        // run downstream); it must not enter the cell enumeration.
+        for w in [
+            window(f64::NEG_INFINITY, -10.0, 100.0, 10.0),
+            window(-10.0, -10.0, f64::INFINITY, 10.0),
+            window(
+                f64::NEG_INFINITY,
+                f64::NEG_INFINITY,
+                f64::INFINITY,
+                f64::INFINITY,
+            ),
+        ] {
+            assert_eq!(index.candidates(&w).len(), 5, "window {w:?}");
+        }
     }
 
     #[test]

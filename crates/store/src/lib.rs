@@ -69,6 +69,7 @@ pub mod block;
 pub mod index;
 pub mod pager;
 pub mod persist;
+pub mod query;
 pub mod shard;
 pub mod sink;
 pub mod store;
@@ -78,6 +79,10 @@ pub use block::{Block, BlockMeta};
 pub use index::{BlockRef, GridIndex};
 pub use pager::{CacheStats, EvictionKind, EvictionPolicy};
 pub use persist::RecoveryReport;
+pub use query::{
+    GeofenceAlert, GeofenceRegistry, GeofenceSpec, GeofenceStats, KnnNeighbor, KnnResult, KnnStats,
+    Planner, PlannerSnapshot, PollResult, PredicateStats, Subscription,
+};
 pub use shard::{DurableReport, ShardedStore};
 pub use sink::{
     compress_fleet_into_shared_store, compress_fleet_into_store, FleetStoreSink, IngestTarget,

@@ -1,0 +1,374 @@
+//! k-nearest-trajectory search over the compressed form.
+//!
+//! The distance between a query point set `Q` (sample points of a query
+//! trajectory) and a stored device is
+//!
+//! ```text
+//! d(Q, device) = (1/|Q|) · Σ_{q ∈ Q}  min over stored segments s  d(q, s)
+//! ```
+//!
+//! where `d(q, s)` is the Euclidean distance from `q` to the closed
+//! directed segment `s` — computed directly on the piecewise
+//! representation, never on reconstructed points.
+//!
+//! # The ζ+slack lower bound
+//!
+//! Every decoded segment of a block lies inside the block's metadata
+//! bounding box expanded by the quantization slack (endpoints move by at
+//! most `quant_slack` under quantization, and a straight segment stays in
+//! the convex hull of its endpoints).  Therefore, for any query point `q`
+//! and any stored segment `s` of block `b`:
+//!
+//! ```text
+//! d(q, s) ≥ mindist(q, bbox(b)) − slack_radius(b)
+//! ```
+//!
+//! with `slack_radius = ζ + quant_slack ≥ quant_slack` (the same radius
+//! the window path expands by; using the larger radius also makes the
+//! bound sound against the *original* points, which sit within ζ of the
+//! segments).  Taking the min over a device's blocks per query point and
+//! averaging yields a sound lower bound on `d(Q, device)` computed from
+//! **resident metadata only** — no payload is touched, so pruning is free
+//! even when every payload lives on disk behind the pager.
+//!
+//! Devices are scored best-first by that bound; once `k` exact distances
+//! are known, every remaining device whose bound exceeds the current
+//! k-th distance is pruned.  Within a scored device, a block is skipped
+//! when its per-point bound cannot improve any running minimum — a
+//! condition that provably leaves the exact distance unchanged, so the
+//! pruned search returns *bit-identical* distances to the brute-force
+//! reference ([`crate::TrajStore::knn_bruteforce`]).
+
+use traj_geo::{BoundingBox, Point};
+use traj_pipeline::DeviceId;
+
+use crate::block::BlockMeta;
+use crate::store::TrajStore;
+
+/// One ranked answer of a kNN query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KnnNeighbor {
+    /// The matched device.
+    pub device: DeviceId,
+    /// Its exact trajectory distance to the query point set.
+    pub distance: f64,
+}
+
+/// Work accounting for one kNN query — how much the ζ+slack bound saved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KnnStats {
+    /// Devices with at least one stored block.
+    pub devices_total: usize,
+    /// Devices dismissed on their metadata lower bound alone.
+    pub devices_pruned: usize,
+    /// Blocks across all considered devices.
+    pub blocks_total: usize,
+    /// Blocks whose payload was actually decoded.
+    pub blocks_decoded: usize,
+}
+
+impl KnnStats {
+    /// Fraction of devices dismissed without decoding any payload.
+    #[must_use]
+    pub fn device_prune_ratio(&self) -> f64 {
+        if self.devices_total == 0 {
+            0.0
+        } else {
+            self.devices_pruned as f64 / self.devices_total as f64
+        }
+    }
+
+    /// Fraction of blocks never decoded (pruned devices and skipped
+    /// blocks inside scored devices).
+    #[must_use]
+    pub fn block_prune_ratio(&self) -> f64 {
+        if self.blocks_total == 0 {
+            0.0
+        } else {
+            1.0 - self.blocks_decoded as f64 / self.blocks_total as f64
+        }
+    }
+
+    /// Accumulates another query's accounting (used by the sharded
+    /// merge).
+    pub fn merge(&mut self, other: &KnnStats) {
+        self.devices_total += other.devices_total;
+        self.devices_pruned += other.devices_pruned;
+        self.blocks_total += other.blocks_total;
+        self.blocks_decoded += other.blocks_decoded;
+    }
+}
+
+/// The result of a kNN query: up to `k` neighbors ordered by
+/// `(distance, device)`, plus pruning statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KnnResult {
+    /// Nearest devices, ascending by distance (ties broken by device id).
+    pub neighbors: Vec<KnnNeighbor>,
+    /// Pruning accounting for the query.
+    pub stats: KnnStats,
+}
+
+/// Registers the kNN counters in the global registry at zero, so the
+/// `/metrics` schema is stable before the first query runs.
+pub fn ensure_metrics_registered() {
+    let registry = traj_obs::Registry::global();
+    registry.counter("knn_queries_total", "kNN queries executed", &[]);
+    registry.counter(
+        "knn_devices_pruned_total",
+        "devices dismissed on the metadata lower bound alone",
+        &[],
+    );
+    registry.counter(
+        "knn_blocks_decoded_total",
+        "block payloads decoded by kNN queries",
+        &[],
+    );
+}
+
+/// Records one query's accounting into the global registry.
+pub(crate) fn record_global(stats: &KnnStats) {
+    let registry = traj_obs::Registry::global();
+    registry
+        .counter("knn_queries_total", "kNN queries executed", &[])
+        .inc();
+    registry
+        .counter(
+            "knn_devices_pruned_total",
+            "devices dismissed on the metadata lower bound alone",
+            &[],
+        )
+        .add(stats.devices_pruned as u64);
+    registry
+        .counter(
+            "knn_blocks_decoded_total",
+            "block payloads decoded by kNN queries",
+            &[],
+        )
+        .add(stats.blocks_decoded as u64);
+}
+
+/// Euclidean distance from `q` to the closed axis-aligned box (zero
+/// inside the box).
+#[must_use]
+pub fn mindist_point_bbox(q: &Point, bbox: &BoundingBox) -> f64 {
+    let dx = (bbox.min_x - q.x).max(q.x - bbox.max_x).max(0.0);
+    let dy = (bbox.min_y - q.y).max(q.y - bbox.max_y).max(0.0);
+    (dx * dx + dy * dy).sqrt()
+}
+
+/// The per-query-point metadata lower bound against one block: distance
+/// to the bounding box minus the block's ζ+slack radius, clamped at zero.
+fn block_lower_bound(q: &Point, meta: &BlockMeta) -> f64 {
+    if meta.bbox.is_empty() {
+        // A degenerate box covers nothing; no segment can be closer than
+        // "anywhere", so the only sound bound is zero.
+        return 0.0;
+    }
+    (mindist_point_bbox(q, &meta.bbox) - meta.slack_radius()).max(0.0)
+}
+
+/// The device-level lower bound: for each query point the min bound over
+/// the device's blocks, averaged over the query points (the same
+/// aggregation as the exact distance, so the bound is sound for it).
+fn device_lower_bound(query: &[Point], metas: &[BlockMeta]) -> f64 {
+    let mut sum = 0.0;
+    for q in query {
+        let mut best = f64::INFINITY;
+        for meta in metas {
+            let lb = block_lower_bound(q, meta);
+            if lb < best {
+                best = lb;
+            }
+        }
+        sum += best;
+    }
+    sum / query.len() as f64
+}
+
+/// Inserts `(distance, device)` into the running top-`k`, ordered by
+/// `(distance, device)`.
+fn push_top_k(top: &mut Vec<KnnNeighbor>, k: usize, device: DeviceId, distance: f64) {
+    let pos = top.partition_point(|n| {
+        n.distance.total_cmp(&distance).then(n.device.cmp(&device)) == std::cmp::Ordering::Less
+    });
+    if pos < k {
+        top.insert(pos, KnnNeighbor { device, distance });
+        top.truncate(k);
+    }
+}
+
+impl TrajStore {
+    /// k-nearest-trajectory search: the `k` devices whose stored
+    /// trajectories are closest to the query point set, by mean
+    /// min-distance-to-segment (see the [module docs](self) for the
+    /// metric and the pruning math).  Ties are broken by device id.
+    ///
+    /// Candidate devices and blocks are pruned on resident metadata
+    /// alone; the returned distances are exactly those of
+    /// [`TrajStore::knn_bruteforce`].
+    pub fn knn(&self, query: &[Point], k: usize) -> KnnResult {
+        let mut span = traj_obs::span("knn");
+        span.attr("k", k);
+        span.attr("query_points", query.len());
+        let mut result = KnnResult::default();
+        if k == 0 || query.is_empty() {
+            return result;
+        }
+
+        // Phase 1 (metadata only): a lower bound per device.
+        struct Candidate {
+            device: DeviceId,
+            bound: f64,
+            metas: Vec<BlockMeta>,
+        }
+        let mut candidates: Vec<Candidate> = Vec::new();
+        for device in self.devices() {
+            let metas = self.block_metas(device);
+            if metas.is_empty() {
+                continue;
+            }
+            result.stats.blocks_total += metas.len();
+            candidates.push(Candidate {
+                device,
+                bound: device_lower_bound(query, &metas),
+                metas,
+            });
+        }
+        result.stats.devices_total = candidates.len();
+        candidates.sort_by(|a, b| a.bound.total_cmp(&b.bound).then(a.device.cmp(&b.device)));
+
+        // Phase 2: score best-first; prune the tail once the k-th exact
+        // distance undercuts the remaining bounds.  Bounds ascend and the
+        // k-th distance only shrinks, so the first prunable candidate
+        // prunes everything after it.
+        for (i, candidate) in candidates.iter().enumerate() {
+            if result.neighbors.len() >= k && candidate.bound > result.neighbors[k - 1].distance {
+                result.stats.devices_pruned += candidates.len() - i;
+                break;
+            }
+            let distance =
+                self.device_distance(candidate.device, &candidate.metas, query, &mut result.stats);
+            push_top_k(&mut result.neighbors, k, candidate.device, distance);
+        }
+        span.attr("devices_pruned", result.stats.devices_pruned);
+        span.attr("blocks_decoded", result.stats.blocks_decoded);
+        result
+    }
+
+    /// The exact distance of one device, decoding only blocks that can
+    /// still improve some query point's running minimum.  Skipping is
+    /// lossless: a skipped block's bound proves none of its segments can
+    /// undercut any current minimum, so the min — and therefore the
+    /// mean — is unchanged.
+    fn device_distance(
+        &self,
+        device: DeviceId,
+        metas: &[BlockMeta],
+        query: &[Point],
+        stats: &mut KnnStats,
+    ) -> f64 {
+        let mut current: Vec<f64> = vec![f64::INFINITY; query.len()];
+        // Visit blocks in ascending bound order so the minima tighten
+        // early and later blocks can be skipped.
+        let mut order: Vec<(f64, usize)> = metas
+            .iter()
+            .enumerate()
+            .map(|(i, meta)| {
+                let bound = query
+                    .iter()
+                    .map(|q| block_lower_bound(q, meta))
+                    .fold(f64::INFINITY, f64::min);
+                (bound, i)
+            })
+            .collect();
+        order.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        for (_, block_idx) in order {
+            let meta = &metas[block_idx];
+            let useful = query
+                .iter()
+                .zip(current.iter())
+                .any(|(q, &cur)| block_lower_bound(q, meta) < cur);
+            if !useful {
+                continue;
+            }
+            stats.blocks_decoded += 1;
+            self.with_block_segments(device, block_idx, |segments| {
+                for s in segments {
+                    for (qi, q) in query.iter().enumerate() {
+                        let d = s.segment.distance_to_segment(q);
+                        if d < current[qi] {
+                            current[qi] = d;
+                        }
+                    }
+                }
+            });
+        }
+        current.iter().sum::<f64>() / query.len() as f64
+    }
+
+    /// Brute-force kNN reference: decodes every block of every device.
+    /// Same metric and tie-breaking as [`TrajStore::knn`]; used to verify
+    /// that pruning never changes an answer.
+    pub fn knn_bruteforce(&self, query: &[Point], k: usize) -> KnnResult {
+        let mut result = KnnResult::default();
+        if k == 0 || query.is_empty() {
+            return result;
+        }
+        let devices: Vec<DeviceId> = self.devices().collect();
+        for device in devices {
+            let num_blocks = self.block_metas(device).len();
+            if num_blocks == 0 {
+                continue;
+            }
+            result.stats.devices_total += 1;
+            result.stats.blocks_total += num_blocks;
+            let mut current: Vec<f64> = vec![f64::INFINITY; query.len()];
+            for block_idx in 0..num_blocks {
+                result.stats.blocks_decoded += 1;
+                self.with_block_segments(device, block_idx, |segments| {
+                    for s in segments {
+                        for (qi, q) in query.iter().enumerate() {
+                            let d = s.segment.distance_to_segment(q);
+                            if d < current[qi] {
+                                current[qi] = d;
+                            }
+                        }
+                    }
+                });
+            }
+            let distance = current.iter().sum::<f64>() / query.len() as f64;
+            push_top_k(&mut result.neighbors, k, device, distance);
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mindist_is_zero_inside_and_euclidean_outside() {
+        let bbox = BoundingBox {
+            min_x: 0.0,
+            min_y: 0.0,
+            max_x: 10.0,
+            max_y: 10.0,
+        };
+        assert_eq!(mindist_point_bbox(&Point::new(5.0, 5.0, 0.0), &bbox), 0.0);
+        assert_eq!(mindist_point_bbox(&Point::new(13.0, 14.0, 0.0), &bbox), 5.0);
+        assert_eq!(mindist_point_bbox(&Point::new(-3.0, 5.0, 0.0), &bbox), 3.0);
+    }
+
+    #[test]
+    fn top_k_orders_by_distance_then_device() {
+        let mut top = Vec::new();
+        push_top_k(&mut top, 2, 3, 1.0);
+        push_top_k(&mut top, 2, 1, 1.0);
+        push_top_k(&mut top, 2, 2, 0.5);
+        assert_eq!(top.len(), 2);
+        assert_eq!((top[0].device, top[0].distance), (2, 0.5));
+        assert_eq!((top[1].device, top[1].distance), (1, 1.0));
+    }
+}

@@ -1,0 +1,169 @@
+//! A selectivity-driven planner for multi-predicate window queries.
+//!
+//! A windowed query dismisses a block if *any* of three metadata
+//! predicates fails: the time-overlap check, the x-interval check or the
+//! y-interval check (the spatial pair is exactly
+//! [`expanded_intersects`](crate::block::expanded_intersects) split per
+//! axis, so the conjunction is the same conservative ζ+slack predicate
+//! the unplanned path uses — planning changes evaluation *order*, never
+//! the outcome).  The cheapest plan evaluates the most selective
+//! predicate first: each predicate's observed kill ratio (kills /
+//! evaluations) is tracked, and blocks are checked in descending ratio
+//! order, so the predicate that dismisses the most blocks short-circuits
+//! the others.  In the spirit of skip-ratio-driven data skipping, the
+//! statistics come from the workload actually observed, not from static
+//! assumptions.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use traj_geo::BoundingBox;
+
+use crate::block::BlockMeta;
+
+/// The number of block-level predicates.
+pub const NUM_PREDICATES: usize = 3;
+
+const PREDICATE_NAMES: [&str; NUM_PREDICATES] = ["time", "x_interval", "y_interval"];
+
+/// Observed behaviour of one predicate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredicateStats {
+    /// How often the predicate was evaluated.
+    pub evaluated: u64,
+    /// How often it dismissed the block (short-circuiting the rest).
+    pub killed: u64,
+}
+
+impl PredicateStats {
+    /// Kills per evaluation (0 before any evaluation).
+    #[must_use]
+    pub fn kill_ratio(&self) -> f64 {
+        if self.evaluated == 0 {
+            0.0
+        } else {
+            self.killed as f64 / self.evaluated as f64
+        }
+    }
+}
+
+/// A point-in-time view of the planner, for `/stats` and tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannerSnapshot {
+    /// Per-predicate statistics, in canonical order (time, x, y).
+    pub predicates: [PredicateStats; NUM_PREDICATES],
+    /// The evaluation order the next query will use (indices into
+    /// [`PlannerSnapshot::predicates`]).
+    pub order: [usize; NUM_PREDICATES],
+}
+
+impl PlannerSnapshot {
+    /// The canonical name of predicate `i`.
+    #[must_use]
+    pub fn predicate_name(i: usize) -> &'static str {
+        PREDICATE_NAMES[i]
+    }
+}
+
+/// Tracks per-predicate kill ratios and orders block checks by them.
+/// Shared across queries (all methods take `&self`); contention-free
+/// beyond relaxed atomic counters.
+#[derive(Debug, Default)]
+pub struct Planner {
+    evaluated: [AtomicU64; NUM_PREDICATES],
+    killed: [AtomicU64; NUM_PREDICATES],
+}
+
+impl Planner {
+    /// A fresh planner with no observations (canonical order).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current evaluation order: descending observed kill ratio,
+    /// ties broken by canonical order.
+    #[must_use]
+    pub fn order(&self) -> [usize; NUM_PREDICATES] {
+        let stats = self.stats();
+        let mut order = [0usize, 1, 2];
+        order.sort_by(|&a, &b| {
+            stats[b]
+                .kill_ratio()
+                .total_cmp(&stats[a].kill_ratio())
+                .then(a.cmp(&b))
+        });
+        order
+    }
+
+    fn stats(&self) -> [PredicateStats; NUM_PREDICATES] {
+        std::array::from_fn(|i| PredicateStats {
+            evaluated: self.evaluated[i].load(Ordering::Relaxed),
+            killed: self.killed[i].load(Ordering::Relaxed),
+        })
+    }
+
+    /// A consistent-enough snapshot for reporting.
+    #[must_use]
+    pub fn snapshot(&self) -> PlannerSnapshot {
+        PlannerSnapshot {
+            predicates: self.stats(),
+            order: self.order(),
+        }
+    }
+
+    /// Evaluates the block-level predicates in planned order; returns
+    /// whether the block survives (must be decoded).  Exactly equivalent
+    /// to `meta.may_intersect_window(window) && time-overlap`.
+    pub fn check_block(
+        &self,
+        meta: &BlockMeta,
+        window: &BoundingBox,
+        time: Option<(f64, f64)>,
+    ) -> bool {
+        let radius = meta.slack_radius();
+        for i in self.order() {
+            let pass = match i {
+                0 => time.is_none_or(|(t0, t1)| meta.overlaps_time(t0, t1)),
+                1 => {
+                    !meta.bbox.is_empty()
+                        && meta.bbox.min_x - radius <= window.max_x
+                        && window.min_x <= meta.bbox.max_x + radius
+                }
+                _ => {
+                    !meta.bbox.is_empty()
+                        && meta.bbox.min_y - radius <= window.max_y
+                        && window.min_y <= meta.bbox.max_y + radius
+                }
+            };
+            self.evaluated[i].fetch_add(1, Ordering::Relaxed);
+            if !pass {
+                self.killed[i].fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_planner_uses_canonical_order() {
+        assert_eq!(Planner::new().order(), [0, 1, 2]);
+    }
+
+    #[test]
+    fn order_follows_observed_kill_ratios() {
+        let planner = Planner::new();
+        // Predicate 2 (y) kills often, predicate 0 (time) never.
+        planner.evaluated[0].store(100, Ordering::Relaxed);
+        planner.killed[0].store(0, Ordering::Relaxed);
+        planner.evaluated[1].store(100, Ordering::Relaxed);
+        planner.killed[1].store(40, Ordering::Relaxed);
+        planner.evaluated[2].store(100, Ordering::Relaxed);
+        planner.killed[2].store(90, Ordering::Relaxed);
+        assert_eq!(planner.order(), [2, 1, 0]);
+    }
+}

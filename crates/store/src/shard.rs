@@ -54,6 +54,9 @@ use traj_pipeline::DeviceId;
 use crate::block::BlockMeta;
 use crate::pager::Pager;
 use crate::persist::RecoveryReport;
+use crate::query::geofence::GeofenceRegistry;
+use crate::query::knn::{self, KnnResult};
+use crate::query::planner::Planner;
 use crate::store::{
     MemoryStats, QueryStats, StoreConfig, StoreError, StoreStats, TimeSlice, TrajStore, WindowQuery,
 };
@@ -81,6 +84,10 @@ pub struct ShardedStore {
     /// The buffer pool all shards page disk-backed payloads through
     /// (kept here too so cache stats are reported once, not per shard).
     pager: Option<Arc<Pager>>,
+    /// Standing continuous geofence queries, evaluated on the sealed
+    /// metadata of every ingest (see [`crate::query::geofence`]).  On a
+    /// durable store its fences/cursors persist into the store directory.
+    geofences: Arc<GeofenceRegistry>,
 }
 
 /// What [`ShardedStore::open_durable`] recovered: the main-file salvage
@@ -125,6 +132,7 @@ impl ShardedStore {
             ckpt_gate: RwLock::new(()),
             durable_dir: None,
             pager: None,
+            geofences: Arc::new(GeofenceRegistry::new()),
         }
     }
 
@@ -304,6 +312,19 @@ impl ShardedStore {
         store.config.durability = config.durability;
         store.wal = wal;
         store.durable_dir = Some(dir.to_path_buf());
+        // Standing geofence queries survive the reopen: reload fences and
+        // per-device cursors, then catch up — blocks that recovery applied
+        // but the pre-crash process never evaluated fire their alerts now
+        // (exactly once; already-evaluated ordinals stay silent).
+        let geofence_path = dir.join("geofences.json");
+        if geofence_path.exists() {
+            store.geofences = Arc::new(GeofenceRegistry::load(&geofence_path)?);
+        }
+        store.geofences.set_persist_path(geofence_path);
+        for device in store.devices() {
+            let metas = store.block_metas(device);
+            store.geofences.catch_up(device, &metas);
+        }
         Ok((
             store,
             DurableReport {
@@ -463,7 +484,15 @@ impl ShardedStore {
                 prepared.original_len,
             )?;
         }
-        Ok(shard.apply_prepared(prepared))
+        // Evaluate standing geofence queries on the sealed metadata while
+        // the shard write lock is still held: per-device evaluations stay
+        // totally ordered, so the registry's exactly-once cursor is never
+        // raced past an unevaluated block.
+        let base = shard.device_block_count(device);
+        let metas: Vec<BlockMeta> = prepared.blocks.iter().map(|b| b.meta).collect();
+        let appended = shard.apply_prepared(prepared);
+        self.geofences.on_sealed(device, base, &metas);
+        Ok(appended)
     }
 
     /// Aggregate statistics, summed over per-shard snapshots.
@@ -550,6 +579,82 @@ impl ShardedStore {
         }
         merged.matches.sort_by_key(|m| m.device);
         merged
+    }
+
+    /// Fleet-wide [`TrajStore::planned_window_query`], merged over
+    /// per-shard snapshots with one shared planner (all shards feed the
+    /// same selectivity statistics).  The result is identical to
+    /// [`ShardedStore::window_query`].
+    pub fn planned_window_query(
+        &self,
+        planner: &Planner,
+        window: &BoundingBox,
+        time: Option<(f64, f64)>,
+    ) -> WindowQuery {
+        let mut merged = WindowQuery {
+            matches: Vec::new(),
+            stats: QueryStats::default(),
+        };
+        for shard in &self.shards {
+            let q = shard
+                .read()
+                .expect("store lock poisoned")
+                .planned_window_query(planner, window, time);
+            merged.stats.blocks_in_scope += q.stats.blocks_in_scope;
+            merged.stats.blocks_decoded += q.stats.blocks_decoded;
+            merged.stats.segments_returned += q.stats.segments_returned;
+            merged.matches.extend(q.matches);
+        }
+        merged.matches.sort_by_key(|m| m.device);
+        merged
+    }
+
+    /// Fleet-wide [`TrajStore::knn`]: each shard answers its local top-k
+    /// under its read lock (pruning on resident metadata only), and the
+    /// per-shard answers merge into the global top-k — sound because the
+    /// global k nearest devices are each in their shard's k nearest.
+    pub fn knn(&self, query: &[Point], k: usize) -> KnnResult {
+        let mut merged = KnnResult::default();
+        for shard in &self.shards {
+            let local = shard.read().expect("store lock poisoned").knn(query, k);
+            merged.stats.merge(&local.stats);
+            merged.neighbors.extend(local.neighbors);
+        }
+        merged.neighbors.sort_by(|a, b| {
+            a.distance
+                .total_cmp(&b.distance)
+                .then(a.device.cmp(&b.device))
+        });
+        merged.neighbors.truncate(k);
+        knn::record_global(&merged.stats);
+        merged
+    }
+
+    /// Fleet-wide [`TrajStore::knn_bruteforce`] — the decoded reference
+    /// answer, for verification.
+    pub fn knn_bruteforce(&self, query: &[Point], k: usize) -> KnnResult {
+        let mut merged = KnnResult::default();
+        for shard in &self.shards {
+            let local = shard
+                .read()
+                .expect("store lock poisoned")
+                .knn_bruteforce(query, k);
+            merged.stats.merge(&local.stats);
+            merged.neighbors.extend(local.neighbors);
+        }
+        merged.neighbors.sort_by(|a, b| {
+            a.distance
+                .total_cmp(&b.distance)
+                .then(a.device.cmp(&b.device))
+        });
+        merged.neighbors.truncate(k);
+        merged
+    }
+
+    /// The store's standing-query registry (register fences, subscribe,
+    /// poll alerts).
+    pub fn geofences(&self) -> &Arc<GeofenceRegistry> {
+        &self.geofences
     }
 }
 

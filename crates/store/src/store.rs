@@ -11,6 +11,7 @@ use traj_pipeline::DeviceId;
 use crate::block::{expanded_intersects, write_record_header, Block, BlockMeta, META_RECORD_BYTES};
 use crate::index::{BlockRef, GridIndex};
 use crate::pager::{ArenaPool, CacheStats, EvictionKind, Pager};
+use crate::query::planner::Planner;
 use crate::wal::DurabilityMode;
 
 /// Tuning knobs of a [`TrajStore`].
@@ -488,6 +489,29 @@ impl TrajStore {
             .unwrap_or_default()
     }
 
+    /// Number of sealed blocks in `device`'s log (0 for unknown devices).
+    pub fn device_block_count(&self, device: DeviceId) -> usize {
+        self.logs.get(&device).map_or(0, |log| log.blocks.len())
+    }
+
+    /// Runs `f` over the decoded segments of one stored block (by its
+    /// ordinal in the device's log), through a pooled arena.  Returns
+    /// `None` for an unknown device or block.
+    pub(crate) fn with_block_segments<R>(
+        &self,
+        device: DeviceId,
+        block: usize,
+        f: impl FnOnce(&[SimplifiedSegment]) -> R,
+    ) -> Option<R> {
+        let stored = self.logs.get(&device)?.blocks.get(block)?;
+        let mut arena = self.arenas.checkout();
+        self.decode_stored(stored, &mut arena)
+            .expect("stored blocks decode");
+        let out = f(arena.segments());
+        self.arenas.checkin(arena);
+        Some(out)
+    }
+
     /// Ingests one simplified trajectory for `device`, under the error
     /// bound `zeta` it was simplified with.  The representation is chopped
     /// into blocks of at most [`StoreConfig::block_segments`] segments,
@@ -865,6 +889,29 @@ impl TrajStore {
     /// window is within `ζ + slack` of some returned segment of its
     /// device — no false negatives with respect to the stored bound.
     pub fn window_query(&self, window: &BoundingBox, time: Option<(f64, f64)>) -> WindowQuery {
+        self.window_query_impl(window, time, None)
+    }
+
+    /// [`TrajStore::window_query`] with the block-level predicates
+    /// evaluated in the planner's measured order (most selective first).
+    /// The predicate conjunction is unchanged, so the result is
+    /// identical to the unplanned query — only the short-circuit order
+    /// (and therefore the per-predicate work) differs.
+    pub fn planned_window_query(
+        &self,
+        planner: &Planner,
+        window: &BoundingBox,
+        time: Option<(f64, f64)>,
+    ) -> WindowQuery {
+        self.window_query_impl(window, time, Some(planner))
+    }
+
+    fn window_query_impl(
+        &self,
+        window: &BoundingBox,
+        time: Option<(f64, f64)>,
+        planner: Option<&Planner>,
+    ) -> WindowQuery {
         let mut query_span = traj_obs::span("window_query");
         let mut query = WindowQuery {
             matches: Vec::new(),
@@ -877,13 +924,15 @@ impl TrajStore {
         let mut arena = self.arenas.checkout();
         for candidate in self.index.candidates(window) {
             let block = &self.logs[&candidate.device].blocks[candidate.block];
-            if !block.meta.may_intersect_window(window) {
-                continue;
-            }
-            if let Some((t0, t1)) = time {
-                if !block.meta.overlaps_time(t0, t1) {
-                    continue;
+            let survives = match planner {
+                Some(planner) => planner.check_block(&block.meta, window, time),
+                None => {
+                    block.meta.may_intersect_window(window)
+                        && time.is_none_or(|(t0, t1)| block.meta.overlaps_time(t0, t1))
                 }
+            };
+            if !survives {
+                continue;
             }
             query.stats.blocks_decoded += 1;
             self.decode_stored(block, &mut arena)
@@ -1208,6 +1257,74 @@ mod tests {
         assert!(store.position_at(1, -1.0).is_none());
         assert!(store.position_at(1, 91.0).is_none());
         assert!(store.position_at(9, 25.0).is_none());
+    }
+
+    #[test]
+    fn position_at_exact_block_boundaries_is_continuous() {
+        // block_segments = 2 → blocks cover t ∈ [0,20], [20,40], [40,60]:
+        // every interior boundary instant belongs to two blocks' closed
+        // intervals (t_max of one, t_min of the next).
+        let mut store = TrajStore::new(StoreConfig::default().with_block_segments(2));
+        store.ingest(1, &straight_line(0.0, 0.0, 6), 5.0).unwrap();
+        for boundary in [20.0, 40.0] {
+            // `partition_point(t_max < t)` picks the *earlier* block at
+            // the shared instant; both blocks hold the same shape point
+            // there, so the answer must be the same from either side.
+            let p = store.position_at(1, boundary).unwrap();
+            assert!((p.x - boundary * 10.0).abs() < 1e-9, "at {boundary}: {p}");
+            let eps = 1e-6;
+            let before = store.position_at(1, boundary - eps).unwrap();
+            let after = store.position_at(1, boundary + eps).unwrap();
+            assert!((p.x - before.x).abs() < 1e-3, "left limit at {boundary}");
+            assert!((p.x - after.x).abs() < 1e-3, "right limit at {boundary}");
+        }
+        // The log's outer edges are covered too (t = t_min of the first
+        // block, t = t_max of the last).
+        assert!((store.position_at(1, 0.0).unwrap().x).abs() < 1e-9);
+        assert!((store.position_at(1, 60.0).unwrap().x - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn position_at_duplicate_timestamp_block_boundary_is_left_continuous() {
+        // A zero-duration segment at a block boundary: the device jumps
+        // from (100, 0) to (100, 50) at t = 10 (two fixes with the same
+        // timestamp).  block_segments = 2 splits [A, B] | [C], so t = 10
+        // is t_max of block 0 and t_min of block 1.
+        let a = SimplifiedSegment::new(
+            DirectedSegment::new(Point::new(0.0, 0.0, 0.0), Point::new(100.0, 0.0, 10.0)),
+            0,
+            1,
+        );
+        let b = SimplifiedSegment::new(
+            DirectedSegment::new(Point::new(100.0, 0.0, 10.0), Point::new(100.0, 50.0, 10.0)),
+            1,
+            2,
+        );
+        let c = SimplifiedSegment::new(
+            DirectedSegment::new(Point::new(100.0, 50.0, 10.0), Point::new(200.0, 50.0, 20.0)),
+            2,
+            3,
+        );
+        let mut store = TrajStore::new(StoreConfig::default().with_block_segments(2));
+        store
+            .ingest(1, &SimplifiedTrajectory::new(vec![a, b, c], 4), 5.0)
+            .unwrap();
+        // At the duplicated instant the stored data genuinely holds two
+        // positions; the answer is the first in stream order — the limit
+        // from the left — and must come from the earlier block, not skip
+        // to block 1's copy of the shared point.
+        let p = store.position_at(1, 10.0).unwrap();
+        assert!((p.x - 100.0).abs() < 1e-9, "{p}");
+        assert!(p.y.abs() < 1e-9, "left-continuous at the jump: {p}");
+        // Just past the instant the jump has happened.
+        let after = store.position_at(1, 10.0 + 1e-6).unwrap();
+        assert!((after.y - 50.0).abs() < 1e-3, "{after}");
+        // No phantom coverage between blocks when the log has a real
+        // time gap: a second ingest starting later leaves t in the gap
+        // unanswered.
+        store.ingest(1, &straight_line(0.0, 100.0, 2), 5.0).unwrap();
+        assert!(store.position_at(1, 50.0).is_none());
+        assert!(store.position_at(1, 100.0).is_some());
     }
 
     #[test]

@@ -30,6 +30,11 @@ cargo test --release -q -p traj-store --test fault_injection
 cargo test --release -q -p traj-store --test concurrent_stress
 cargo test --release -q -p traj-store --test golden_e2e
 
+echo "==> query engine suites: kNN vs brute force, geofence exactly-once, planner, golden fixtures (release)"
+cargo test --release -q -p traj-store --test query_engine
+cargo test --release -q -p traj-store --test query_golden
+cargo test --release -q -p traj-service --test query_endpoints
+
 echo "==> crash-recovery gate: WAL crash-point sweep + SIGKILL'd live server (release)"
 cargo test --release -q -p traj-store --test crash_sweep
 cargo test --release -q --test serve_live_crash
@@ -48,6 +53,16 @@ echo "==> store_bench smoke run (100 devices, skip ratio + ζ verification + out
 # requires every answer byte-identical to the in-memory ζ-verified one,
 # and fails below a 50% steady-state hit ratio.
 cargo run --release -p traj-bench --bin store_bench -- --devices 100 --points 150 --windows 6 --out "$BENCH_OUT"
+
+echo "==> query_bench (kNN prune ratios + exactly-once geofence alerts + planner, all verified)"
+# Every pruned kNN ranking must be bit-identical to the exhaustive scan,
+# and the fired geofence alerts must equal the qualifying set recomputed
+# from block metadata; the prune/skip ratios and alert count are gated.
+cargo run --release -p traj-bench --bin query_bench -- --out "$BENCH_OUT"
+
+echo "==> geofence CLI smoke (live waves + standing fences through trajsimp)"
+cargo run --release --bin trajsimp -- geofence --fence center=-800,-800,800,800 \
+    --waves 2 --trajectories 16 --points 120 > /dev/null
 
 echo "==> serve smoke test (in-process server + test client: 200 + valid JSON + shutdown)"
 cargo test --release -q -p traj-service --test serve_http smoke_start_request_shutdown
@@ -68,7 +83,7 @@ echo "==> bench-regression gate (BENCH_*.json vs committed BENCH_baseline.json)"
 # check.sh compares it with a loose tolerance instead of the default.
 cargo run --release -p traj-bench --bin bench_compare -- \
     --baseline BENCH_baseline.json \
-    "$BENCH_OUT/BENCH_codec.json" "$BENCH_OUT/BENCH_store.json"
+    "$BENCH_OUT/BENCH_codec.json" "$BENCH_OUT/BENCH_store.json" "$BENCH_OUT/BENCH_query.json"
 BENCH_TOLERANCE="${BENCH_TOLERANCE_SERVICE:-0.60}" \
     cargo run --release -p traj-bench --bin bench_compare -- \
     --baseline BENCH_baseline.json \

@@ -5,6 +5,8 @@
 //! trajsimp fleet [--trajectories 1000] [--points 500] [--workers N] [--algorithm operb]
 //! trajsimp store --out DIR [--trajectories 200] [--input file.csv --device 7]
 //! trajsimp query DIR (--device N --from T --to T | --window x0,y0,x1,y1 | --device N --at T)
+//! trajsimp knn DIR --point x,y [-k 5] [--brute]
+//! trajsimp geofence --fence downtown=0,0,500,500 [--waves 3]
 //! ```
 //!
 //! The single-file mode reads a trajectory file (planar `x,y,t` CSV or a
@@ -23,6 +25,14 @@
 //! `query` subcommand answers time-range, spatial-window and
 //! point-in-time queries from such a directory, decoding only the blocks
 //! whose metadata overlaps the query.
+//!
+//! The `knn` subcommand ranks the k stored devices nearest to a query
+//! point set, pruning whole devices from the ζ-expanded block metadata
+//! before touching any compressed payload; `--brute` cross-checks the
+//! result against the exhaustive scan.  The `geofence` subcommand runs
+//! the continuous-query engine live: it registers standing fences, keeps
+//! ingesting waves of a synthetic fleet, and prints every alert as the
+//! sealed blocks match.
 //!
 //! The `serve` subcommand puts the std-only HTTP query server of
 //! `traj-service` in front of a sharded store — either a persisted store
@@ -58,7 +68,12 @@ const USAGE: &str = "usage: trajsimp <input.csv|input.plt> [--algorithm NAME] [-
        trajsimp query DIR --window x0,y0,x1,y1 [--from T --to T]   (spatial window)\n\
        trajsimp query DIR --device N --at T   (interpolated position)\n\
                       query also takes [--cache-bytes N] [--eviction lru|clock|sieve] [--profile]\n\
+       trajsimp knn DIR --point x,y [--point x,y ...] [-k N] [--brute]\n\
+                      [--cache-bytes N] [--eviction lru|clock|sieve]   (k-nearest trajectories)\n\
+       trajsimp geofence --fence name=x0,y0,x1,y1 [--fence ...] [--waves N] [--shards N]\n\
+                      [fleet flags]   (continuous geofence demo over live synthetic ingest)\n\
        trajsimp serve [DIR] [--addr HOST] [--port P] [--server-workers N] [--shards N] [--live WAVES]\n\
+                      [--fence name=x0,y0,x1,y1]\n\
                       [--durable DIR] [--durability async|group-commit[:MS]]\n\
                       [--cache-bytes N] [--eviction lru|clock|sieve] [--slow-query-ms MS]\n\
                       [--no-shutdown-endpoint] [--trajectories N] [--points N] [--algorithm NAME]\n\
@@ -580,6 +595,285 @@ fn run_query(options: &QueryOptions) -> Result<(), String> {
     Ok(())
 }
 
+struct KnnOptions {
+    dir: String,
+    points: Vec<trajsimp::geo::Point>,
+    k: usize,
+    brute: bool,
+    cache_bytes: Option<usize>,
+    eviction: EvictionKind,
+}
+
+fn parse_knn_args(args: &[String]) -> Result<KnnOptions, String> {
+    let mut o = KnnOptions {
+        dir: String::new(),
+        points: Vec::new(),
+        k: 1,
+        brute: false,
+        cache_bytes: None,
+        eviction: EvictionKind::default(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--point" | "-p" => {
+                let v = it.next().ok_or("--point needs x,y")?;
+                let parts: Vec<f64> = v
+                    .split(',')
+                    .map(|p| p.trim().parse::<f64>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| format!("invalid point '{v}' (want x,y)"))?;
+                if parts.len() != 2 || parts.iter().any(|c| !c.is_finite()) {
+                    return Err(format!("invalid point '{v}' (want finite x,y)"));
+                }
+                o.points
+                    .push(trajsimp::geo::Point::new(parts[0], parts[1], 0.0));
+            }
+            "--k" | "-k" => {
+                let v = it.next().ok_or("--k needs a count")?;
+                o.k = v.parse().map_err(|_| format!("invalid k '{v}'"))?;
+            }
+            "--brute" => o.brute = true,
+            "--cache-bytes" => {
+                let v = it.next().ok_or("--cache-bytes needs a byte count")?;
+                o.cache_bytes = Some(
+                    v.parse()
+                        .map_err(|_| format!("invalid --cache-bytes '{v}'"))?,
+                );
+            }
+            "--eviction" => {
+                let v = it.next().ok_or("--eviction needs a policy name")?;
+                o.eviction = parse_eviction(v)?;
+            }
+            other if o.dir.is_empty() && !other.starts_with('-') => {
+                o.dir = other.to_string();
+            }
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    if o.dir.is_empty() {
+        return Err("knn needs a store directory".to_string());
+    }
+    if o.points.is_empty() {
+        return Err("knn needs at least one --point x,y".to_string());
+    }
+    if o.k == 0 {
+        return Err("--k must be at least 1".to_string());
+    }
+    Ok(o)
+}
+
+fn run_knn(options: &KnnOptions) -> Result<(), String> {
+    let config = trajsimp::store::StoreConfig::default()
+        .with_cache_bytes(options.cache_bytes)
+        .with_eviction(options.eviction);
+    let store = TrajStore::open_with(std::path::Path::new(&options.dir), config)
+        .map_err(|e| e.to_string())?;
+    let stats = store.stats();
+    eprintln!(
+        "opened {} ({} devices, {} blocks, {} segments)",
+        options.dir, stats.devices, stats.blocks, stats.segments
+    );
+    let start = Instant::now();
+    let result = store.knn(&options.points, options.k);
+    let elapsed = start.elapsed();
+    for (rank, n) in result.neighbors.iter().enumerate() {
+        println!(
+            "#{:<4} device {:<8} distance {:>10.2} m",
+            rank + 1,
+            n.device,
+            n.distance
+        );
+    }
+    let s = &result.stats;
+    println!(
+        "pruned       : {}/{} devices from metadata alone ({:.1}%)",
+        s.devices_pruned,
+        s.devices_total,
+        s.device_prune_ratio() * 100.0
+    );
+    println!(
+        "decoded      : {}/{} blocks ({:.1}% skipped)",
+        s.blocks_decoded,
+        s.blocks_total,
+        s.block_prune_ratio() * 100.0
+    );
+    println!("time         : {:.2} ms", elapsed.as_secs_f64() * 1e3);
+    if options.brute {
+        let brute = store.knn_bruteforce(&options.points, options.k);
+        let same =
+            brute.neighbors.len() == result.neighbors.len()
+                && brute.neighbors.iter().zip(&result.neighbors).all(|(a, b)| {
+                    a.device == b.device && a.distance.to_bits() == b.distance.to_bits()
+                });
+        if !same {
+            return Err(format!(
+                "pruned kNN disagrees with brute force: {:?} vs {:?}",
+                result.neighbors, brute.neighbors
+            ));
+        }
+        println!(
+            "verified     : bit-identical to brute force over all {} devices",
+            s.devices_total
+        );
+    }
+    Ok(())
+}
+
+/// Parses a `--fence` value `name=x0,y0,x1,y1` into a named region
+/// (corners in either order).
+fn parse_fence(spec: &str) -> Result<(String, BoundingBox), String> {
+    let (name, coords) = spec
+        .split_once('=')
+        .ok_or_else(|| format!("invalid fence '{spec}' (want name=x0,y0,x1,y1)"))?;
+    let parts: Vec<f64> = coords
+        .split(',')
+        .map(|p| p.trim().parse::<f64>())
+        .collect::<Result<_, _>>()
+        .map_err(|_| format!("invalid fence '{spec}' (want name=x0,y0,x1,y1)"))?;
+    if parts.len() != 4 {
+        return Err(format!("invalid fence '{spec}' (want 4 coordinates)"));
+    }
+    Ok((
+        name.to_string(),
+        BoundingBox {
+            min_x: parts[0].min(parts[2]),
+            min_y: parts[1].min(parts[3]),
+            max_x: parts[0].max(parts[2]),
+            max_y: parts[1].max(parts[3]),
+        },
+    ))
+}
+
+struct GeofenceOptions {
+    fences: Vec<(String, BoundingBox)>,
+    waves: usize,
+    shards: usize,
+    fleet: FleetOptions,
+}
+
+fn parse_geofence_args(args: &[String]) -> Result<GeofenceOptions, String> {
+    let mut fences = Vec::new();
+    let mut waves = 3usize;
+    let mut shards = 4usize;
+    let mut fleet_args: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fence" | "-f" => {
+                let v = it.next().ok_or("--fence needs name=x0,y0,x1,y1")?;
+                fences.push(parse_fence(v)?);
+            }
+            "--waves" => {
+                let v = it.next().ok_or("--waves needs a count")?;
+                waves = v.parse().map_err(|_| format!("invalid --waves '{v}'"))?;
+            }
+            "--shards" => {
+                let v = it.next().ok_or("--shards needs a count")?;
+                shards = v.parse().map_err(|_| format!("invalid --shards '{v}'"))?;
+            }
+            other => fleet_args.push(other.to_string()),
+        }
+    }
+    let fleet = parse_fleet_args(&fleet_args)?;
+    if fences.is_empty() {
+        return Err("geofence needs at least one --fence name=x0,y0,x1,y1".to_string());
+    }
+    if waves == 0 || shards == 0 {
+        return Err("geofence needs --waves >= 1 and --shards >= 1".to_string());
+    }
+    Ok(GeofenceOptions {
+        fences,
+        waves,
+        shards,
+        fleet,
+    })
+}
+
+fn run_geofence(options: &GeofenceOptions) -> Result<(), String> {
+    use trajsimp::store::{compress_fleet_into_shared_store, ShardedStore, StoreConfig};
+
+    let Some(algorithm) = FleetAlgorithm::by_name(&options.fleet.algorithm) else {
+        return Err(format!("unknown algorithm '{}'", options.fleet.algorithm));
+    };
+    eprintln!(
+        "generating {} {} trajectories of {} points each (seed {}) …",
+        options.fleet.trajectories, options.fleet.dataset, options.fleet.points, options.fleet.seed
+    );
+    let generator = DatasetGenerator::for_kind(options.fleet.dataset, options.fleet.seed);
+    let fleet: Vec<(DeviceId, Trajectory)> = (0..options.fleet.trajectories)
+        .map(|i| {
+            (
+                i as DeviceId,
+                generator.generate_trajectory(i, options.fleet.points),
+            )
+        })
+        .collect();
+
+    let store = std::sync::Arc::new(ShardedStore::new(
+        StoreConfig::default().with_block_segments(32),
+        options.shards,
+    ));
+    for (name, region) in &options.fences {
+        let id = store
+            .geofences()
+            .register(name, *region, None)
+            .map_err(|e| format!("fence '{name}': {e}"))?;
+        println!(
+            "fence #{id} '{name}': ({:.1}, {:.1}) .. ({:.1}, {:.1})",
+            region.min_x, region.min_y, region.max_x, region.max_y
+        );
+    }
+    let subscription = store.geofences().subscribe(65536, None);
+
+    let config = PipelineConfig::new(options.fleet.epsilon)
+        .with_workers(options.fleet.workers)
+        .with_batch_size(options.fleet.batch);
+    let span = fleet.iter().map(|(_, t)| t.last().t).fold(0.0f64, f64::max) + 60.0;
+    let mut total_alerts = 0usize;
+    for wave in 0..options.waves {
+        let shifted = shifted_fleet(&fleet, span * wave as f64);
+        let (_, ingested) =
+            compress_fleet_into_shared_store(&shifted, &config, &algorithm, &store)?;
+        let mut alerts = subscription.poll(usize::MAX);
+        alerts.sort_by_key(|a| a.seq);
+        for a in &alerts {
+            println!(
+                "wave {:<3} alert #{:<5} fence '{}' device {:<6} block {:<4} t [{:.0}, {:.0}] ({} segments)",
+                wave + 1,
+                a.seq,
+                a.fence_name,
+                a.device,
+                a.block,
+                a.t_min,
+                a.t_max,
+                a.num_segments
+            );
+        }
+        total_alerts += alerts.len();
+        eprintln!(
+            "wave {}/{}: ingested {} streams, {} alerts",
+            wave + 1,
+            options.waves,
+            ingested,
+            alerts.len()
+        );
+    }
+    let stats = store.geofences().stats();
+    println!(
+        "alerts       : {total_alerts} across {} waves ({} dropped by this subscriber)",
+        options.waves,
+        subscription.dropped()
+    );
+    println!(
+        "metadata walk: {} fence-block checks, {} dismissed without decode ({:.1}%)",
+        stats.blocks_checked,
+        stats.blocks_skipped,
+        100.0 * stats.blocks_skipped as f64 / (stats.blocks_checked.max(1)) as f64
+    );
+    Ok(())
+}
+
 struct ServeOptions {
     dir: Option<String>,
     addr: String,
@@ -593,6 +887,7 @@ struct ServeOptions {
     cache_bytes: Option<usize>,
     eviction: EvictionKind,
     slow_query_ms: Option<u64>,
+    fences: Vec<(String, BoundingBox)>,
     fleet: FleetOptions,
 }
 
@@ -636,6 +931,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
     let mut cache_bytes = None;
     let mut eviction = EvictionKind::default();
     let mut slow_query_ms = None;
+    let mut fences = Vec::new();
     let mut fleet_args: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -660,6 +956,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
                 cache_bytes = Some(v.parse().map_err(|e| format!("{arg}: {e}"))?);
             }
             "--eviction" => eviction = parse_eviction(value()?)?,
+            "--fence" => fences.push(parse_fence(value()?)?),
             "--slow-query-ms" => {
                 slow_query_ms = Some(value()?.parse().map_err(|e| format!("{arg}: {e}"))?)
             }
@@ -692,6 +989,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
         cache_bytes,
         eviction,
         slow_query_ms,
+        fences,
         fleet,
     })
 }
@@ -832,6 +1130,24 @@ fn run_serve(options: &ServeOptions) -> Result<(), String> {
         }
     };
 
+    // Standing fences watch ingests from here on (forward-only); poll
+    // them with GET /subscribe.  A durable store reloads its persisted
+    // fences, so a same-named fence is kept rather than duplicated.
+    for (name, region) in &options.fences {
+        if store.geofences().fences().iter().any(|f| f.name == *name) {
+            eprintln!("geofence '{name}' already registered (persisted) — keeping it");
+            continue;
+        }
+        let id = store
+            .geofences()
+            .register(name, *region, None)
+            .map_err(|e| format!("--fence {name}: {e}"))?;
+        eprintln!(
+            "geofence #{id} '{name}': ({:.1}, {:.1}) .. ({:.1}, {:.1}) — poll /subscribe",
+            region.min_x, region.min_y, region.max_x, region.max_y
+        );
+    }
+
     let mut service_config = ServiceConfig::default().with_workers(options.server_workers);
     service_config.enable_shutdown_endpoint = options.shutdown_endpoint;
     if let Some(ms) = options.slow_query_ms {
@@ -951,6 +1267,24 @@ fn main() -> ExitCode {
         }
         Some("query") => {
             return match parse_query_args(&args[1..]).and_then(|o| run_query(&o)) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(msg) => {
+                    eprintln!("{msg}\n{USAGE}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        Some("knn") => {
+            return match parse_knn_args(&args[1..]).and_then(|o| run_knn(&o)) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(msg) => {
+                    eprintln!("{msg}\n{USAGE}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        Some("geofence") => {
+            return match parse_geofence_args(&args[1..]).and_then(|o| run_geofence(&o)) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(msg) => {
                     eprintln!("{msg}\n{USAGE}");
